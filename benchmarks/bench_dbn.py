@@ -1,0 +1,54 @@
+"""Experiment E4: DBN filter validation (paper Section 4.3).
+
+The paper validates its filter by "measuring the maximum KL divergence
+of the DBN belief and the true state over many episodes". This bench
+reports max/mean KL and argmax accuracy of the fitted filter on
+held-out episodes, plus the per-step filter update latency (the filter
+runs inside every ACSO decision, so it must be fast).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from benchmarks.conftest import episodes_per_cell, write_result
+from repro.defenders import SemiRandomPolicy
+from repro.dbn import DBNFilter, validate_dbn
+
+
+def test_dbn_validation(benchmark, eval_config, eval_tables):
+    episodes = episodes_per_cell(2)
+
+    def run():
+        return validate_dbn(
+            lambda: repro.make_env(eval_config),
+            lambda: SemiRandomPolicy(rate=5.0),
+            eval_tables,
+            episodes=episodes,
+            seed=900,
+            max_steps=2000,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        f"DBN validation ({episodes} held-out episodes, 2000 steps each)\n"
+        f"max KL(truth || belief): {result.max_kl:.3f}\n"
+        f"mean KL per node-step:   {result.mean_kl:.4f}\n"
+        f"argmax accuracy:         {result.accuracy:.3f}\n"
+        f"node-steps scored:       {result.steps}"
+    )
+    write_result("dbn_validation.txt", text)
+    assert result.accuracy > 0.5
+    assert np.isfinite(result.max_kl)
+
+
+def test_dbn_update_latency(benchmark, eval_config, eval_tables):
+    """Single-step filter update on the full 33-node network."""
+    env = repro.make_env(eval_config, seed=0)
+    obs = env.reset(seed=0)
+    dbn = DBNFilter(eval_tables, env.topology)
+    obs, *_ = env.step(None)
+
+    benchmark(dbn.update, obs)
+    assert np.allclose(dbn.beliefs.sum(axis=1), 1.0)

@@ -1,0 +1,49 @@
+"""Experiment E3: Fig 10 -- robustness to a more aggressive attacker.
+
+Evaluates every policy against APT1 (the nominal attacker used for
+ACSO training) and APT2 (lateral threshold 1, PLC thresholds 5/10 --
+faster through the tactics graph, less redundant access), reporting the
+three Fig 10 panels: final PLCs offline, average IT cost, and average
+nodes compromised.
+
+In the paper, the ACSO's metrics barely move between APT1 and APT2
+while the playbook starts losing PLCs against APT2 (0.45 average
+offline) -- the learned policy generalizes to unseen attacker behavior.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import episodes_per_cell, write_result
+from repro.eval import bar_chart, format_sweep_table, run_fig10
+
+
+def test_fig10_apt_policies(benchmark, eval_config, policy_suite):
+    episodes = episodes_per_cell(3)
+
+    def run():
+        return run_fig10(eval_config, policy_suite, episodes=episodes, seed=200)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    panels = [
+        ("final_plcs_offline", "Fig 10a: final PLCs offline"),
+        ("avg_it_cost", "Fig 10b: average IT cost"),
+        ("avg_nodes_compromised", "Fig 10c: avg nodes compromised"),
+    ]
+    blocks = [
+        format_sweep_table(results, metric, "APT",
+                           title=f"{title} ({episodes} episodes/cell)")
+        for metric, title in panels
+    ]
+    for metric, title in panels:
+        labels, values = [], []
+        for apt_name, table in results.items():
+            for policy_name, agg in table.items():
+                labels.append(f"{policy_name} vs {apt_name}")
+                values.append(agg.mean(metric))
+        blocks.append(bar_chart(labels, values, width=36,
+                                title=f"{title} (chart)", fmt="{:.3f}"))
+    write_result("fig10.txt", "\n\n".join(blocks))
+
+    for name in policy_suite:
+        assert results["APT1"][name].episodes == episodes
+        assert results["APT2"][name].episodes == episodes

@@ -1,0 +1,77 @@
+"""Experiment E6: shaping-reward ablation (paper Section 4.2).
+
+The paper grid-searched the shaping weight over {0, 1, 1/(1-gamma)}
+and reports that the shaping reward "was critical to enable the agent
+to learn a meaningful policy" -- without it, the task reward is too
+sparse over 5,000-step episodes.
+
+This bench runs short DQN trainings with and without shaping on the
+grid-search network and compares the density of the learning signal:
+the variance of stored training rewards (with shaping weight 0 nearly
+every step pays the same constant, so TD errors carry no information
+about compromise events) and the resulting episode returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+import repro
+from benchmarks.conftest import write_result
+from repro.config import small_network
+from repro.dbn import DBNTables, fit_dbn
+from repro.defenders import SemiRandomPolicy
+from repro.rl import ACSOFeaturizer, AttentionQNetwork, DQNConfig, DQNTrainer, QNetConfig
+
+
+def _training_env():
+    cfg = small_network(tmax=400)
+    return cfg.with_apt(replace(cfg.apt, time_scale=4.0))
+
+
+def _train(shaping_weight, tables, episodes=2, seed=0):
+    cfg = _training_env()
+    env = repro.make_env(cfg, seed=seed)
+    qnet = AttentionQNetwork(QNetConfig(), seed=seed)
+    featurizer = ACSOFeaturizer(env.topology, tables)
+    dqn_cfg = DQNConfig(
+        warmup=128, batch_size=32, update_every=8, target_update=200,
+        eps_decay=0.995, seed=seed, shaping_weight=shaping_weight,
+    )
+    trainer = DQNTrainer(env, qnet, featurizer, dqn_cfg)
+    history = trainer.train(episodes=episodes, seed=seed + 10)
+    rewards = [
+        trainer.replay._data[i].reward for i in range(len(trainer.replay))
+    ]
+    return history, np.array(rewards)
+
+
+def test_shaping_signal_density(benchmark, eval_config):
+    cfg = _training_env()
+    tables = fit_dbn(
+        lambda: repro.make_env(cfg),
+        lambda: SemiRandomPolicy(rate=5.0),
+        episodes=3, seed=40, max_steps=400,
+    )
+
+    def run():
+        history_off, rewards_off = _train(0.0, tables, seed=1)
+        history_on, rewards_on = _train(None, tables, seed=1)  # paper default
+        return history_off, rewards_off, history_on, rewards_on
+
+    history_off, rewards_off, history_on, rewards_on = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    text = (
+        "Shaping ablation (grid values 0 vs 1/(1-gamma); 2 episodes each)\n"
+        f"reward std  without shaping: {rewards_off.std():.6f}\n"
+        f"reward std  with shaping:    {rewards_on.std():.6f}\n"
+        f"env return  without shaping: {history_off[-1].env_return:.1f}\n"
+        f"env return  with shaping:    {history_on[-1].env_return:.1f}"
+    )
+    write_result("shaping_ablation.txt", text)
+
+    # the shaped reward stream must carry a denser learning signal
+    assert rewards_on.std() > rewards_off.std()

@@ -1,0 +1,48 @@
+"""Experiment E5: simulator throughput.
+
+Section 3.1 claims INASIM runs "high-level simulations of APT attacks
+... in super-real time". One simulated step is one hour, so anything
+above ~0.3 steps/s beats the wall clock by orders of magnitude; this
+bench measures steps/second on the three network presets with a
+passive defender and with the alert-heavy playbook defender.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.config import paper_network, small_network, tiny_network
+from repro.defenders import NoopPolicy, PlaybookPolicy
+
+_PRESETS = {
+    "tiny": tiny_network,
+    "small": small_network,
+    "paper": paper_network,
+}
+
+
+@pytest.mark.parametrize("preset", list(_PRESETS))
+def test_sim_steps_noop(benchmark, preset):
+    env = repro.make_env(_PRESETS[preset]())
+    env.reset(seed=0)
+
+    def run_chunk():
+        for _ in range(200):
+            env.step(None)
+
+    benchmark.pedantic(run_chunk, rounds=3, iterations=1,
+                       setup=lambda: (env.reset(seed=0), None)[1])
+
+
+def test_sim_steps_with_playbook(benchmark):
+    env = repro.make_env(paper_network())
+    policy = PlaybookPolicy()
+
+    def run_chunk():
+        obs = env.reset(seed=0)
+        policy.reset(env)
+        for _ in range(200):
+            obs, _, _, _ = env.step(policy.act(obs))
+
+    benchmark.pedantic(run_chunk, rounds=3, iterations=1)

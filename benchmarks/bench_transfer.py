@@ -1,0 +1,74 @@
+"""Experiment E12 (extension): cross-network transfer.
+
+The paper's scaling argument (Section 4.4) is that attention-network
+parameters never grow with node count, so one policy can protect
+networks of different sizes; its future work asks for pre-train /
+fine-tune deployment. This bench measures that pipeline with the
+shipped artifacts: the packaged ACSO Q-network was trained on the
+paper's *grid-search* network (10 workstations / 3 HMIs / 30 PLCs), and
+is here evaluated zero-shot on the full evaluation network (25/5/50,
+329 actions) against an untrained network of identical architecture.
+
+Expected shape: identical parameter counts on both networks, and the
+pre-trained policy dominating the untrained one on the target network
+-- transfer moves real decision knowledge, not just shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import episodes_per_cell, write_result
+from repro.config import paper_network, small_network
+from repro.rl import AttentionQNetwork, QNetConfig
+from repro.transfer import evaluate_greedy_policy
+
+_MAX_STEPS = 800
+
+
+def test_zero_shot_transfer(benchmark, eval_tables, acso_qnet):
+    episodes = episodes_per_cell(2)
+    source_cfg = small_network(tmax=_MAX_STEPS)
+    target_cfg = paper_network(tmax=_MAX_STEPS)
+
+    def run():
+        rows = {}
+        untrained = AttentionQNetwork(QNetConfig(), seed=99)
+        rows["pretrained on source"] = evaluate_greedy_policy(
+            source_cfg, acso_qnet, eval_tables, episodes, seed=50,
+            max_steps=_MAX_STEPS,
+        )
+        rows["zero-shot on target"] = evaluate_greedy_policy(
+            target_cfg, acso_qnet, eval_tables, episodes, seed=50,
+            max_steps=_MAX_STEPS,
+        )
+        rows["untrained on target"] = evaluate_greedy_policy(
+            target_cfg, untrained, eval_tables, episodes, seed=50,
+            max_steps=_MAX_STEPS,
+        )
+        params = {
+            "pretrained": acso_qnet.n_parameters(),
+            "untrained": untrained.n_parameters(),
+        }
+        return rows, params
+
+    rows, params = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"Zero-shot transfer, small -> paper network ({episodes} episodes, "
+        f"{_MAX_STEPS}-step horizon)",
+        f"parameters: {params['pretrained']} (identical on both networks)",
+        f"{'policy':<24} {'return':>10} {'PLCs off':>9} {'IT cost':>9} "
+        f"{'compromised':>12}",
+    ]
+    for name, agg in rows.items():
+        lines.append(
+            f"{name:<24} {agg.mean('discounted_return'):>10.1f} "
+            f"{agg.mean('final_plcs_offline'):>9.2f} "
+            f"{agg.mean('avg_it_cost'):>9.3f} "
+            f"{agg.mean('avg_nodes_compromised'):>12.2f}"
+        )
+    write_result("transfer.txt", "\n".join(lines))
+
+    assert params["pretrained"] == params["untrained"]
+    for agg in rows.values():
+        assert np.isfinite(agg.mean("discounted_return"))

@@ -1,0 +1,77 @@
+"""Shared benchmark fixtures.
+
+Episode counts are controlled by the ``REPRO_EPISODES`` environment
+variable (default: small CI-friendly numbers; the paper uses 100
+episodes per cell -- set REPRO_EPISODES=100 to match).
+
+The policy suite loads pre-built artifacts from ``benchmarks/data/``
+when present (produced by ``examples/train_acso.py`` and
+``benchmarks/fit_eval_dbn.py``); otherwise it fits a small DBN on the
+fly and uses an untrained Q-network so the harness always runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+import repro
+from repro.config import paper_network
+from repro.dbn import DBNTables, fit_dbn
+from repro.defenders import DBNExpertPolicy, PlaybookPolicy, SemiRandomPolicy
+from repro.defenders.acso import ACSOPolicy
+from repro.nn import load_state
+from repro.rl import AttentionQNetwork, QNetConfig
+
+DATA_DIR = pathlib.Path(__file__).resolve().parent / "data"
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def episodes_per_cell(default: int) -> int:
+    return int(os.environ.get("REPRO_EPISODES", default))
+
+
+@pytest.fixture(scope="session")
+def eval_config():
+    return paper_network()
+
+
+@pytest.fixture(scope="session")
+def eval_tables(eval_config) -> DBNTables:
+    path = DATA_DIR / "dbn_paper.npz"
+    if path.exists():
+        return DBNTables.load(path)
+    return fit_dbn(
+        lambda: repro.make_env(eval_config),
+        lambda: SemiRandomPolicy(rate=5.0),
+        episodes=4,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def acso_qnet(eval_tables) -> AttentionQNetwork:
+    qnet = AttentionQNetwork(QNetConfig(), seed=0)
+    path = DATA_DIR / "acso_qnet.npz"
+    if path.exists():
+        load_state(qnet, path)
+    return qnet
+
+
+@pytest.fixture(scope="session")
+def policy_suite(eval_tables, acso_qnet):
+    """The four Table 2 policies, keyed by their paper names."""
+    return {
+        "ACSO": ACSOPolicy(acso_qnet, eval_tables),
+        "DBN Expert": DBNExpertPolicy(eval_tables, seed=0),
+        "Playbook": PlaybookPolicy(),
+        "Semi Random": SemiRandomPolicy(seed=0),
+    }
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print("\n" + text)

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Fit the evaluation DBN tables on the paper network at nominal speed.
+
+The paper fits its filter from 1,000 random-defender episodes; the
+episode count here is tunable (default 16) to fit CI budgets. Writes
+benchmarks/data/dbn_paper.npz.
+"""
+import argparse
+import pathlib
+import time
+
+import repro
+from repro.config import paper_network
+from repro.dbn import fit_dbn
+from repro.defenders import SemiRandomPolicy
+
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument("--episodes", type=int, default=16)
+parser.add_argument("--seed", type=int, default=0)
+parser.add_argument("--out", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parent / "data")
+args = parser.parse_args()
+args.out.mkdir(parents=True, exist_ok=True)
+
+cfg = paper_network()
+t0 = time.time()
+tables = fit_dbn(
+    lambda: repro.make_env(cfg),
+    lambda: SemiRandomPolicy(rate=5.0),
+    episodes=args.episodes,
+    seed=args.seed,
+)
+tables.save(args.out / "dbn_paper.npz")
+print(f"fitted {args.episodes} episodes in {time.time() - t0:.0f}s "
+      f"-> {args.out / 'dbn_paper.npz'}")

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Define, save, and defend a custom ICS network.
+
+The simulator is fully configurable (paper Section 3.1: "the number of
+nodes, devices, PLCs, and the specific network connectivity, are all
+configurable"). This example builds a plant that differs from every
+preset -- a wide level 2, a single server, many PLCs -- tunes the
+attacker, round-trips the configuration through JSON (the format the
+``repro`` CLI consumes), and compares defenders on it.
+
+Run:
+    python examples/custom_topology.py [--episodes 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+
+import repro
+from repro.config import APTConfig, SimConfig, TopologyConfig
+from repro.config_io import load_config, save_config
+from repro.defenders import NoopPolicy, PlaybookPolicy
+from repro.eval import evaluate_policy, format_aggregate_table
+from repro.net.topology import build_topology
+
+
+def build_custom_config() -> SimConfig:
+    """A bottling plant: 40 floor workstations, one OPC, 80 PLCs."""
+    topology = TopologyConfig(
+        l2_workstations=40,
+        l2_servers=("opc", "historian"),
+        l1_hmis=8,
+        plcs=80,
+    )
+    attacker = APTConfig(
+        objective="disrupt",
+        vector="hmi",
+        lateral_threshold=4,
+        hmi_threshold=2,
+        plc_threshold_disrupt=30,
+        labor_rate=3,  # three attackers at keyboard
+        time_scale=4.0,  # accelerate for the demo
+    )
+    return SimConfig(topology=topology, apt=attacker, tmax=800)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = build_custom_config()
+    topology = build_topology(config.topology)
+    print(f"custom plant: {topology.n_nodes} nodes, {topology.n_plcs} PLCs, "
+          f"{len(topology.devices)} network devices, "
+          f"{len(topology.vlans)} VLANs")
+    by_level = {}
+    for node in topology.nodes:
+        by_level.setdefault(node.level, []).append(node)
+    for level in sorted(by_level, reverse=True):
+        names = ", ".join(n.name for n in by_level[level][:4])
+        print(f"  level {level}: {len(by_level[level])} nodes ({names}, ...)")
+
+    with tempfile.NamedTemporaryFile(mode="w", suffix=".json",
+                                     delete=False) as handle:
+        path = handle.name
+    save_config(config, path)
+    restored = load_config(path)
+    assert restored == config
+    print(f"\nconfig round-tripped through {path}")
+    print(f"  (run it from the CLI: repro simulate --config {path} "
+          "--policy playbook)")
+
+    print(f"\nDefending it for {args.episodes} episode(s) of "
+          f"{config.tmax} hours:")
+    results = {}
+    for policy in (NoopPolicy(), PlaybookPolicy()):
+        env = repro.make_env(restored, seed=args.seed)
+        aggregate, _ = evaluate_policy(env, policy, args.episodes,
+                                       seed=args.seed)
+        results[policy.name] = aggregate
+    print(format_aggregate_table(results, title="Custom network results"))
+
+
+if __name__ == "__main__":
+    main()

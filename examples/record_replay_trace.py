@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Record an attack episode, export it, and audit the timeline.
+
+Incident response starts from logs. This example records a full
+episode trace (every defender action, alert volume, and compromise
+count per simulated hour), writes it to JSONL, reloads it, verifies
+the simulator's determinism contract (same config + policy + seed =>
+identical trace), and prints the attack timeline a security analyst
+would reconstruct after the fact.
+
+Run:
+    python examples/record_replay_trace.py [--hours 400] [--out trace.jsonl]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+
+import repro
+from repro.config import small_network
+from repro.defenders import PlaybookPolicy
+from repro.eval import sparkline
+from repro.eval.analysis import (
+    action_counts,
+    dwell_time,
+    mean_time_to_repair,
+    phase_breakdown,
+    time_to_first_response,
+)
+from repro.sim.trace import EpisodeTrace, record_episode, verify_determinism
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=int, default=400)
+    parser.add_argument("--out", default="episode_trace.jsonl")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    config = small_network(tmax=args.hours)
+    config = config.with_apt(replace(config.apt, time_scale=4.0))
+
+    print(f"Recording {args.hours} hours of playbook defense...")
+    env = repro.make_env(config, seed=args.seed)
+    trace = record_episode(env, PlaybookPolicy(), seed=args.seed)
+    print(f"  {len(trace)} steps, {trace.total_alerts} alerts, "
+          f"{len(trace.actions_taken())} defender actions, "
+          f"total IT cost {trace.total_it_cost:.2f}")
+
+    trace.to_jsonl(args.out)
+    loaded = EpisodeTrace.from_jsonl(args.out)
+    assert loaded.steps == trace.steps
+    print(f"  exported to {args.out} and reloaded bit-identically")
+
+    print("\nChecking the determinism contract (re-running the episode)...")
+    ok = verify_determinism(
+        lambda: repro.make_env(config),
+        lambda: PlaybookPolicy(),
+        seed=args.seed,
+    )
+    print(f"  identical traces on replay: {ok}")
+
+    print("\nAttack timeline (per-hour compromise count):")
+    compromised = [s.n_compromised for s in trace.steps]
+    print("  " + sparkline(compromised[:: max(1, len(compromised) // 72)]))
+
+    phase, phase_start = None, 0
+    print("\nAPT phase transitions:")
+    for step in trace.steps:
+        if step.apt_phase != phase:
+            if phase is not None:
+                print(f"  t={phase_start:>4}h - {step.t - 1:>4}h  {phase}")
+            phase, phase_start = step.apt_phase, step.t
+    print(f"  t={phase_start:>4}h - {trace.steps[-1].t:>4}h  {phase}")
+
+    busy = [s for s in trace.steps if s.actions]
+    print(f"\nDefender acted in {len(busy)}/{len(trace)} hours; "
+          "first five responses:")
+    for step in busy[:5]:
+        actions = ", ".join(f"{a}@{t}" for a, t in step.actions)
+        print(f"  t={step.t:>4}h  {actions}  "
+              f"(alerts this hour: {step.n_alerts})")
+
+    print("\nSOC metrics:")
+    dwell = dwell_time(trace)
+    print(f"  attacker dwell: {dwell.total_hours}h total "
+          f"({dwell.fraction:.0%} of the episode), longest streak "
+          f"{dwell.longest_streak}h")
+    latency = time_to_first_response(trace)
+    print(f"  first-alert -> first-action latency: "
+          f"{latency if latency is not None else 'n/a'}h")
+    mttr = mean_time_to_repair(trace)
+    print(f"  mean time to repair PLCs: "
+          f"{f'{mttr:.1f}h' if mttr is not None else 'no PLC ever offline'}")
+    print("  hours per APT phase:")
+    for phase, hours in phase_breakdown(trace).items():
+        print(f"    {phase:<24} {hours:>5}h")
+    counts = action_counts(trace)
+    print(f"  action mix: {counts['total_investigations']} investigations, "
+          f"{counts['total_mitigations']} mitigations")
+
+
+if __name__ == "__main__":
+    main()

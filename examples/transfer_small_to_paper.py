@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Pre-train small, deploy large: cross-network policy transfer.
+
+The attention Q-network's parameter count is independent of network
+size (paper Section 4.4), so weights trained on the paper's grid-search
+network (10 workstations / 3 HMIs / 30 PLCs) re-bind directly to the
+full evaluation network (25 / 5 / 50) -- the pre-train/fine-tune
+deployment path the paper's future work proposes.
+
+This example runs the whole protocol with a small CPU budget: train on
+the source network, evaluate zero-shot on the target, fine-tune there,
+and compare against a from-scratch policy given the same target budget.
+
+Run:
+    python examples/transfer_small_to_paper.py [--pretrain 3] [--finetune 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+
+import repro
+from repro.config import paper_network, small_network
+from repro.dbn import fit_dbn
+from repro.defenders import SemiRandomPolicy
+from repro.rl import AttentionQNetwork, DQNConfig, QNetConfig
+from repro.transfer import run_transfer_study
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pretrain", type=int, default=3,
+                        help="source-network training episodes")
+    parser.add_argument("--finetune", type=int, default=1,
+                        help="target-network fine-tune episodes")
+    parser.add_argument("--eval-episodes", type=int, default=2)
+    parser.add_argument("--max-steps", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    def accelerated(config):
+        return config.with_apt(replace(config.apt, time_scale=4.0))
+
+    source = accelerated(small_network(tmax=args.max_steps))
+    target = accelerated(paper_network(tmax=args.max_steps))
+
+    print("Fitting a DBN on the source network (shared across networks; "
+          "the tables are per-node and size-agnostic)...")
+    tables = fit_dbn(
+        lambda: repro.make_env(source),
+        lambda: SemiRandomPolicy(rate=5.0),
+        episodes=4,
+        seed=args.seed,
+        max_steps=args.max_steps,
+    )
+
+    qnet = AttentionQNetwork(QNetConfig(), seed=args.seed)
+    study = run_transfer_study(
+        source_config=source,
+        target_config=target,
+        qnet=qnet,
+        tables=tables,
+        dqn_config=DQNConfig(warmup=128, batch_size=32, update_every=8,
+                             target_update=200, eps_decay=0.995,
+                             seed=args.seed),
+        pretrain_episodes=args.pretrain,
+        finetune_episodes=args.finetune,
+        eval_episodes=args.eval_episodes,
+        seed=args.seed,
+        max_steps=args.max_steps,
+    )
+
+    print(f"\nparameters: {study.n_parameters} "
+          "(identical on both networks -- the architecture contract)\n")
+    rows = [
+        ("pre-trained, on source", study.source),
+        ("zero-shot, on target", study.zero_shot),
+        ("fine-tuned, on target", study.finetuned),
+        ("from scratch, on target", study.scratch),
+    ]
+    print(f"{'policy':<26} {'return':>10} {'PLCs off':>9} {'IT cost':>9} "
+          f"{'compromised':>12}")
+    for name, agg in rows:
+        if agg is None:
+            continue
+        print(f"{name:<26} {agg.mean('discounted_return'):>10.1f} "
+              f"{agg.mean('final_plcs_offline'):>9.2f} "
+              f"{agg.mean('avg_it_cost'):>9.3f} "
+              f"{agg.mean('avg_nodes_compromised'):>12.2f}")
+    print("\nWith realistic budgets (paper: 1.25M steps) the transferred "
+          "policy needs far less target experience than the scratch one; "
+          "at demo budgets the table mainly shows the plumbing works.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Reproduction of "Autonomous Attack Mitigation for Industrial Control
+Systems" (Mern et al., DSN 2022).
+
+Public entry points:
+
+* :func:`make_env` -- build an :class:`~repro.sim.env.InasimEnv` with the
+  paper's FSM attacker.
+* :mod:`repro.config` -- network presets (`paper_network`, `small_network`).
+* :mod:`repro.defenders` -- baseline and learned defender policies.
+* :mod:`repro.rl` -- the DQN training stack for the ACSO agent, plus the
+  Rainbow extensions (dueling, C51, noisy nets) and the DRQN baseline.
+* :mod:`repro.eval` -- the experiment harness for Table 2 / Fig 6 / Fig 10,
+  text charts, markdown reports, and SOC trace analytics.
+* :mod:`repro.adversarial` -- attacker best-response search and self-play
+  (the paper's future work, Section 7).
+* :mod:`repro.validation` -- off-policy evaluation and policy certification.
+* :mod:`repro.transfer` -- cross-network pre-train / fine-tune studies.
+* :mod:`repro.cli` -- the ``repro`` command-line entry point.
+"""
+
+from __future__ import annotations
+
+from repro.config import (
+    APTConfig,
+    SimConfig,
+    paper_network,
+    small_network,
+    tiny_network,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APTConfig",
+    "SimConfig",
+    "paper_network",
+    "small_network",
+    "tiny_network",
+    "make_env",
+]
+
+
+def make_env(
+    config: SimConfig,
+    seed: int | None = None,
+    attacker=None,
+    sample_qualitative: bool = True,
+    record_truth: bool = True,
+):
+    """Build a simulation environment with the paper's FSM attacker.
+
+    Parameters
+    ----------
+    config:
+        Simulation configuration (see :func:`repro.config.paper_network`).
+    seed:
+        Root seed; episodes are deterministic given (config, seed).
+    attacker:
+        Optional custom attacker policy; defaults to the FSM attacker
+        parameterised by ``config.apt``.
+    sample_qualitative:
+        When using the default attacker, draw the (objective, vector)
+        pair uniformly at each reset (covers the four Fig 8 configs).
+    """
+    from repro.attacker import FSMAttacker
+    from repro.sim.env import InasimEnv
+
+    if attacker is None:
+        attacker = FSMAttacker(config.apt, sample_qualitative=sample_qualitative)
+    return InasimEnv(config, attacker, seed=seed, record_truth=record_truth)

@@ -1,0 +1,201 @@
+"""Population-based adversarial training (double-oracle style).
+
+The loop alternates two oracles:
+
+1. **Defender oracle** -- continue DQN training against episodes drawn
+   from the current attacker population (round-robin over per-attacker
+   environments; the topology, and therefore the Q-network binding, is
+   shared).
+2. **Attacker oracle** -- a CEM best-response search against the frozen
+   defender; the best response joins the population.
+
+The gap between the defender's value against its training population
+and against the fresh best response is an empirical exploitability
+estimate: it shrinking over rounds is the signal that the defender is
+becoming robust to attacker adaptation -- the property the paper
+measures one-shot with APT2 (Fig 10) and names as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+import repro
+from repro.adversarial.best_response import (
+    BestResponseResult,
+    CrossEntropySearch,
+    attack_utility,
+    make_defender_fitness,
+)
+from repro.adversarial.space import AttackerParameterSpace
+from repro.attacker import FSMAttacker
+from repro.config import APTConfig, SimConfig
+from repro.eval.runner import evaluate_policy
+
+__all__ = [
+    "AttackerPopulation",
+    "SelfPlayConfig",
+    "SelfPlayRound",
+    "SelfPlayLoop",
+]
+
+
+class AttackerPopulation:
+    """A weighted set of attacker configurations."""
+
+    def __init__(self, members: list[APTConfig], weights=None):
+        if not members:
+            raise ValueError("population cannot be empty")
+        self.members = list(members)
+        if weights is None:
+            weights = np.ones(len(self.members))
+        self.weights = np.asarray(weights, dtype=float)
+        if self.weights.shape != (len(self.members),):
+            raise ValueError("weights must match members")
+        if (self.weights < 0).any() or self.weights.sum() <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        return self.weights / self.weights.sum()
+
+    def add(self, config: APTConfig, weight: float = 1.0) -> None:
+        self.members.append(config)
+        self.weights = np.append(self.weights, weight)
+
+    def sample(self, rng: np.random.Generator) -> APTConfig:
+        index = rng.choice(len(self.members), p=self.probabilities)
+        return self.members[int(index)]
+
+
+@dataclass
+class SelfPlayConfig:
+    rounds: int = 3
+    #: defender-oracle training episodes per round
+    train_episodes: int = 4
+    train_max_steps: int | None = None
+    #: CEM budget for the attacker oracle
+    cem_iterations: int = 3
+    cem_population: int = 8
+    #: episodes per fitness evaluation inside the CEM
+    fitness_episodes: int = 2
+    #: episodes for the exploitability bookkeeping
+    eval_episodes: int = 2
+    eval_max_steps: int | None = None
+    seed: int = 0
+
+
+@dataclass
+class SelfPlayRound:
+    """Bookkeeping for one defender/attacker oracle round."""
+
+    round_index: int
+    #: attacker utility of the best response found this round
+    best_response_utility: float
+    #: attacker utility of the (pre-expansion) population mixture
+    population_utility: float
+    #: exploitability estimate: best response minus population utility
+    exploitability: float
+    best_response: APTConfig
+    search: BestResponseResult = field(repr=False, default=None)
+
+
+class SelfPlayLoop:
+    """Alternating defender training and attacker best response.
+
+    ``trainer`` is a :class:`~repro.rl.dqn.DQNTrainer` (or API-equal
+    object) whose environment attribute is rotated across per-attacker
+    environments; ``defender_policy`` is the frozen-greedy view of the
+    same Q-network used for fitness evaluations.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        trainer,
+        defender_policy,
+        space: AttackerParameterSpace | None = None,
+        selfplay: SelfPlayConfig | None = None,
+        initial_population: AttackerPopulation | None = None,
+    ):
+        self.config = config
+        self.trainer = trainer
+        self.defender_policy = defender_policy
+        self.space = space or AttackerParameterSpace(base=config.apt)
+        self.selfplay = selfplay or SelfPlayConfig()
+        self.population = initial_population or AttackerPopulation([config.apt])
+        self.rng = np.random.default_rng(self.selfplay.seed)
+        self.rounds: list[SelfPlayRound] = []
+
+    # ------------------------------------------------------------------
+    def _env_for(self, apt: APTConfig):
+        return repro.make_env(
+            self.config.with_apt(apt),
+            attacker=FSMAttacker(apt, sample_qualitative=False),
+        )
+
+    def _train_defender(self, seed: int) -> None:
+        """Defender oracle: episodes against population-sampled attackers."""
+        sp = self.selfplay
+        for episode in range(sp.train_episodes):
+            apt = self.population.sample(self.rng)
+            self.trainer.env = self._env_for(apt)
+            self.trainer.train_episode(
+                seed=seed + episode, episode=episode,
+                max_steps=sp.train_max_steps,
+            )
+
+    def _population_utility(self, seed: int) -> float:
+        """Mixture-weighted attacker utility against the defender."""
+        sp = self.selfplay
+        utilities = []
+        for apt, prob in zip(self.population.members,
+                             self.population.probabilities):
+            env = self._env_for(apt)
+            aggregate, _ = evaluate_policy(
+                env, self.defender_policy, sp.eval_episodes, seed=seed,
+                max_steps=sp.eval_max_steps,
+            )
+            utilities.append(prob * attack_utility(aggregate))
+        return float(sum(utilities))
+
+    def _best_response(self, seed: int) -> BestResponseResult:
+        sp = self.selfplay
+        fitness = make_defender_fitness(
+            self.config, self.defender_policy,
+            episodes=sp.fitness_episodes, seed=seed,
+            max_steps=sp.eval_max_steps,
+        )
+        search = CrossEntropySearch(
+            self.space, fitness, population=sp.cem_population, seed=seed,
+        )
+        # warm-start the Gaussian at the current nominal attacker
+        return search.run(
+            iterations=sp.cem_iterations,
+            init_mean=self.space.encode(self.config.apt),
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[SelfPlayRound]:
+        sp = self.selfplay
+        for round_index in range(sp.rounds):
+            seed = sp.seed + 1000 * round_index
+            self._train_defender(seed)
+            population_utility = self._population_utility(seed + 500)
+            search = self._best_response(seed + 700)
+            record = SelfPlayRound(
+                round_index=round_index,
+                best_response_utility=search.best_fitness,
+                population_utility=population_utility,
+                exploitability=search.best_fitness - population_utility,
+                best_response=search.best_config,
+                search=search,
+            )
+            self.rounds.append(record)
+            self.population.add(search.best_config)
+        return self.rounds

@@ -1,0 +1,117 @@
+"""Searchable parameter space over APT attacker behaviour.
+
+The FSM attacker of Section 3.2 is parameterized by two qualitative
+choices (objective, vector) and several quantitative ones (thresholds,
+labor rate, cleanup effectiveness). :class:`AttackerParameterSpace`
+bounds each parameter and maps configurations to points in the unit
+box, so any black-box optimizer can search attacker space. Integer
+parameters are decoded by rounding, categorical ones by thresholding --
+standard continuous relaxations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.config import APTConfig
+
+__all__ = ["ParameterSpec", "AttackerParameterSpace"]
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """Bounds for one searchable APTConfig field."""
+
+    name: str
+    low: float
+    high: float
+    kind: str = "float"  # "float" | "int" | "choice"
+    choices: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("float", "int", "choice"):
+            raise ValueError(f"unknown parameter kind {self.kind!r}")
+        if self.kind == "choice":
+            if len(self.choices) < 2:
+                raise ValueError("choice parameters need >= 2 choices")
+        elif not self.low < self.high:
+            raise ValueError(f"{self.name}: low must be < high")
+
+    def decode(self, u: float):
+        """Map a unit-interval coordinate to a parameter value."""
+        u = float(np.clip(u, 0.0, 1.0))
+        if self.kind == "choice":
+            index = min(int(u * len(self.choices)), len(self.choices) - 1)
+            return self.choices[index]
+        value = self.low + u * (self.high - self.low)
+        if self.kind == "int":
+            return int(np.clip(round(value), self.low, self.high))
+        return value
+
+    def encode(self, value) -> float:
+        """Map a parameter value back into the unit interval."""
+        if self.kind == "choice":
+            index = self.choices.index(value)
+            # centre of the index's sub-interval
+            return (index + 0.5) / len(self.choices)
+        return float(
+            np.clip((float(value) - self.low) / (self.high - self.low), 0.0, 1.0)
+        )
+
+
+#: Default search bounds. They bracket the paper's two profiles -- APT1
+#: (lateral 3, PLC 15/25) and APT2 (lateral 1, PLC 5/10) are interior
+#: points -- and the full Fig 6 cleanup-effectiveness sweep [0.1, 0.9].
+DEFAULT_SPECS = (
+    ParameterSpec("lateral_threshold", 1, 6, kind="int"),
+    ParameterSpec("hmi_threshold", 1, 5, kind="int"),
+    ParameterSpec("plc_threshold_destroy", 2, 25, kind="int"),
+    ParameterSpec("plc_threshold_disrupt", 4, 40, kind="int"),
+    ParameterSpec("labor_rate", 1, 4, kind="int"),
+    ParameterSpec("cleanup_effectiveness", 0.05, 0.95, kind="float"),
+    ParameterSpec("objective", 0, 1, kind="choice",
+                  choices=("disrupt", "destroy")),
+    ParameterSpec("vector", 0, 1, kind="choice", choices=("opc", "hmi")),
+)
+
+
+class AttackerParameterSpace:
+    """Encode/decode APT configurations to the unit box [0, 1]^d."""
+
+    def __init__(self, specs=DEFAULT_SPECS, base: APTConfig | None = None):
+        self.specs = tuple(specs)
+        names = [s.name for s in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter names")
+        #: fields not searched (time_scale, reintrusion_hours, ...) are
+        #: taken from this base configuration
+        self.base = base or APTConfig()
+
+    @property
+    def dim(self) -> int:
+        return len(self.specs)
+
+    def decode(self, vector: np.ndarray) -> APTConfig:
+        """Unit-box point -> APTConfig (non-searched fields from base)."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {vector.shape}")
+        overrides = {
+            spec.name: spec.decode(u) for spec, u in zip(self.specs, vector)
+        }
+        return replace(self.base, **overrides)
+
+    def encode(self, config: APTConfig) -> np.ndarray:
+        """APTConfig -> unit-box point (approximate inverse of decode)."""
+        return np.array(
+            [spec.encode(getattr(config, spec.name)) for spec in self.specs]
+        )
+
+    def sample(self, rng: np.random.Generator) -> APTConfig:
+        """A uniformly random attacker configuration."""
+        return self.decode(rng.random(self.dim))
+
+    def clip(self, vector: np.ndarray) -> np.ndarray:
+        return np.clip(np.asarray(vector, dtype=float), 0.0, 1.0)

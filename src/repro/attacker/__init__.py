@@ -1,0 +1,16 @@
+"""APT attacker agents: the stochastic finite-state-machine policy."""
+
+from repro.attacker.fsm import FSMAttacker, Phase
+from repro.attacker.profiles import apt1, apt2, with_cleanup_effectiveness
+from repro.attacker.scripted import ScriptedAttacker, ScriptedStep, beachhead_rush
+
+__all__ = [
+    "FSMAttacker",
+    "Phase",
+    "apt1",
+    "apt2",
+    "with_cleanup_effectiveness",
+    "ScriptedAttacker",
+    "ScriptedStep",
+    "beachhead_rush",
+]

@@ -1,0 +1,379 @@
+"""Stochastic finite-state-machine APT policy (paper Section 3.2, Fig 3/8).
+
+Each machine state (phase) defines a stochastic sub-policy emitting
+action requests, and an exit criterion. The current phase is computed
+every step by walking the phase sequence and stopping at the first
+phase whose exit criterion is unsatisfied -- this implements the
+paper's reversion rule ("if during execution an earlier phase criteria
+is no longer satisfied, the policy will revert to that earlier phase").
+
+The phase sequence depends on the two qualitative parameters:
+
+* objective = disrupt: no Firmware Compromise phase;
+* objective = destroy: PLCs must be firmware-flashed before destruction;
+* vector = opc: a single L2 server (the OPC) provides PLC access, at the
+  price of cross-firewall traffic that multiplies alert rates;
+* vector = hmi: the APT must capture ``hmi_threshold`` level-1 HMIs
+  first, but then attacks PLCs from inside level 1.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.config import APTConfig
+from repro.net.nodes import Condition, NodeType, ServerRole
+from repro.net.topology import L1_OPS, L2_OPS
+from repro.sim.apt_actions import APTActionRequest, APTActionType, APTView
+
+__all__ = ["Phase", "FSMAttacker"]
+
+_A = APTActionType
+
+#: Order in which the APT hardens a freshly compromised node.
+_LADDER = (
+    (Condition.REBOOT_PERSIST, _A.REBOOT_PERSIST),
+    (Condition.ADMIN, _A.ESCALATE),
+    (Condition.CRED_PERSIST, _A.CRED_PERSIST),
+    (Condition.CLEANED, _A.CLEANUP),
+)
+
+
+class Phase(enum.Enum):
+    LATERAL_MOVEMENT_L2 = "lateral_movement_l2"
+    PROCESS_DISCOVERY = "process_discovery"
+    NETWORK_DISCOVERY = "network_discovery"
+    OPC_COMPROMISE = "opc_compromise"
+    HMI_CAPTURE = "hmi_capture"
+    LATERAL_MOVEMENT_L1 = "lateral_movement_l1"
+    PLC_DISCOVERY = "plc_discovery"
+    FIRMWARE_COMPROMISE = "firmware_compromise"
+    EXECUTE = "execute"
+    DONE = "done"
+
+
+def phase_sequence(objective: str, vector: str) -> list[Phase]:
+    seq = [
+        Phase.LATERAL_MOVEMENT_L2,
+        Phase.PROCESS_DISCOVERY,
+        Phase.NETWORK_DISCOVERY,
+    ]
+    if vector == "opc":
+        seq.append(Phase.OPC_COMPROMISE)
+    else:
+        seq.extend([Phase.HMI_CAPTURE, Phase.LATERAL_MOVEMENT_L1])
+    seq.append(Phase.PLC_DISCOVERY)
+    if objective == "destroy":
+        seq.append(Phase.FIRMWARE_COMPROMISE)
+    seq.append(Phase.EXECUTE)
+    return seq
+
+
+class FSMAttacker:
+    """The paper's baseline APT agent.
+
+    ``sample_qualitative=True`` draws the (objective, vector) pair
+    uniformly at each episode reset, covering the four FSM
+    configurations of Fig 8; otherwise the config's values are used.
+    """
+
+    def __init__(self, config: APTConfig, sample_qualitative: bool = True):
+        self.config = config
+        self.sample_qualitative = sample_qualitative
+        self.rng: np.random.Generator = np.random.default_rng(0)
+        self.objective = config.objective
+        self.vector = config.vector
+        self._sequence = phase_sequence(self.objective, self.vector)
+        self.phase = self._sequence[0]
+
+    # ------------------------------------------------------------------
+    @property
+    def phase_name(self) -> str:
+        return self.phase.value
+
+    @property
+    def plc_threshold(self) -> int:
+        if self.objective == "destroy":
+            return self.config.plc_threshold_destroy
+        return self.config.plc_threshold_disrupt
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        if self.sample_qualitative:
+            self.objective = str(rng.choice(["disrupt", "destroy"]))
+            self.vector = str(rng.choice(["opc", "hmi"]))
+        else:
+            self.objective = self.config.objective
+            self.vector = self.config.vector
+        self._sequence = phase_sequence(self.objective, self.vector)
+        self.phase = self._sequence[0]
+
+    # ------------------------------------------------------------------
+    def act(self, view: APTView) -> list[APTActionRequest]:
+        self.phase = self._current_phase(view)
+        if self.phase is Phase.DONE:
+            return []
+        sub_policy = {
+            Phase.LATERAL_MOVEMENT_L2: self._lateral_movement_l2,
+            Phase.PROCESS_DISCOVERY: self._process_discovery,
+            Phase.NETWORK_DISCOVERY: self._network_discovery,
+            Phase.OPC_COMPROMISE: self._opc_compromise,
+            Phase.HMI_CAPTURE: self._hmi_capture,
+            Phase.LATERAL_MOVEMENT_L1: self._lateral_movement_l1,
+            Phase.PLC_DISCOVERY: self._plc_discovery,
+            Phase.FIRMWARE_COMPROMISE: self._firmware_compromise,
+            Phase.EXECUTE: self._execute,
+        }[self.phase]
+        requests = list(sub_policy(view))
+        # opportunistic hardening: with leftover labor, keep walking the
+        # persistence/stealth ladder (reboot persist -> admin -> cred
+        # persist -> cleanup) on every controlled node; cleanup is what
+        # makes the APT hard to detect (Fig 6's perturbation axis)
+        requests.extend(self._ladder_requests(view, view.controlled_nodes()))
+        in_flight = view.in_flight_keys()
+        unique: list[APTActionRequest] = []
+        seen = set(in_flight)
+        for req in requests:
+            key = req.target_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(req)
+        return unique[: view.labor_available]
+
+    def _current_phase(self, view: APTView) -> Phase:
+        for phase in self._sequence:
+            if not self._criteria_met(phase, view):
+                return phase
+        return Phase.DONE
+
+    # ------------------------------------------------------------------
+    # exit criteria (Fig 3 diamonds)
+    # ------------------------------------------------------------------
+    def _criteria_met(self, phase: Phase, view: APTView) -> bool:
+        state, know, topo = view.state, view.knowledge, view.topology
+        if phase is Phase.LATERAL_MOVEMENT_L2:
+            controlled = view.controlled_in_level(2)
+            has_admin = any(
+                state.has_condition(n, Condition.ADMIN) for n in controlled
+            )
+            return len(controlled) >= self.config.lateral_threshold and has_admin
+        if phase is Phase.PROCESS_DISCOVERY:
+            return know.historian_analysis_started or know.historian_analyzed
+        if phase is Phase.NETWORK_DISCOVERY:
+            return set(topo.ops_vlans()) <= know.discovered_vlans
+        if phase is Phase.OPC_COMPROMISE:
+            opc = topo.server(ServerRole.OPC)
+            return (
+                opc is not None
+                and state.has_condition(opc.node_id, Condition.ADMIN)
+                and state.has_condition(opc.node_id, Condition.CLEANED)
+            )
+        if phase is Phase.HMI_CAPTURE:
+            return len(self._controlled_hmis(view)) >= 1
+        if phase is Phase.LATERAL_MOVEMENT_L1:
+            n_goal = min(self.config.hmi_threshold, view.topology.config.l1_hmis)
+            return len(self._controlled_hmis(view)) >= n_goal
+        if phase is Phase.PLC_DISCOVERY:
+            return len(know.discovered_plcs) >= self._effective_plc_threshold(view)
+        if phase is Phase.FIRMWARE_COMPROMISE:
+            flashed = sum(
+                1 for p in know.discovered_plcs if state.plc_firmware[p]
+            )
+            return flashed >= self._effective_plc_threshold(view)
+        if phase is Phase.EXECUTE:
+            return state.n_plcs_offline() >= self._effective_plc_threshold(view)
+        return True  # pragma: no cover
+
+    def _effective_plc_threshold(self, view: APTView) -> int:
+        return min(self.plc_threshold, view.topology.n_plcs)
+
+    def _controlled_hmis(self, view: APTView) -> list[int]:
+        return [
+            n for n in view.controlled_nodes()
+            if view.topology.nodes[n].ntype is NodeType.HMI
+        ]
+
+    # ------------------------------------------------------------------
+    # sub-policies (Fig 3 rectangles)
+    # ------------------------------------------------------------------
+    def _ladder_requests(self, view: APTView, nodes) -> list[APTActionRequest]:
+        out = []
+        for node in nodes:
+            for cond, atype in _LADDER:
+                if not view.state.has_condition(node, cond):
+                    out.append(APTActionRequest(atype, node, target_node=node))
+                    break
+        return out
+
+    def _pick(self, items):
+        items = list(items)
+        if not items:
+            return None
+        return items[int(self.rng.integers(len(items)))]
+
+    def _compromise_request(self, view, source_pool, target_pool):
+        source = self._pick(source_pool)
+        state, know = view.state, view.knowledge
+        candidates = [
+            n for n in target_pool
+            if not state.is_compromised(n)
+            and state.has_condition(n, Condition.SCANNED)
+            and know.known_vlan.get(n) == state.node_vlan[n]
+        ]
+        target = self._pick(candidates)
+        if source is None or target is None:
+            return None
+        return APTActionRequest(_A.COMPROMISE, source, target_node=target)
+
+    def _lateral_movement_l2(self, view: APTView) -> list[APTActionRequest]:
+        requests = []
+        controlled = view.controlled_in_level(2)
+        if not controlled:
+            return []
+        if L2_OPS not in view.knowledge.scanned_vlans:
+            src = self._pick(controlled)
+            requests.append(APTActionRequest(_A.SCAN_VLAN, src, target_vlan=L2_OPS))
+            return requests
+        if len(controlled) < self.config.lateral_threshold:
+            l2_nodes = [
+                n.node_id for n in view.topology.nodes
+                if n.level == 2 and n.ntype is NodeType.WORKSTATION
+            ]
+            req = self._compromise_request(view, controlled, l2_nodes)
+            if req is not None:
+                requests.append(req)
+        requests.extend(self._ladder_requests(view, controlled))
+        return requests
+
+    def _process_discovery(self, view: APTView) -> list[APTActionRequest]:
+        know, topo, state = view.knowledge, view.topology, view.state
+        controlled = view.controlled_in_level(2)
+        if not controlled:
+            return []
+        historian = topo.server(ServerRole.HISTORIAN)
+        if historian is None:
+            know.historian_analyzed = True  # degenerate test networks
+            return []
+        hid = historian.node_id
+        if hid not in know.discovered_servers:
+            src = self._pick(controlled)
+            return [APTActionRequest(_A.DISCOVER_SERVER, src, target_vlan=L2_OPS)]
+        if not state.is_compromised(hid):
+            req = self._compromise_request(view, controlled, [hid])
+            return [req] if req is not None else []
+        if not state.has_condition(hid, Condition.ADMIN):
+            return [APTActionRequest(_A.ESCALATE, hid, target_node=hid)]
+        return [APTActionRequest(_A.ANALYZE_HISTORIAN, hid, target_node=hid)]
+
+    def _network_discovery(self, view: APTView) -> list[APTActionRequest]:
+        src = self._pick(view.controlled_nodes())
+        if src is None:
+            return []
+        return [APTActionRequest(_A.DISCOVER_VLAN, src)]
+
+    def _opc_compromise(self, view: APTView) -> list[APTActionRequest]:
+        know, topo, state = view.knowledge, view.topology, view.state
+        controlled = view.controlled_in_level(2)
+        if not controlled:
+            return []
+        opc = topo.server(ServerRole.OPC)
+        if opc is None:
+            return []
+        oid = opc.node_id
+        if oid not in know.discovered_servers:
+            src = self._pick(controlled)
+            return [APTActionRequest(_A.DISCOVER_SERVER, src, target_vlan=L2_OPS)]
+        if not state.is_compromised(oid):
+            req = self._compromise_request(view, controlled, [oid])
+            return [req] if req is not None else []
+        return self._ladder_requests(view, [oid])
+
+    def _hmi_capture(self, view: APTView) -> list[APTActionRequest]:
+        know, topo, state = view.knowledge, view.topology, view.state
+        controlled = view.controlled_nodes()
+        if not controlled:
+            return []
+        if L1_OPS not in know.scanned_vlans:
+            src = self._pick(controlled)
+            return [APTActionRequest(_A.SCAN_VLAN, src, target_vlan=L1_OPS)]
+        hmis = [n.node_id for n in topo.nodes if n.ntype is NodeType.HMI]
+        req = self._compromise_request(view, controlled, hmis)
+        return [req] if req is not None else []
+
+    def _lateral_movement_l1(self, view: APTView) -> list[APTActionRequest]:
+        requests = []
+        know, topo, state = view.knowledge, view.topology, view.state
+        controlled_hmis = self._controlled_hmis(view)
+        if not controlled_hmis:
+            return self._hmi_capture(view)
+        if L1_OPS not in know.scanned_vlans:
+            src = self._pick(controlled_hmis)
+            return [APTActionRequest(_A.SCAN_VLAN, src, target_vlan=L1_OPS)]
+        hmis = [n.node_id for n in topo.nodes if n.ntype is NodeType.HMI]
+        # prefer moving laterally from inside level 1 (fewer alerts)
+        req = self._compromise_request(view, controlled_hmis, hmis)
+        if req is not None:
+            requests.append(req)
+        requests.extend(self._ladder_requests(view, controlled_hmis))
+        return requests
+
+    def _vector_sources(self, view: APTView) -> list[int]:
+        """Nodes from which PLC commands are sent, per the access vector."""
+        state, topo = view.state, view.topology
+        if self.vector == "opc":
+            opc = topo.server(ServerRole.OPC)
+            if opc is not None and state.has_condition(opc.node_id, Condition.ADMIN) \
+                    and not state.is_quarantined(opc.node_id):
+                return [opc.node_id]
+            return []
+        return [
+            n for n in self._controlled_hmis(view)
+            if state.has_condition(n, Condition.ADMIN)
+        ]
+
+    def _plc_discovery(self, view: APTView) -> list[APTActionRequest]:
+        sources = self._vector_sources(view)
+        if not sources:
+            # access vector lost its admin foothold; rebuild it
+            if self.vector == "opc":
+                return self._opc_compromise(view)
+            return self._ladder_requests(view, self._controlled_hmis(view))
+        src = self._pick(sources)
+        return [APTActionRequest(_A.DISCOVER_PLC, src, target_vlan=L1_OPS)]
+
+    def _attack_requests(self, view: APTView, atype, plc_filter):
+        sources = self._vector_sources(view)
+        if not sources:
+            return []
+        state = view.state
+        plcs = sorted(view.knowledge.discovered_plcs)
+        out = []
+        for plc_id in plcs:
+            if state.plc_destroyed[plc_id]:
+                continue
+            if plc_filter(plc_id):
+                src = self._pick(sources)
+                out.append(APTActionRequest(atype, src, target_plc=plc_id))
+        return out
+
+    def _firmware_compromise(self, view: APTView) -> list[APTActionRequest]:
+        state = view.state
+        return self._attack_requests(
+            view, _A.FLASH_FIRMWARE, lambda p: not state.plc_firmware[p]
+        )
+
+    def _execute(self, view: APTView) -> list[APTActionRequest]:
+        know, state = view.knowledge, view.state
+        if not know.historian_analyzed:
+            return []  # process knowledge still being exfiltrated
+        if self.objective == "destroy":
+            return self._attack_requests(
+                view, _A.DESTROY_PLC,
+                lambda p: state.plc_firmware[p] and not state.plc_destroyed[p],
+            )
+        return self._attack_requests(
+            view, _A.DISRUPT_PLC, lambda p: not state.plc_disrupted[p]
+        )

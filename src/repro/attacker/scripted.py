@@ -1,0 +1,114 @@
+"""Scripted attackers: deterministic action schedules for testing.
+
+The FSM attacker is stochastic and adaptive -- ideal for evaluation,
+awkward for regression tests and defender debugging. A
+:class:`ScriptedAttacker` replays an explicit schedule of action
+requests at fixed hours, so a test can stage *exactly* one compromise
+at hour 10 and assert the defender's response. :func:`beachhead_rush`
+builds the common canned scenario programmatically.
+
+Scripted entries are filtered by the same labor budget and in-flight
+deduplication as any attacker policy; entries whose hour has passed
+while labor was exhausted fire at the next opportunity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.apt_actions import APTActionRequest, APTActionType, APTView
+
+__all__ = ["ScriptedStep", "ScriptedAttacker", "beachhead_rush"]
+
+_A = APTActionType
+
+
+@dataclass(frozen=True)
+class ScriptedStep:
+    """Launch ``request`` at (or after) hour ``t``."""
+
+    t: int
+    request: APTActionRequest
+
+
+class ScriptedAttacker:
+    """Replays a fixed schedule of APT action requests.
+
+    The script is sorted by hour at construction; each entry fires once,
+    the first time the clock has reached it and labor is available.
+    ``phase_name`` reports progress through the script, mirroring the
+    FSM attacker's telemetry field.
+    """
+
+    def __init__(self, script: list[ScriptedStep]):
+        self.script = sorted(script, key=lambda step: step.t)
+        self._next = 0
+
+    @property
+    def phase_name(self) -> str:
+        if self._next >= len(self.script):
+            return "script-done"
+        return f"script-{self._next}/{len(self.script)}"
+
+    @property
+    def remaining(self) -> int:
+        return len(self.script) - self._next
+
+    def reset(self, rng) -> None:
+        self._next = 0
+
+    def act(self, view: APTView) -> list[APTActionRequest]:
+        requests: list[APTActionRequest] = []
+        in_flight = view.in_flight_keys()
+        while (
+            self._next < len(self.script)
+            and self.script[self._next].t <= view.t
+            and len(requests) < view.labor_available
+        ):
+            request = self.script[self._next].request
+            if request.target_key() in in_flight:
+                break  # wait for the colliding action to finish
+            requests.append(request)
+            self._next += 1
+        return requests
+
+
+def beachhead_rush(
+    beachhead: int,
+    target_plcs: list[int],
+    source_for_attack: int | None = None,
+    start: int = 1,
+    spacing: int = 4,
+    disrupt: bool = True,
+) -> list[ScriptedStep]:
+    """A minimal scripted campaign: harden the beachhead, then hit PLCs.
+
+    The beachhead starts compromised (the engine's initial intrusion),
+    so the script escalates privileges there and then launches one
+    attack per PLC. With ``disrupt`` False, firmware is flashed and the
+    PLCs destroyed instead. ``spacing`` hours separate launches so a
+    labor budget of 1 can keep up.
+    """
+    source = beachhead if source_for_attack is None else source_for_attack
+    script = [
+        ScriptedStep(start, APTActionRequest(_A.ESCALATE, beachhead,
+                                             target_node=beachhead)),
+    ]
+    t = start + spacing
+    for plc_id in target_plcs:
+        if disrupt:
+            script.append(ScriptedStep(
+                t, APTActionRequest(_A.DISRUPT_PLC, source, target_plc=plc_id)
+            ))
+            t += spacing
+        else:
+            script.append(ScriptedStep(
+                t, APTActionRequest(_A.FLASH_FIRMWARE, source,
+                                    target_plc=plc_id)
+            ))
+            script.append(ScriptedStep(
+                t + spacing,
+                APTActionRequest(_A.DESTROY_PLC, source, target_plc=plc_id),
+            ))
+            t += 2 * spacing
+    return script

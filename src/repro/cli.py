@@ -1,0 +1,301 @@
+"""Command-line interface: ``repro <command>``.
+
+Commands cover the full reproduction workflow without writing Python:
+
+* ``repro topology`` -- inspect a network preset;
+* ``repro simulate`` -- run one policy and print the paper's metrics;
+* ``repro evaluate`` -- the Table 2 grid over all baseline policies;
+* ``repro fig6`` / ``repro fig10`` -- the perturbation experiments;
+* ``repro fit-dbn`` -- learn DBN tables from random-policy episodes;
+* ``repro trace`` -- record an episode trace to JSONL;
+* ``repro config`` -- dump a preset's JSON (edit, then pass anywhere
+  via ``--config``).
+
+Every command accepts ``--preset {paper,small,tiny}`` or ``--config
+file.json``, ``--episodes``, ``--seed``, and ``--max-steps``, so quick
+CPU-budget runs and full paper-scale runs use the same entry points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.config import SimConfig, paper_network, small_network, tiny_network
+from repro.config_io import config_from_dict, config_to_dict
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = {
+    "paper": paper_network,
+    "small": small_network,
+    "tiny": tiny_network,
+}
+
+
+def _resolve_config(args) -> SimConfig:
+    if getattr(args, "config", None):
+        with open(args.config) as handle:
+            config = config_from_dict(json.load(handle))
+    else:
+        config = _PRESETS[args.preset]()
+    if getattr(args, "max_steps", None):
+        config = config.with_tmax(min(config.tmax, args.max_steps))
+    return config
+
+
+def _make_policy(name: str, config: SimConfig, seed: int,
+                 dbn_path: str | None, qnet_path: str | None):
+    from repro.defenders import (
+        DBNExpertPolicy,
+        NoopPolicy,
+        PlaybookPolicy,
+        SemiRandomPolicy,
+    )
+
+    if name == "noop":
+        return NoopPolicy()
+    if name == "playbook":
+        return PlaybookPolicy()
+    if name == "random":
+        return SemiRandomPolicy(seed=seed)
+    if name == "expert":
+        return DBNExpertPolicy(_load_tables(config, dbn_path, seed), seed=seed)
+    if name == "acso":
+        from repro.defenders.acso import ACSOPolicy
+        from repro.rl import AttentionQNetwork, QNetConfig
+
+        tables = _load_tables(config, dbn_path, seed)
+        qnet = AttentionQNetwork(QNetConfig(), seed=seed)
+        if qnet_path:
+            from repro.nn import load_state
+
+            load_state(qnet, qnet_path)
+        return ACSOPolicy(qnet, tables)
+    raise SystemExit(f"unknown policy {name!r}")
+
+
+def _load_tables(config: SimConfig, path: str | None, seed: int):
+    from repro.dbn import DBNTables, fit_dbn
+
+    if path:
+        return DBNTables.load(path)
+    import repro
+    from repro.defenders import SemiRandomPolicy
+
+    print("no --dbn file given; fitting tables on 4 random episodes...",
+          file=sys.stderr)
+    return fit_dbn(
+        lambda: repro.make_env(config),
+        lambda: SemiRandomPolicy(rate=5.0),
+        episodes=4,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# command implementations
+# ----------------------------------------------------------------------
+def cmd_topology(args) -> int:
+    from repro.net.topology import build_topology
+
+    config = _resolve_config(args)
+    topology = build_topology(config.topology)
+    print(f"nodes: {topology.n_nodes}  plcs: {topology.n_plcs}  "
+          f"devices: {len(topology.devices)}  vlans: {len(topology.vlans)}")
+    for node in topology.nodes:
+        print(f"  [{node.node_id:3d}] {node.name:<22} level={node.level} "
+              f"vlan={node.home_vlan} ip={node.ip}")
+    for device in topology.devices:
+        print(f"  ({device.device_id:3d}) {device.name:<22} "
+              f"{device.dtype.value} level={device.level}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    import repro
+    from repro.eval import evaluate_policy, format_aggregate_table
+
+    config = _resolve_config(args)
+    policy = _make_policy(args.policy, config, args.seed, args.dbn, args.qnet)
+    env = repro.make_env(config, seed=args.seed)
+    aggregate, episodes = evaluate_policy(
+        env, policy, args.episodes, seed=args.seed, max_steps=args.max_steps
+    )
+    print(format_aggregate_table({args.policy: aggregate},
+                                 title=f"{args.episodes} episode(s)"))
+    if args.verbose:
+        for metrics in episodes:
+            print(f"  seed={metrics.seed} return="
+                  f"{metrics.discounted_return:.1f} "
+                  f"plcs_offline={metrics.final_plcs_offline} "
+                  f"steps={metrics.steps}")
+    return 0
+
+
+def _baseline_policies(config: SimConfig, args) -> dict:
+    from repro.defenders import (
+        DBNExpertPolicy,
+        PlaybookPolicy,
+        SemiRandomPolicy,
+    )
+
+    tables = _load_tables(config, args.dbn, args.seed)
+    return {
+        "DBN Expert": DBNExpertPolicy(tables, seed=args.seed),
+        "Playbook": PlaybookPolicy(),
+        "Semi Random": SemiRandomPolicy(seed=args.seed),
+    }
+
+
+def cmd_evaluate(args) -> int:
+    from repro.eval import format_aggregate_table, run_table2
+
+    config = _resolve_config(args)
+    results = run_table2(config, _baseline_policies(config, args),
+                         episodes=args.episodes, seed=args.seed,
+                         max_steps=args.max_steps)
+    print(format_aggregate_table(results, title="Table 2 (baselines)"))
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    from repro.eval import format_sweep_table, run_fig6
+
+    config = _resolve_config(args)
+    sweep = run_fig6(config, _baseline_policies(config, args),
+                     episodes=args.episodes, seed=args.seed,
+                     max_steps=args.max_steps)
+    for metric in ("final_plcs_offline", "avg_nodes_compromised"):
+        print(format_sweep_table(sweep, metric, "cleanup eff.",
+                                 title=f"Fig 6 -- {metric}"))
+        print()
+    return 0
+
+
+def cmd_fig10(args) -> int:
+    from repro.eval import format_aggregate_table, run_fig10
+
+    config = _resolve_config(args)
+    results = run_fig10(config, _baseline_policies(config, args),
+                        episodes=args.episodes, seed=args.seed,
+                        max_steps=args.max_steps)
+    for apt_name, table in results.items():
+        print(format_aggregate_table(table, title=f"Fig 10 -- {apt_name}"))
+        print()
+    return 0
+
+
+def cmd_fit_dbn(args) -> int:
+    import repro
+    from repro.dbn import fit_dbn
+    from repro.defenders import SemiRandomPolicy
+
+    config = _resolve_config(args)
+    tables = fit_dbn(
+        lambda: repro.make_env(config),
+        lambda: SemiRandomPolicy(rate=5.0, seed=args.seed),
+        episodes=args.episodes,
+        seed=args.seed,
+        max_steps=args.max_steps,
+    )
+    tables.save(args.out)
+    print(f"wrote DBN tables to {args.out}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import repro
+    from repro.sim.trace import record_episode
+
+    config = _resolve_config(args)
+    policy = _make_policy(args.policy, config, args.seed, args.dbn, args.qnet)
+    env = repro.make_env(config, seed=args.seed)
+    trace = record_episode(env, policy, seed=args.seed,
+                           max_steps=args.max_steps)
+    trace.to_jsonl(args.out)
+    print(f"wrote {len(trace)}-step trace ({trace.total_alerts} alerts, "
+          f"total reward {trace.total_reward:.1f}) to {args.out}")
+    return 0
+
+
+def cmd_config(args) -> int:
+    config = _resolve_config(args)
+    print(json.dumps(config_to_dict(config), indent=2, sort_keys=True))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def _add_common(parser: argparse.ArgumentParser,
+                episodes_default: int = 2) -> None:
+    parser.add_argument("--preset", choices=sorted(_PRESETS), default="small",
+                        help="network preset (default: small)")
+    parser.add_argument("--config", help="JSON config file (overrides preset)")
+    parser.add_argument("--episodes", type=int, default=episodes_default)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-steps", type=int, default=None,
+                        help="cap episode length (default: config tmax)")
+    parser.add_argument("--dbn", default=None,
+                        help="DBN tables .npz (fit on the fly if omitted)")
+    parser.add_argument("--qnet", default=None,
+                        help="trained Q-network .npz for the acso policy")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Autonomous Attack Mitigation for "
+                    "Industrial Control Systems' (DSN 2022).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("topology", help="print a network inventory")
+    _add_common(p)
+    p.set_defaults(func=cmd_topology)
+
+    p = sub.add_parser("simulate", help="run one defender policy")
+    _add_common(p)
+    p.add_argument("--policy", default="playbook",
+                   choices=("noop", "playbook", "random", "expert", "acso"))
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("evaluate", help="Table 2 over baseline policies")
+    _add_common(p)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("fig6", help="cleanup-effectiveness sweep")
+    _add_common(p)
+    p.set_defaults(func=cmd_fig6)
+
+    p = sub.add_parser("fig10", help="APT1 vs APT2 robustness")
+    _add_common(p)
+    p.set_defaults(func=cmd_fig10)
+
+    p = sub.add_parser("fit-dbn", help="fit DBN tables from random episodes")
+    _add_common(p, episodes_default=8)
+    p.add_argument("--out", default="dbn_tables.npz")
+    p.set_defaults(func=cmd_fit_dbn)
+
+    p = sub.add_parser("trace", help="record an episode trace to JSONL")
+    _add_common(p, episodes_default=1)
+    p.add_argument("--policy", default="playbook",
+                   choices=("noop", "playbook", "random", "expert", "acso"))
+    p.add_argument("--out", default="episode_trace.jsonl")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("config", help="print a preset as editable JSON")
+    _add_common(p)
+    p.set_defaults(func=cmd_config)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""Configuration dataclasses for the INASIM reproduction.
+
+All simulator, attacker, IDS, and reward parameters are centralized here.
+Defaults follow the paper (Section 3, Tables 3-5, and the appendix); the
+preset constructors build the three network sizes used in the paper:
+
+* :func:`paper_network` -- 25 L2 workstations, 3 servers, 5 HMIs, 50 PLCs
+  (Fig 2), the evaluation network.
+* :func:`small_network` -- 10 L2 workstations, 3 servers, 3 HMIs, 30 PLCs,
+  the grid-search / training network from Section 4.2.
+* :func:`tiny_network` -- a minimal network for fast unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "TopologyConfig",
+    "IDSConfig",
+    "APTConfig",
+    "RewardConfig",
+    "SimConfig",
+    "paper_network",
+    "small_network",
+    "tiny_network",
+]
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Shape of the simulated PERA level 1/2 network (paper Fig 2)."""
+
+    l2_workstations: int = 25
+    #: server roles instantiated on level 2 (order fixes node ids)
+    l2_servers: tuple[str, ...] = ("opc", "historian", "domain_controller")
+    l1_hmis: int = 5
+    plcs: int = 50
+
+    @property
+    def n_hosts(self) -> int:
+        """Workstation-class nodes (L2 workstations + L1 HMIs)."""
+        return self.l2_workstations + self.l1_hmis
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.l2_servers)
+
+    @property
+    def n_nodes(self) -> int:
+        """All computing nodes (excludes PLCs)."""
+        return self.n_hosts + self.n_servers
+
+
+@dataclass(frozen=True)
+class IDSConfig:
+    """Alert-generation model (Section 3.1 and appendix IDS module)."""
+
+    #: hourly probability of a passive alert on a compromised node
+    passive_alert_rate: float = 0.1
+    #: hourly false-alert probability per PERA level, for severity 1, 2, 3
+    false_alert_rates: tuple[float, float, float] = (5e-2, 5e-3, 2.5e-3)
+    #: device factors multiplying a message action's base alert rate
+    switch_factor: float = 1.0
+    router_factor: float = 2.0
+    firewall_factor: float = 5.0
+
+
+@dataclass(frozen=True)
+class APTConfig:
+    """Attacker profile (Section 3.2).
+
+    The two qualitative parameters select one of the four FSM
+    configurations of Fig 8; the quantitative parameters set the
+    thresholds and labor budget. ``cleanup_effectiveness`` is the Fig 6
+    perturbation knob: detection probabilities on a node with the
+    *Malware Cleaned* condition are multiplied by
+    ``(1 - cleanup_effectiveness)``.
+    """
+
+    objective: str = "destroy"  # "disrupt" | "destroy"
+    vector: str = "opc"  # "opc" | "hmi"
+    lateral_threshold: int = 3
+    hmi_threshold: int = 3
+    plc_threshold_destroy: int = 15
+    plc_threshold_disrupt: int = 25
+    labor_rate: int = 2
+    cleanup_effectiveness: float = 0.5
+    #: number of PLCs discovered per completed Discover-PLC scan
+    plcs_per_discovery: int = 5
+    #: mean hours for the APT to re-establish a beachhead (new initial
+    #: intrusion, e.g. phishing) after losing all network access
+    reintrusion_hours: int = 120
+    #: divide APT action durations by this factor (training speed-up)
+    time_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("disrupt", "destroy"):
+            raise ValueError(f"unknown objective {self.objective!r}")
+        if self.vector not in ("opc", "hmi"):
+            raise ValueError(f"unknown vector {self.vector!r}")
+        if not 0.0 <= self.cleanup_effectiveness <= 1.0:
+            raise ValueError("cleanup_effectiveness must be in [0, 1]")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+
+    @property
+    def plc_threshold(self) -> int:
+        if self.objective == "destroy":
+            return self.plc_threshold_destroy
+        return self.plc_threshold_disrupt
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Reward function parameters (eqs 1-4)."""
+
+    lambda_it: float = 0.1
+    disrupted_penalty: float = 0.05
+    destroyed_penalty: float = 0.1
+    gamma: float = 0.9995
+
+    @property
+    def terminal_reward(self) -> float:
+        """1 / (1 - gamma), granted on reaching the episode time limit."""
+        return 1.0 / (1.0 - self.gamma)
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Top-level simulation configuration."""
+
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    ids: IDSConfig = field(default_factory=IDSConfig)
+    apt: APTConfig = field(default_factory=APTConfig)
+    reward: RewardConfig = field(default_factory=RewardConfig)
+    #: episode horizon in hours (paper: 5,000 ~ six months)
+    tmax: int = 5000
+
+    def with_apt(self, apt: APTConfig) -> "SimConfig":
+        return replace(self, apt=apt)
+
+    def with_tmax(self, tmax: int) -> "SimConfig":
+        return replace(self, tmax=tmax)
+
+
+def paper_network(**overrides) -> SimConfig:
+    """The full evaluation network from Fig 2."""
+    return SimConfig(topology=TopologyConfig(), **overrides)
+
+
+def small_network(**overrides) -> SimConfig:
+    """The grid-search network from Section 4.2 (10 hosts, 3 HMIs, 30 PLCs)."""
+    topo = TopologyConfig(l2_workstations=10, l1_hmis=3, plcs=30)
+    return SimConfig(topology=topo, **overrides)
+
+
+def tiny_network(tmax: int = 300, **overrides) -> SimConfig:
+    """A minimal network for unit tests (fast attacker, short horizon)."""
+    topo = TopologyConfig(
+        l2_workstations=3, l2_servers=("opc", "historian"), l1_hmis=1, plcs=4
+    )
+    apt = APTConfig(
+        lateral_threshold=2,
+        hmi_threshold=1,
+        plc_threshold_destroy=2,
+        plc_threshold_disrupt=3,
+        time_scale=10.0,
+    )
+    return SimConfig(topology=topo, apt=apt, tmax=tmax, **overrides)

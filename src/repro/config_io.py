@@ -1,0 +1,69 @@
+"""JSON (de)serialization for the configuration tree.
+
+Experiments are defined by a :class:`~repro.config.SimConfig`; saving
+it next to results makes every run reproducible from its artifacts
+alone. Tuples inside the dataclasses (server roles, false-alert rates)
+round-trip through JSON lists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.config import (
+    APTConfig,
+    IDSConfig,
+    RewardConfig,
+    SimConfig,
+    TopologyConfig,
+)
+
+__all__ = ["config_to_dict", "config_from_dict", "save_config", "load_config"]
+
+
+def config_to_dict(config: SimConfig) -> dict:
+    """SimConfig -> plain nested dict (JSON-compatible types only)."""
+    return dataclasses.asdict(config)
+
+
+def _build(cls, data: dict, tuple_fields: tuple[str, ...] = ()):
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} fields: {sorted(unknown)}"
+        )
+    kwargs = dict(data)
+    for name in tuple_fields:
+        if name in kwargs and kwargs[name] is not None:
+            kwargs[name] = tuple(kwargs[name])
+    return cls(**kwargs)
+
+
+def config_from_dict(data: dict) -> SimConfig:
+    """Plain nested dict -> SimConfig, validating field names."""
+    known = {"topology", "ids", "apt", "reward", "tmax"}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown SimConfig fields: {sorted(unknown)}")
+    return SimConfig(
+        topology=_build(TopologyConfig, data.get("topology", {}),
+                        tuple_fields=("l2_servers",)),
+        ids=_build(IDSConfig, data.get("ids", {}),
+                   tuple_fields=("false_alert_rates",)),
+        apt=_build(APTConfig, data.get("apt", {})),
+        reward=_build(RewardConfig, data.get("reward", {})),
+        tmax=data.get("tmax", SimConfig().tmax),
+    )
+
+
+def save_config(config: SimConfig, path) -> None:
+    with open(path, "w") as handle:
+        json.dump(config_to_dict(config), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_config(path) -> SimConfig:
+    with open(path) as handle:
+        return config_from_dict(json.load(handle))

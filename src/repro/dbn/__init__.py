@@ -1,0 +1,37 @@
+"""Dynamic Bayes network filter (paper Section 4.3).
+
+The DBN turns raw IDS alerts and scan results into a per-node belief
+over canonical compromise states. Its conditional probability tables
+are *learned from data* by running episodes with a random defender and
+counting transitions, exactly as in the paper.
+"""
+
+from repro.dbn.states import (
+    ActionCategory,
+    CanonicalState,
+    N_STATES,
+    action_category,
+    canonical_states,
+    mu_bucket,
+    N_MU_BUCKETS,
+)
+from repro.dbn.filter import DBNFilter, DBNTables
+from repro.dbn.learning import EpisodeLog, collect_episode, fit_tables, fit_dbn
+from repro.dbn.validation import validate_dbn
+
+__all__ = [
+    "ActionCategory",
+    "CanonicalState",
+    "N_STATES",
+    "N_MU_BUCKETS",
+    "action_category",
+    "canonical_states",
+    "mu_bucket",
+    "DBNFilter",
+    "DBNTables",
+    "EpisodeLog",
+    "collect_episode",
+    "fit_tables",
+    "fit_dbn",
+    "validate_dbn",
+]

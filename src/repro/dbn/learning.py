@@ -1,0 +1,133 @@
+"""Learning the DBN's conditional probability tables from data.
+
+The paper runs 1,000 episodes with a random defender, records states,
+actions, and observations, and builds probability tables by counting.
+:func:`collect_episode` logs one episode; :func:`fit_tables` turns logs
+into Laplace-smoothed tables; :func:`fit_dbn` is the one-call helper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dbn.filter import DBNTables
+from repro.dbn.states import (
+    N_ACTION_CATEGORIES,
+    N_MU_BUCKETS,
+    N_SCAN_TYPES,
+    N_STATES,
+    SCAN_TYPE_INDEX,
+    action_category,
+    ActionCategory,
+    canonical_states,
+    mu_bucket,
+)
+
+__all__ = ["EpisodeLog", "collect_episode", "fit_tables", "fit_dbn"]
+
+
+@dataclass
+class EpisodeLog:
+    """Ground-truth trace of one episode for table fitting."""
+
+    #: canonical state per node per step, shape (T+1, N)
+    states: np.ndarray
+    #: defender action category completing on each node, shape (T, N)
+    action_cats: np.ndarray
+    #: max alert severity per node per step, shape (T, N)
+    alert_levels: np.ndarray
+    #: completed scans: (t, node, scan_type_index, detected)
+    scans: list[tuple[int, int, int, bool]] = field(default_factory=list)
+
+
+def collect_episode(env, policy, seed: int | None = None,
+                    max_steps: int | None = None) -> EpisodeLog:
+    """Run one episode and log everything the table fitter needs.
+
+    ``env`` must have been built with ``record_truth=True`` so the
+    ground-truth condition matrix is present in the step info.
+    """
+    obs = env.reset(seed=seed)
+    policy.reset(env)
+    n = env.topology.n_nodes
+    horizon = env.config.tmax if max_steps is None else min(max_steps, env.config.tmax)
+
+    states = [canonical_states(env.sim.state.conditions)]
+    action_cats, alert_levels = [], []
+    scans: list[tuple[int, int, int, bool]] = []
+
+    done = False
+    t = 0
+    while not done and t < horizon:
+        actions = policy.act(obs)
+        obs, _, done, info = env.step(actions)
+        t = info["t"]
+        states.append(canonical_states(info["conditions"]))
+
+        cats = np.zeros(n, dtype=np.int64)
+        for action in obs.completed_actions:
+            cat = action_category(action.atype)
+            if cat is not ActionCategory.NONE and action.target is not None \
+                    and action.target < n:
+                cats[action.target] = int(cat)
+        action_cats.append(cats)
+        alert_levels.append(obs.alert_severity_per_node(n))
+        for result in obs.scan_results:
+            idx = SCAN_TYPE_INDEX.get(result.action_type)
+            if idx is not None:
+                scans.append((t, result.node_id, idx, result.detected))
+
+    return EpisodeLog(
+        states=np.array(states),
+        action_cats=np.array(action_cats),
+        alert_levels=np.array(alert_levels),
+        scans=scans,
+    )
+
+
+def fit_tables(logs: list[EpisodeLog], smoothing: float = 0.5) -> DBNTables:
+    """Count-based maximum likelihood tables with Laplace smoothing."""
+    trans = np.full(
+        (N_MU_BUCKETS, N_ACTION_CATEGORIES, N_STATES, N_STATES), smoothing
+    )
+    # bias the prior toward self-transitions so sparsely observed
+    # (mu, action) cells behave sensibly instead of diffusing mass
+    trans += 10.0 * smoothing * np.eye(N_STATES)
+    alert = np.full((N_STATES, 4), smoothing)
+    scan = np.full((N_SCAN_TYPES, N_STATES, 2), smoothing)
+
+    for log in logs:
+        steps = log.action_cats.shape[0]
+        for t in range(steps):
+            s_prev = log.states[t]
+            s_next = log.states[t + 1]
+            mu = mu_bucket(int((s_prev >= 2).sum()))
+            cats = log.action_cats[t]
+            np.add.at(trans, (mu, cats, s_prev, s_next), 1.0)
+            np.add.at(alert, (s_next, log.alert_levels[t]), 1.0)
+        for t, node, scan_idx, detected in log.scans:
+            state = log.states[t][node]
+            scan[scan_idx, state, int(detected)] += 1.0
+
+    trans /= trans.sum(axis=-1, keepdims=True)
+    alert /= alert.sum(axis=-1, keepdims=True)
+    scan /= scan.sum(axis=-1, keepdims=True)
+    return DBNTables(trans, alert, scan)
+
+
+def fit_dbn(env_factory, policy_factory, episodes: int,
+            seed: int = 0, max_steps: int | None = None,
+            smoothing: float = 0.5) -> DBNTables:
+    """Generate data with a (random) defender policy and fit the DBN.
+
+    ``env_factory()`` and ``policy_factory()`` build fresh instances;
+    episodes are seeded ``seed, seed+1, ...`` for reproducibility.
+    """
+    logs = []
+    for i in range(episodes):
+        env = env_factory()
+        policy = policy_factory()
+        logs.append(collect_episode(env, policy, seed=seed + i, max_steps=max_steps))
+    return fit_tables(logs, smoothing=smoothing)

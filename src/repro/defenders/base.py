@@ -1,0 +1,37 @@
+"""Defender policy interface.
+
+A policy is reset with the environment (so it can capture the topology
+and build per-node bookkeeping) and then maps each observation to a
+list of :class:`DefenderAction` to launch this hour. Baseline policies
+may launch several concurrent actions; the DQN-based ACSO launches at
+most one, matching the argmax policy of Section 4.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.sim.observations import Observation
+from repro.sim.orchestrator import DefenderAction
+
+__all__ = ["DefenderPolicy", "NoopPolicy"]
+
+
+class DefenderPolicy(abc.ABC):
+    name: str = "policy"
+
+    def reset(self, env) -> None:
+        """Called once per episode with the freshly reset environment."""
+
+    @abc.abstractmethod
+    def act(self, obs: Observation) -> list[DefenderAction]:
+        """Return the actions to launch this step (may be empty)."""
+
+
+class NoopPolicy(DefenderPolicy):
+    """Takes no actions; the undefended upper bound on attack impact."""
+
+    name = "noop"
+
+    def act(self, obs: Observation) -> list[DefenderAction]:
+        return []

@@ -1,0 +1,58 @@
+"""Defense in depth: a learned policy behind a deterministic guard.
+
+The DQN-based ACSO launches at most one action per hour (the argmax
+decision model of Section 4), so while it is busy investigating a
+workstation, an observably disrupted PLC waits. No operator would
+deploy it that way: observable process damage has a fixed, obviously
+correct response (Table 4's PLC reset/replace), and automation should
+apply it unconditionally. :class:`GuardedPolicy` wraps any inner
+defender with that guard -- the inner policy handles the ambiguous
+IT-side decisions, the guard handles the unambiguous OT-side repairs.
+
+The wrapper preserves the inner policy's interface, so a guarded ACSO
+drops into every experiment driver, robustness matrix, and trace
+recorder unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenders.base import DefenderPolicy
+from repro.sim.observations import Observation
+from repro.sim.orchestrator import DefenderAction, DefenderActionType
+
+__all__ = ["GuardedPolicy"]
+
+_T = DefenderActionType
+
+
+class GuardedPolicy(DefenderPolicy):
+    """Inner policy plus unconditional PLC-repair actions.
+
+    Repairs are emitted first (they are never wrong) and de-duplicated
+    against the inner policy's choices; the inner policy's actions pass
+    through untouched otherwise.
+    """
+
+    def __init__(self, inner: DefenderPolicy):
+        self.inner = inner
+        self.name = f"guarded-{inner.name}"
+
+    def reset(self, env) -> None:
+        self.inner.reset(env)
+
+    def act(self, obs: Observation) -> list[DefenderAction]:
+        repairs: list[DefenderAction] = []
+        for plc_id in np.flatnonzero(obs.plc_destroyed):
+            if not obs.plc_busy[plc_id]:
+                repairs.append(DefenderAction(_T.REPLACE_PLC, int(plc_id)))
+        for plc_id in np.flatnonzero(obs.plc_disrupted & ~obs.plc_destroyed):
+            if not obs.plc_busy[plc_id]:
+                repairs.append(DefenderAction(_T.RESET_PLC, int(plc_id)))
+        inner_actions = self.inner.act(obs)
+        seen = {(a.atype, a.target) for a in repairs}
+        merged = repairs + [
+            a for a in inner_actions if (a.atype, a.target) not in seen
+        ]
+        return merged

@@ -1,0 +1,98 @@
+"""Scheduled-sweep defender: periodic maintenance scanning.
+
+Real ICS operators who distrust alert feeds fall back to scheduled
+hygiene: scan a batch of machines every shift, escalate whatever the
+scans find. This baseline models that posture. Because it never reads
+alerts, it is *immune to the APT's stealth* (Fig 6's cleanup-
+effectiveness axis only suppresses alert and detection probabilities
+on cleaned nodes -- sweeps still fire, just detect less often) and
+*blind to everything between sweeps* -- the opposite trade to the
+alert-triggered playbook, which is why the pair brackets the
+reactive-defense design space.
+
+Escalation is per node: the first positive scan earns a reboot,
+a repeat within the memory window earns a password reset, a third a
+re-image (the Table 4 ladder, walked one rung per recurrence).
+Observed PLC damage is always repaired immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenders.base import DefenderPolicy
+from repro.sim.observations import Observation
+from repro.sim.orchestrator import DefenderAction, DefenderActionType
+
+__all__ = ["ScheduledSweepPolicy"]
+
+_T = DefenderActionType
+_LADDER = (_T.REBOOT, _T.RESET_PASSWORD, _T.REIMAGE)
+
+
+class ScheduledSweepPolicy(DefenderPolicy):
+    name = "scheduled-sweep"
+
+    def __init__(
+        self,
+        period: int = 24,
+        batch: int = 4,
+        scan: DefenderActionType = _T.SIMPLE_SCAN,
+        escalation_memory: int = 168,
+    ):
+        """``batch`` nodes are scanned every ``period`` hours, round-
+        robin over the whole network; a node's escalation rung decays
+        after ``escalation_memory`` hours without a detection."""
+        if period < 1 or batch < 1:
+            raise ValueError("period and batch must be >= 1")
+        if scan not in (_T.SIMPLE_SCAN, _T.ADVANCED_SCAN, _T.HUMAN_ANALYSIS):
+            raise ValueError(f"{scan} is not an investigation action")
+        self.period = period
+        self.batch = batch
+        self.scan = scan
+        self.escalation_memory = escalation_memory
+        self._cursor = 0
+        self._n_nodes = 0
+        #: per-node (rung, last detection time)
+        self._rung: np.ndarray = np.zeros(0, np.int64)
+        self._last_detection: np.ndarray = np.zeros(0, np.int64)
+
+    def reset(self, env) -> None:
+        self._cursor = 0
+        self._n_nodes = env.topology.n_nodes
+        self._rung = np.zeros(self._n_nodes, np.int64)
+        self._last_detection = np.full(self._n_nodes, -10**9, np.int64)
+
+    # ------------------------------------------------------------------
+    def act(self, obs: Observation) -> list[DefenderAction]:
+        actions: list[DefenderAction] = []
+
+        # respond to completed scans: walk the per-node ladder
+        for result in obs.scan_results:
+            if not result.detected:
+                continue
+            node_id = result.node_id
+            if obs.t - self._last_detection[node_id] > self.escalation_memory:
+                self._rung[node_id] = 0
+            self._last_detection[node_id] = obs.t
+            rung = min(int(self._rung[node_id]), len(_LADDER) - 1)
+            self._rung[node_id] = rung + 1
+            if not obs.node_busy[node_id]:
+                actions.append(DefenderAction(_LADDER[rung], node_id))
+
+        # repair observable PLC damage immediately
+        for plc_id in np.flatnonzero(obs.plc_destroyed):
+            if not obs.plc_busy[plc_id]:
+                actions.append(DefenderAction(_T.REPLACE_PLC, int(plc_id)))
+        for plc_id in np.flatnonzero(obs.plc_disrupted & ~obs.plc_destroyed):
+            if not obs.plc_busy[plc_id]:
+                actions.append(DefenderAction(_T.RESET_PLC, int(plc_id)))
+
+        # the scheduled sweep itself
+        if obs.t % self.period == 0 and self._n_nodes:
+            for _ in range(min(self.batch, self._n_nodes)):
+                node_id = self._cursor
+                self._cursor = (self._cursor + 1) % self._n_nodes
+                if not obs.node_busy[node_id]:
+                    actions.append(DefenderAction(self.scan, node_id))
+        return actions

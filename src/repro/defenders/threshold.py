@@ -1,0 +1,103 @@
+"""Deterministic belief-threshold defender.
+
+A transparent, tunable baseline between the playbook (no beliefs) and
+the DBN expert (stochastic): act on any node whose DBN compromise
+probability crosses a threshold, choosing the *lightest mitigation the
+belief says will work* -- the argmax counterpart of the expert's
+sampled choice. Because both thresholds are constructor parameters,
+this policy is the natural subject for cost-vs-coverage sweeps (raise
+the mitigation threshold and IT cost falls while dwell time grows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dbn.filter import DBNFilter, DBNTables
+from repro.dbn.states import CanonicalState
+from repro.defenders.base import DefenderPolicy
+from repro.sim.observations import Observation
+from repro.sim.orchestrator import DefenderAction, DefenderActionType
+
+__all__ = ["ThresholdPolicy"]
+
+_T = DefenderActionType
+_S = CanonicalState
+
+
+class ThresholdPolicy(DefenderPolicy):
+    name = "threshold"
+
+    def __init__(
+        self,
+        tables: DBNTables,
+        investigate_threshold: float = 0.2,
+        mitigate_threshold: float = 0.6,
+        scan: DefenderActionType = _T.ADVANCED_SCAN,
+        max_actions: int | None = None,
+    ):
+        if not 0.0 <= investigate_threshold <= 1.0:
+            raise ValueError("investigate_threshold must be in [0, 1]")
+        if not investigate_threshold <= mitigate_threshold <= 1.0:
+            raise ValueError(
+                "mitigate_threshold must be in [investigate_threshold, 1]"
+            )
+        self.tables = tables
+        self.investigate_threshold = investigate_threshold
+        self.mitigate_threshold = mitigate_threshold
+        self.scan = scan
+        self.max_actions = max_actions
+        self.dbn: DBNFilter | None = None
+
+    def reset(self, env) -> None:
+        self.dbn = DBNFilter(self.tables, env.topology)
+
+    # ------------------------------------------------------------------
+    def act(self, obs: Observation) -> list[DefenderAction]:
+        beliefs = self.dbn.update(obs)
+        candidates: list[tuple[float, DefenderAction]] = []
+
+        p_comp = beliefs[:, _S.COMP:].sum(axis=1)
+        for node_id in np.flatnonzero(p_comp > self.investigate_threshold):
+            node_id = int(node_id)
+            if obs.node_busy[node_id]:
+                continue
+            p = float(p_comp[node_id])
+            if p > self.mitigate_threshold:
+                atype = self._lightest_sufficient(beliefs[node_id])
+                candidates.append((2.0 + p, DefenderAction(atype, node_id)))
+            else:
+                candidates.append((p, DefenderAction(self.scan, node_id)))
+
+        for plc_id in np.flatnonzero(obs.plc_destroyed):
+            if not obs.plc_busy[plc_id]:
+                candidates.append(
+                    (4.0, DefenderAction(_T.REPLACE_PLC, int(plc_id)))
+                )
+        for plc_id in np.flatnonzero(obs.plc_disrupted & ~obs.plc_destroyed):
+            if not obs.plc_busy[plc_id]:
+                candidates.append(
+                    (3.5, DefenderAction(_T.RESET_PLC, int(plc_id)))
+                )
+
+        candidates.sort(key=lambda pair: -pair[0])
+        actions = [action for _, action in candidates]
+        if self.max_actions is not None:
+            actions = actions[: self.max_actions]
+        return actions
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lightest_sufficient(belief: np.ndarray) -> DefenderActionType:
+        """Argmax over the Table 4 countermeasure structure: the most
+        likely persistence depth picks the cheapest action that clears
+        it (reboot < password reset < re-image)."""
+        w_reboot = belief[_S.COMP] + belief[_S.ADMIN]
+        w_reset = belief[_S.COMP_RB] + belief[_S.ADMIN_RB]
+        w_reimage = (
+            belief[_S.ADMIN_CRED]
+            + belief[_S.ADMIN_CLEANED]
+            + belief[_S.ADMIN_CRED_CLEANED]
+        )
+        index = int(np.argmax([w_reboot, w_reset, w_reimage]))
+        return (_T.REBOOT, _T.RESET_PASSWORD, _T.REIMAGE)[index]

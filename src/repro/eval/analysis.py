@@ -1,0 +1,135 @@
+"""Security-operations metrics from episode traces.
+
+The paper's four evaluation metrics summarize an episode; an operator
+triaging a specific incident asks different questions -- how long did
+the attacker dwell, how fast did defense respond, what did each phase
+of the campaign cost? These functions compute the standard SOC metrics
+from an :class:`~repro.sim.trace.EpisodeTrace`:
+
+* :func:`dwell_time` -- total and longest contiguous compromised hours;
+* :func:`time_to_first_response` -- hours from first compromise signal
+  to the first defender action;
+* :func:`mean_time_to_repair` -- average length of PLC-offline
+  intervals;
+* :func:`phase_breakdown` -- hours the attacker spent in each FSM phase;
+* :func:`action_counts` -- defender action mix (investigations vs
+  mitigations and their per-type counts).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.sim.orchestrator import DEFENDER_ACTION_SPECS, DefenderActionType
+from repro.sim.trace import EpisodeTrace
+
+__all__ = [
+    "DwellTime",
+    "dwell_time",
+    "time_to_first_response",
+    "mean_time_to_repair",
+    "phase_breakdown",
+    "action_counts",
+]
+
+
+@dataclass(frozen=True)
+class DwellTime:
+    """Attacker presence summary over one episode."""
+
+    #: hours with at least one compromised node
+    total_hours: int
+    #: longest unbroken run of compromised hours
+    longest_streak: int
+    #: fraction of the episode with any compromise
+    fraction: float
+
+
+def dwell_time(trace: EpisodeTrace) -> DwellTime:
+    """How long the attacker held any foothold."""
+    if not trace.steps:
+        return DwellTime(0, 0, 0.0)
+    total = 0
+    longest = 0
+    streak = 0
+    for step in trace.steps:
+        if step.n_compromised > 0:
+            total += 1
+            streak += 1
+            longest = max(longest, streak)
+        else:
+            streak = 0
+    return DwellTime(total, longest, total / len(trace.steps))
+
+
+def time_to_first_response(trace: EpisodeTrace) -> int | None:
+    """Hours from the first alert to the first defender action.
+
+    Returns None when either never happens. Negative values mean the
+    defender acted before any alert (scheduled sweeps do).
+    """
+    first_alert = next(
+        (step.t for step in trace.steps if step.n_alerts > 0), None
+    )
+    first_action = next(
+        (step.t for step in trace.steps if step.actions), None
+    )
+    if first_alert is None or first_action is None:
+        return None
+    return first_action - first_alert
+
+
+def mean_time_to_repair(trace: EpisodeTrace) -> float | None:
+    """Average length (hours) of contiguous PLC-offline intervals.
+
+    An interval still open at episode end counts with its observed
+    length -- truncation underestimates, which is the conservative
+    direction for a repair-speed claim. Returns None when no PLC ever
+    went offline.
+    """
+    intervals: list[int] = []
+    open_length = 0
+    for step in trace.steps:
+        if step.n_plcs_offline > 0:
+            open_length += 1
+        elif open_length:
+            intervals.append(open_length)
+            open_length = 0
+    if open_length:
+        intervals.append(open_length)
+    if not intervals:
+        return None
+    return sum(intervals) / len(intervals)
+
+
+def phase_breakdown(trace: EpisodeTrace) -> dict[str, int]:
+    """Hours the attacker reported spending in each phase, in first-
+    appearance order."""
+    counts: Counter[str] = Counter()
+    order: list[str] = []
+    for step in trace.steps:
+        phase = step.apt_phase or "unknown"
+        if phase not in counts:
+            order.append(phase)
+        counts[phase] += 1
+    return {phase: counts[phase] for phase in order}
+
+
+def action_counts(trace: EpisodeTrace) -> dict[str, int]:
+    """Defender action mix: per-type counts plus investigation /
+    mitigation totals."""
+    counts: Counter[str] = Counter()
+    investigations = 0
+    mitigations = 0
+    for action in trace.actions_taken():
+        counts[action.atype.value] += 1
+        spec = DEFENDER_ACTION_SPECS[action.atype]
+        if spec.is_investigation:
+            investigations += 1
+        elif action.atype is not DefenderActionType.NOOP:
+            mitigations += 1
+    out = dict(sorted(counts.items()))
+    out["total_investigations"] = investigations
+    out["total_mitigations"] = mitigations
+    return out

@@ -1,0 +1,81 @@
+"""Experiment drivers for the paper's evaluation section.
+
+Each driver takes a mapping of policy name -> policy instance (the same
+instance is reset per episode), runs seeded episodes, and returns
+aggregates keyed exactly like the paper's tables/figures:
+
+* :func:`run_table2` -- nominal environment, all policies (Table 2);
+* :func:`run_fig6`  -- sweep over APT cleanup effectiveness (Fig 6);
+* :func:`run_fig10` -- APT1 vs the aggressive APT2 (Fig 10).
+"""
+
+from __future__ import annotations
+
+from repro.attacker import FSMAttacker, apt2, with_cleanup_effectiveness
+from repro.config import SimConfig
+from repro.eval.metrics import AggregateResult
+from repro.eval.runner import evaluate_policy
+from repro.sim.env import InasimEnv
+
+__all__ = ["run_table2", "run_fig6", "run_fig10"]
+
+
+def _make_env(config: SimConfig) -> InasimEnv:
+    attacker = FSMAttacker(config.apt, sample_qualitative=True)
+    return InasimEnv(config, attacker)
+
+
+def run_table2(
+    config: SimConfig,
+    policies: dict[str, object],
+    episodes: int = 100,
+    seed: int = 0,
+    max_steps: int | None = None,
+) -> dict[str, AggregateResult]:
+    """Nominal evaluation: same simulation parameters as training."""
+    results: dict[str, AggregateResult] = {}
+    for name, policy in policies.items():
+        env = _make_env(config)
+        agg, _ = evaluate_policy(env, policy, episodes, seed=seed,
+                                 max_steps=max_steps)
+        results[name] = agg
+    return results
+
+
+def run_fig6(
+    config: SimConfig,
+    policies: dict[str, object],
+    effectiveness_values=(0.1, 0.3, 0.5, 0.7, 0.9),
+    episodes: int = 100,
+    seed: int = 0,
+    max_steps: int | None = None,
+) -> dict[float, dict[str, AggregateResult]]:
+    """Robustness to APT cleanup effectiveness (nominal training: 0.5)."""
+    sweep: dict[float, dict[str, AggregateResult]] = {}
+    for effectiveness in effectiveness_values:
+        apt = with_cleanup_effectiveness(config.apt, effectiveness)
+        sweep[effectiveness] = run_table2(
+            config.with_apt(apt), policies, episodes, seed, max_steps
+        )
+    return sweep
+
+
+def run_fig10(
+    config: SimConfig,
+    policies: dict[str, object],
+    episodes: int = 100,
+    seed: int = 0,
+    max_steps: int | None = None,
+) -> dict[str, dict[str, AggregateResult]]:
+    """APT policy robustness: nominal APT1 vs aggressive APT2."""
+    apt2_config = apt2(
+        cleanup_effectiveness=config.apt.cleanup_effectiveness,
+        time_scale=config.apt.time_scale,
+        labor_rate=config.apt.labor_rate,
+    )
+    return {
+        "APT1": run_table2(config, policies, episodes, seed, max_steps),
+        "APT2": run_table2(
+            config.with_apt(apt2_config), policies, episodes, seed, max_steps
+        ),
+    }

@@ -1,0 +1,56 @@
+"""Per-episode metrics and aggregation (paper Section 5).
+
+The paper reports, over 100 episodes, the mean and one standard error
+of: discounted task return, final PLCs offline, average IT cost per
+step, and average number of compromised nodes per hour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.utils.stats import mean_stderr
+
+__all__ = ["EpisodeMetrics", "AggregateResult", "aggregate", "METRIC_NAMES"]
+
+METRIC_NAMES = (
+    "discounted_return",
+    "final_plcs_offline",
+    "avg_it_cost",
+    "avg_nodes_compromised",
+)
+
+
+@dataclass(frozen=True)
+class EpisodeMetrics:
+    discounted_return: float
+    final_plcs_offline: int
+    avg_it_cost: float
+    avg_nodes_compromised: float
+    steps: int
+    seed: int | None = None
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Mean and one-standard-error pairs for each paper metric."""
+
+    discounted_return: tuple[float, float]
+    final_plcs_offline: tuple[float, float]
+    avg_it_cost: tuple[float, float]
+    avg_nodes_compromised: tuple[float, float]
+    episodes: int
+
+    def mean(self, metric: str) -> float:
+        return getattr(self, metric)[0]
+
+    def stderr(self, metric: str) -> float:
+        return getattr(self, metric)[1]
+
+
+def aggregate(episodes: list[EpisodeMetrics]) -> AggregateResult:
+    values = {
+        name: mean_stderr(getattr(e, name) for e in episodes)
+        for name in METRIC_NAMES
+    }
+    return AggregateResult(episodes=len(episodes), **values)

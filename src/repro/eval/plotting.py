@@ -1,0 +1,121 @@
+"""Text-mode charts for experiment outputs.
+
+The reproduction environment has no display stack, so the figure
+benches render their series as Unicode/ASCII charts alongside the
+numeric tables. Three primitives:
+
+* :func:`bar_chart` -- horizontal bars for one metric across policies;
+* :func:`series_plot` -- a multi-series scatter over a shared x-axis
+  (the Fig 6 sweep and Fig 10 grouped comparisons);
+* :func:`sparkline` -- a one-line trend (training curves in logs).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["bar_chart", "series_plot", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_MARKERS = "ox+*#@%&"
+
+
+def _finite(values) -> list[float]:
+    return [v for v in values if v is not None and math.isfinite(v)]
+
+
+def bar_chart(labels, values, width: int = 40, title: str = "",
+              fmt: str = "{:.2f}") -> str:
+    """Horizontal bar chart; bars scale to the largest |value|."""
+    labels = [str(label) for label in labels]
+    values = [float(v) for v in values]
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        raise ValueError("nothing to plot")
+    biggest = max((abs(v) for v in _finite(values)), default=0.0)
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if biggest == 0.0 or not math.isfinite(value):
+            bar = ""
+        else:
+            bar = "█" * max(1, round(abs(value) / biggest * width)) if value else ""
+        lines.append(
+            f"{label:<{label_width}}  {bar:<{width}}  " + fmt.format(value)
+        )
+    return "\n".join(lines)
+
+
+def series_plot(xs, series: dict[str, list], height: int = 12,
+                width: int = 60, title: str = "",
+                y_label: str = "") -> str:
+    """Plot several y-series over shared x values on a character grid.
+
+    Each series gets a marker from ``oxo+*...``; colliding points show
+    the later series' marker. Designed for the Fig 6-style sweeps
+    (few x values, few policies).
+    """
+    xs = [float(x) for x in xs]
+    if not xs or not series:
+        raise ValueError("nothing to plot")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length != x length")
+    all_y = _finite(v for ys in series.values() for v in ys)
+    if not all_y:
+        raise ValueError("no finite values to plot")
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            if y is None or not math.isfinite(y):
+                continue
+            col = round((x - x_min) / x_span * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = [title] if title else []
+    if y_label:
+        lines.append(y_label)
+    top_label, bottom_label = f"{y_max:.2f}", f"{y_min:.2f}"
+    gutter = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(grid):
+        prefix = (top_label if i == 0
+                  else bottom_label if i == height - 1 else "")
+        lines.append(f"{prefix:>{gutter}} |" + "".join(row))
+    axis = f"{'':>{gutter}} +" + "-" * width
+    lines.append(axis)
+    lines.append(
+        f"{'':>{gutter}}  {x_min:<{width // 2}.2f}{x_max:>{width // 2}.2f}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>{gutter}}  {legend}")
+    return "\n".join(lines)
+
+
+def sparkline(values) -> str:
+    """One-line trend from a numeric sequence (█ high, ▁ low)."""
+    values = [float(v) for v in values]
+    finite = _finite(values)
+    if not finite:
+        return ""
+    low, high = min(finite), max(finite)
+    span = (high - low) or 1.0
+    chars = []
+    for value in values:
+        if not math.isfinite(value):
+            chars.append(" ")
+            continue
+        index = int((value - low) / span * (len(_BLOCKS) - 1))
+        chars.append(_BLOCKS[index])
+    return "".join(chars)

@@ -1,0 +1,82 @@
+"""Markdown experiment reports.
+
+Benches write plain-text tables under ``benchmarks/results/``; this
+module renders the same aggregates as markdown for EXPERIMENTS.md-style
+documents, with the paper's reporting format (mean plus-minus one
+standard error over N episodes).
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.eval.metrics import METRIC_NAMES, AggregateResult
+
+__all__ = ["markdown_table", "markdown_sweep", "experiment_report"]
+
+_LABELS = {
+    "discounted_return": "Return",
+    "final_plcs_offline": "PLCs offline",
+    "avg_it_cost": "IT cost",
+    "avg_nodes_compromised": "Nodes compromised",
+}
+_DIGITS = {
+    "discounted_return": 1,
+    "final_plcs_offline": 2,
+    "avg_it_cost": 3,
+    "avg_nodes_compromised": 2,
+}
+
+
+def _cell(agg: AggregateResult, metric: str) -> str:
+    digits = _DIGITS[metric]
+    return f"{agg.mean(metric):.{digits}f} ± {agg.stderr(metric):.{digits}f}"
+
+
+def markdown_table(results: dict[str, AggregateResult],
+                   metrics=METRIC_NAMES) -> str:
+    """One row per policy, one column per metric (Table 2 layout)."""
+    if not results:
+        raise ValueError("no results to render")
+    header = "| Policy | " + " | ".join(_LABELS[m] for m in metrics) + " |"
+    divider = "|" + "---|" * (len(metrics) + 1)
+    lines = [header, divider]
+    for name, agg in results.items():
+        cells = " | ".join(_cell(agg, m) for m in metrics)
+        lines.append(f"| {name} | {cells} |")
+    return "\n".join(lines)
+
+
+def markdown_sweep(sweep: dict, metric: str, x_label: str) -> str:
+    """Rows = policies, columns = swept x values (Fig 6 layout)."""
+    if not sweep:
+        raise ValueError("no sweep points to render")
+    xs = list(sweep)
+    policies = list(next(iter(sweep.values())))
+    header = f"| Policy ({x_label}) | " + " | ".join(str(x) for x in xs) + " |"
+    divider = "|" + "---|" * (len(xs) + 1)
+    lines = [header, divider]
+    for name in policies:
+        cells = " | ".join(_cell(sweep[x][name], metric) for x in xs)
+        lines.append(f"| {name} | {cells} |")
+    return "\n".join(lines)
+
+
+def experiment_report(
+    title: str,
+    description: str,
+    sections: dict[str, str],
+    episodes: int | None = None,
+    stamp: bool = False,
+) -> str:
+    """Assemble a full markdown report from rendered sections."""
+    lines = [f"# {title}", ""]
+    if stamp:
+        lines += [f"*Generated {datetime.date.today().isoformat()}*", ""]
+    if episodes is not None:
+        lines += [f"*{episodes} episodes per cell; mean ± one standard "
+                  "error (paper reporting format).*", ""]
+    lines += [description.strip(), ""]
+    for heading, body in sections.items():
+        lines += [f"## {heading}", "", body.strip(), ""]
+    return "\n".join(lines)

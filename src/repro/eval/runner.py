@@ -1,0 +1,50 @@
+"""Episode runner used by all experiments."""
+
+from __future__ import annotations
+
+from repro.eval.metrics import EpisodeMetrics, aggregate
+
+__all__ = ["run_episode", "evaluate_policy"]
+
+
+def run_episode(env, policy, seed: int | None = None,
+                max_steps: int | None = None) -> EpisodeMetrics:
+    """Run one full episode and compute the paper's metrics."""
+    obs = env.reset(seed=seed)
+    policy.reset(env)
+    gamma = env.config.reward.gamma
+    horizon = env.config.tmax if max_steps is None else min(max_steps, env.config.tmax)
+
+    discounted, discount = 0.0, 1.0
+    total_cost = 0.0
+    total_compromised = 0
+    done, t = False, 0
+    info: dict = {}
+    while not done and t < horizon:
+        actions = policy.act(obs)
+        obs, reward, done, info = env.step(actions)
+        t = info["t"]
+        discounted += discount * reward
+        discount *= gamma
+        total_cost += info["it_cost"]
+        total_compromised += info["n_compromised"]
+
+    steps = max(t, 1)
+    return EpisodeMetrics(
+        discounted_return=discounted,
+        final_plcs_offline=int(info.get("n_plcs_offline", 0)),
+        avg_it_cost=total_cost / steps,
+        avg_nodes_compromised=total_compromised / steps,
+        steps=t,
+        seed=seed,
+    )
+
+
+def evaluate_policy(env, policy, episodes: int, seed: int = 0,
+                    max_steps: int | None = None):
+    """Run ``episodes`` seeded episodes; returns (aggregate, per-episode)."""
+    results = [
+        run_episode(env, policy, seed=seed + i, max_steps=max_steps)
+        for i in range(episodes)
+    ]
+    return aggregate(results), results

@@ -1,0 +1,67 @@
+"""Paper-style table formatting for experiment outputs."""
+
+from __future__ import annotations
+
+from repro.eval.metrics import AggregateResult
+
+__all__ = ["format_aggregate_table", "format_sweep_table"]
+
+_COLUMNS = (
+    ("discounted_return", "Discounted Return", 1),
+    ("final_plcs_offline", "Final PLCs Offline", 2),
+    ("avg_it_cost", "Average IT Cost", 3),
+    ("avg_nodes_compromised", "Avg Nodes Compromised", 2),
+)
+
+
+def _cell(mean: float, err: float, digits: int) -> str:
+    return f"{mean:.{digits}f} +/- {err:.{digits}f}"
+
+
+def format_aggregate_table(results: dict[str, AggregateResult],
+                           title: str = "") -> str:
+    """Render a Table 2-style grid: one row per policy."""
+    header = ["Policy"] + [label for _, label, _ in _COLUMNS]
+    rows = [header]
+    for name, agg in results.items():
+        row = [name]
+        for metric, _, digits in _COLUMNS:
+            mean, err = getattr(agg, metric)
+            row.append(_cell(mean, err, digits))
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_sweep_table(sweep: dict, metric: str, x_label: str,
+                       title: str = "") -> str:
+    """Render a Fig 6/10-style series: rows = policies, cols = x values.
+
+    ``sweep`` maps x value -> {policy name -> AggregateResult}.
+    """
+    xs = list(sweep)
+    policies = list(next(iter(sweep.values())))
+    header = [x_label] + [str(x) for x in xs]
+    rows = [header]
+    for name in policies:
+        row = [name]
+        for x in xs:
+            mean, err = getattr(sweep[x][name], metric)
+            row.append(f"{mean:.2f}+/-{err:.2f}")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

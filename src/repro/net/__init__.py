@@ -1,0 +1,26 @@
+"""Network substrate: nodes, PLCs, networking devices, and topology."""
+
+from repro.net.nodes import (
+    Condition,
+    Node,
+    NodeType,
+    PLC,
+    ServerRole,
+    CONDITION_PREREQS,
+)
+from repro.net.devices import Device, DeviceType
+from repro.net.topology import Topology, Vlan, build_topology
+
+__all__ = [
+    "Condition",
+    "CONDITION_PREREQS",
+    "Node",
+    "NodeType",
+    "PLC",
+    "ServerRole",
+    "Device",
+    "DeviceType",
+    "Topology",
+    "Vlan",
+    "build_topology",
+]

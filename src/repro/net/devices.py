@@ -1,0 +1,36 @@
+"""Networking devices: switches, routers, and firewalls.
+
+Devices matter for two reasons (paper appendix, IDS module): messages
+passing through a device may generate an alert with a probability scaled
+by the device's factor, and quarantine VLANs block attacker traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["DeviceType", "Device"]
+
+
+class DeviceType(enum.Enum):
+    SWITCH = "switch"
+    ROUTER = "router"
+    FIREWALL = "firewall"
+
+
+@dataclass(frozen=True)
+class Device:
+    device_id: int
+    name: str
+    dtype: DeviceType
+    level: int
+    ip: str
+
+    def alert_factor(self, switch: float, router: float, firewall: float) -> float:
+        """The IDS multiplier contributed by this device on a message path."""
+        if self.dtype is DeviceType.SWITCH:
+            return switch
+        if self.dtype is DeviceType.ROUTER:
+            return router
+        return firewall

@@ -1,0 +1,95 @@
+"""Computing nodes and PLCs.
+
+Static node identity lives here; the *dynamic* compromise state is held
+as arrays in :class:`repro.sim.state.NetworkState` for speed. The
+compromise conditions and their prerequisite chain reproduce Table 1 of
+the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "Condition",
+    "CONDITION_PREREQS",
+    "NodeType",
+    "ServerRole",
+    "Node",
+    "PLC",
+]
+
+
+class Condition(enum.IntEnum):
+    """Node compromise conditions (paper Table 1), used as array columns."""
+
+    SCANNED = 0
+    COMPROMISED = 1
+    REBOOT_PERSIST = 2
+    ADMIN = 3
+    CRED_PERSIST = 4
+    CLEANED = 5
+
+
+N_CONDITIONS = len(Condition)
+
+#: Table 1 "Required Condition" column: condition -> prerequisite (or None).
+CONDITION_PREREQS: dict[Condition, Condition | None] = {
+    Condition.SCANNED: None,
+    Condition.COMPROMISED: Condition.SCANNED,
+    Condition.REBOOT_PERSIST: Condition.COMPROMISED,
+    Condition.ADMIN: Condition.COMPROMISED,
+    Condition.CRED_PERSIST: Condition.ADMIN,
+    Condition.CLEANED: Condition.ADMIN,
+}
+
+
+class NodeType(enum.Enum):
+    """Computing node classes. HMIs are the level-1 workstations."""
+
+    WORKSTATION = "workstation"
+    SERVER = "server"
+    HMI = "hmi"
+
+    @property
+    def is_host(self) -> bool:
+        """Workstation-class nodes (quarantine-eligible)."""
+        return self is not NodeType.SERVER
+
+
+class ServerRole(enum.Enum):
+    NONE = "none"
+    OPC = "opc"
+    HISTORIAN = "historian"
+    DOMAIN_CONTROLLER = "domain_controller"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A computing node the APT may compromise."""
+
+    node_id: int
+    name: str
+    ntype: NodeType
+    role: ServerRole
+    level: int  # PERA level: 1 (plant) or 2 (engineering)
+    home_vlan: str  # operations VLAN the node belongs to when not quarantined
+    ip: str
+
+    @property
+    def is_server(self) -> bool:
+        return self.ntype is NodeType.SERVER
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.name}({self.ip})"
+
+
+@dataclass(frozen=True)
+class PLC:
+    """A programmable logic controller at PERA level 1."""
+
+    plc_id: int
+    name: str
+    vlan: str
+    ip: str

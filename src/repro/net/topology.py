@@ -1,0 +1,193 @@
+"""Topology builder and message-path model.
+
+The network mirrors Fig 2 of the paper: two PERA levels, each with an
+operations VLAN and a nominally empty quarantine VLAN, a dedicated
+router per level, and a firewall joining the level routers. Every VLAN
+is realized as a discrete switch connected to its level's router; PLCs
+hang off the level-1 operations switch.
+
+Message paths determine alert multipliers (switch x1, router x2,
+firewall x5 by default) and reachability: traffic to or from a
+quarantine VLAN is dropped, which is what makes the defender's
+Quarantine action effective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.config import IDSConfig, TopologyConfig
+from repro.net.devices import Device, DeviceType
+from repro.net.nodes import PLC, Node, NodeType, ServerRole
+
+__all__ = ["Vlan", "Topology", "build_topology"]
+
+#: well-known VLAN names
+L2_OPS = "vlan-2-ops"
+L2_QUAR = "vlan-2-quarantine"
+L1_OPS = "vlan-1-ops"
+L1_QUAR = "vlan-1-quarantine"
+
+
+@dataclass(frozen=True)
+class Vlan:
+    name: str
+    level: int
+    quarantine: bool
+    switch_id: int
+
+
+@dataclass
+class Topology:
+    """Static network structure plus message-path queries."""
+
+    config: TopologyConfig
+    nodes: list[Node]
+    plcs: list[PLC]
+    devices: list[Device]
+    vlans: dict[str, Vlan]
+    graph: nx.Graph = field(repr=False)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def plc(self, plc_id: int) -> PLC:
+        return self.plcs[plc_id]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_plcs(self) -> int:
+        return len(self.plcs)
+
+    def nodes_of_type(self, ntype: NodeType) -> list[Node]:
+        return [n for n in self.nodes if n.ntype is ntype]
+
+    def server(self, role: ServerRole) -> Node | None:
+        """The unique server with the given role, if present."""
+        for n in self.nodes:
+            if n.role is role:
+                return n
+        return None
+
+    def nodes_in_vlan(self, vlan: str, node_vlans: list[str]) -> list[int]:
+        """Node ids currently assigned to ``vlan``.
+
+        ``node_vlans`` is the dynamic per-node VLAN assignment owned by
+        the simulation state (quarantine moves nodes around).
+        """
+        return [i for i, v in enumerate(node_vlans) if v == vlan]
+
+    def quarantine_vlan_for(self, node: Node) -> str:
+        return L2_QUAR if node.level == 2 else L1_QUAR
+
+    def ops_vlans(self) -> list[str]:
+        return [v.name for v in self.vlans.values() if not v.quarantine]
+
+    # ------------------------------------------------------------------
+    # message paths
+    # ------------------------------------------------------------------
+    def path_devices(self, src_vlan: str, dst_vlan: str) -> list[Device]:
+        """Devices traversed by a message between two VLANs.
+
+        Includes both endpoint switches. A message within one VLAN
+        traverses just that VLAN's switch.
+        """
+        src_switch = self.vlans[src_vlan].switch_id
+        dst_switch = self.vlans[dst_vlan].switch_id
+        if src_switch == dst_switch:
+            return [self.devices[src_switch]]
+        path = nx.shortest_path(self.graph, src_switch, dst_switch)
+        return [self.devices[d] for d in path]
+
+    def reachable(self, src_vlan: str, dst_vlan: str) -> bool:
+        """Whether APT traffic can flow between two VLANs.
+
+        Quarantine VLANs drop attacker traffic in both directions
+        (except loopback within the same quarantine VLAN, which never
+        helps the attacker because quarantined nodes are alone).
+        """
+        if self.vlans[src_vlan].quarantine or self.vlans[dst_vlan].quarantine:
+            return src_vlan == dst_vlan
+        return True
+
+    def alert_factor(self, src_vlan: str, dst_vlan: str, ids: IDSConfig) -> float:
+        """Product of device alert factors along the message path."""
+        factor = 1.0
+        for dev in self.path_devices(src_vlan, dst_vlan):
+            factor *= dev.alert_factor(
+                ids.switch_factor, ids.router_factor, ids.firewall_factor
+            )
+        return factor
+
+
+def _ip(level: int, vlan_index: int, host: int) -> str:
+    return f"10.{level}.{vlan_index}.{host}"
+
+
+def build_topology(config: TopologyConfig) -> Topology:
+    """Construct the Fig 2 network for the given size configuration."""
+    devices: list[Device] = []
+
+    def add_device(name: str, dtype: DeviceType, level: int) -> int:
+        device_id = len(devices)
+        devices.append(
+            Device(device_id, name, dtype, level, _ip(level, 250, device_id + 1))
+        )
+        return device_id
+
+    sw_l2_ops = add_device("switch-2-ops", DeviceType.SWITCH, 2)
+    sw_l2_quar = add_device("switch-2-quarantine", DeviceType.SWITCH, 2)
+    sw_l1_ops = add_device("switch-1-ops", DeviceType.SWITCH, 1)
+    sw_l1_quar = add_device("switch-1-quarantine", DeviceType.SWITCH, 1)
+    router_l2 = add_device("router-2", DeviceType.ROUTER, 2)
+    router_l1 = add_device("router-1", DeviceType.ROUTER, 1)
+    firewall = add_device("firewall-2-1", DeviceType.FIREWALL, 2)
+
+    graph = nx.Graph()
+    graph.add_nodes_from(d.device_id for d in devices)
+    graph.add_edge(sw_l2_ops, router_l2)
+    graph.add_edge(sw_l2_quar, router_l2)
+    graph.add_edge(sw_l1_ops, router_l1)
+    graph.add_edge(sw_l1_quar, router_l1)
+    graph.add_edge(router_l2, firewall)
+    graph.add_edge(firewall, router_l1)
+
+    vlans = {
+        L2_OPS: Vlan(L2_OPS, 2, False, sw_l2_ops),
+        L2_QUAR: Vlan(L2_QUAR, 2, True, sw_l2_quar),
+        L1_OPS: Vlan(L1_OPS, 1, False, sw_l1_ops),
+        L1_QUAR: Vlan(L1_QUAR, 1, True, sw_l1_quar),
+    }
+
+    nodes: list[Node] = []
+
+    def add_node(name: str, ntype: NodeType, role: ServerRole, level: int, vlan: str):
+        node_id = len(nodes)
+        nodes.append(
+            Node(node_id, name, ntype, role, level, vlan, _ip(level, 1, node_id + 1))
+        )
+
+    for i in range(config.l2_workstations):
+        add_node(f"eng-ws-{i:02d}", NodeType.WORKSTATION, ServerRole.NONE, 2, L2_OPS)
+    for role_name in config.l2_servers:
+        role = ServerRole(role_name)
+        add_node(f"server-{role_name}", NodeType.SERVER, role, 2, L2_OPS)
+    for i in range(config.l1_hmis):
+        add_node(f"hmi-{i:02d}", NodeType.HMI, ServerRole.NONE, 1, L1_OPS)
+
+    plcs = [
+        PLC(i, f"plc-{i:02d}", L1_OPS, _ip(1, 2, i + 1)) for i in range(config.plcs)
+    ]
+
+    return Topology(
+        config=config, nodes=nodes, plcs=plcs, devices=devices, vlans=vlans,
+        graph=graph,
+    )

@@ -1,0 +1,58 @@
+"""Temporal 1-D convolution for the paper's baseline network (Table 7).
+
+Implemented as an unfold (sliding windows with a scatter-add backward)
+followed by a matmul, which keeps the whole op differentiable through
+the existing Tensor primitives plus one custom unfold node.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.modules import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["unfold1d", "Conv1d"]
+
+
+def unfold1d(x: Tensor, kernel: int, stride: int) -> Tensor:
+    """(B, C, L) -> (B, L_out, C*kernel) sliding windows."""
+    batch, channels, length = x.shape
+    l_out = (length - kernel) // stride + 1
+    if l_out <= 0:
+        raise ValueError(f"kernel {kernel} too large for length {length}")
+    idx = (np.arange(l_out)[:, None] * stride + np.arange(kernel)[None, :])
+    windows = x.data[:, :, idx]  # (B, C, L_out, K)
+    data = windows.transpose(0, 2, 1, 3).reshape(batch, l_out, channels * kernel)
+
+    def backward(grad):
+        g = grad.reshape(batch, l_out, channels, kernel).transpose(0, 2, 1, 3)
+        out = np.zeros_like(x.data)
+        np.add.at(out, (slice(None), slice(None), idx), g)
+        return (out,)
+
+    return Tensor._make(data, (x,), backward)
+
+
+class Conv1d(Module):
+    """y[b, :, t] = W @ window(x, t) + b, striding in the time axis."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int,
+                 stride: int = 1, rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel
+        bound = math.sqrt(6.0 / fan_in)
+        self.weight = Parameter(rng.uniform(-bound, bound, (fan_in, out_channels)))
+        self.bias = Parameter(np.zeros(out_channels))
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        """(B, C_in, L) -> (B, C_out, L_out)."""
+        windows = unfold1d(x, self.kernel, self.stride)  # (B, L_out, C_in*K)
+        out = windows @ self.weight + self.bias  # (B, L_out, C_out)
+        return out.swapaxes(1, 2)

@@ -1,0 +1,76 @@
+"""Loss functions: Huber (TD loss norm, eq 5), MSE, the DQfD-style
+large-margin classification loss used for pretraining (appendix:
+target margin delta = 0.05, margin weighting lambda = 0.1), and the
+categorical cross-entropy used by the distributional (C51) trainer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["huber_loss", "mse_loss", "margin_loss", "categorical_cross_entropy"]
+
+
+def _weighted_mean(loss: Tensor, weights) -> Tensor:
+    if weights is None:
+        return loss.mean()
+    weights = np.asarray(weights, dtype=np.float64)
+    return (loss * Tensor(weights)).sum() * (1.0 / float(weights.size))
+
+
+def huber_loss(pred: Tensor, target, delta: float = 1.0, weights=None) -> Tensor:
+    """Huber norm of (pred - target); ``weights`` are IS weights."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    err = pred - target.detach()
+    abs_err = err.abs()
+    quadratic = err * err * 0.5
+    linear = abs_err * delta - 0.5 * delta * delta
+    mask = (abs_err.data <= delta).astype(np.float64)
+    loss = quadratic * Tensor(mask) + linear * Tensor(1.0 - mask)
+    return _weighted_mean(loss, weights)
+
+
+def mse_loss(pred: Tensor, target, weights=None) -> Tensor:
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    err = pred - target.detach()
+    return _weighted_mean(err * err, weights)
+
+
+def margin_loss(q_values: Tensor, expert_actions, margin: float = 0.05) -> Tensor:
+    """Large-margin loss: max_a[Q(s,a) + m(a, a_E)] - Q(s, a_E).
+
+    Zero when the expert action's value exceeds all others by at least
+    ``margin``; pushes the greedy policy toward the demonstrations.
+    """
+    expert_actions = np.asarray(expert_actions, dtype=np.int64)
+    batch, n_actions = q_values.shape
+    bonus = np.full((batch, n_actions), margin)
+    bonus[np.arange(batch), expert_actions] = 0.0
+    augmented = q_values + Tensor(bonus)
+    best = augmented.max(axis=1)
+    expert_q = q_values.gather_rows(expert_actions)
+    return (best - expert_q).mean()
+
+
+def categorical_cross_entropy(
+    log_probs: Tensor, target_probs, weights=None, eps: float = 1e-12
+) -> Tensor:
+    """Cross-entropy -sum_z m(z) log p(z) between a projected target
+    distribution and predicted log-probabilities, per batch row.
+
+    Used as the C51 training loss: ``target_probs`` is the Bellman-
+    projected distribution (no gradient), ``log_probs`` the online
+    network's per-atom log-probabilities for the taken actions.
+    """
+    target = np.asarray(
+        target_probs.data if isinstance(target_probs, Tensor) else target_probs,
+        dtype=np.float64,
+    )
+    if target.shape != log_probs.shape:
+        raise ValueError(
+            f"shape mismatch: target {target.shape} vs log_probs {log_probs.shape}"
+        )
+    per_row = -(log_probs * Tensor(target)).sum(axis=-1)
+    return _weighted_mean(per_row, weights)

@@ -1,0 +1,76 @@
+"""Gradient-based optimizers. The paper trains with Adam at lr 1e-4."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.modules import Parameter
+
+__all__ = ["SGD", "Adam"]
+
+
+class _Optimizer:
+    def __init__(self, params: list[Parameter], lr: float):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    def __init__(self, params, lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            v *= self.momentum
+            v -= self.lr * p.grad
+            p.data = p.data + v
+
+
+class Adam(_Optimizer):
+    def __init__(self, params, lr: float = 1e-4, betas=(0.9, 0.999),
+                 eps: float = 1e-8, grad_clip: float | None = None):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.grad_clip = grad_clip
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def _clipped_grads(self) -> list[np.ndarray | None]:
+        grads = [p.grad for p in self.params]
+        if self.grad_clip is None:
+            return grads
+        norm = np.sqrt(sum(float((g ** 2).sum()) for g in grads if g is not None))
+        if norm <= self.grad_clip or norm == 0.0:
+            return grads
+        scale = self.grad_clip / norm
+        return [None if g is None else g * scale for g in grads]
+
+    def step(self) -> None:
+        self.t += 1
+        bias1 = 1.0 - self.beta1 ** self.t
+        bias2 = 1.0 - self.beta2 ** self.t
+        for p, m, v, g in zip(self.params, self._m, self._v, self._clipped_grads()):
+            if g is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

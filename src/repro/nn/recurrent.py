@@ -1,0 +1,88 @@
+"""Recurrent cells for history-dependent Q-networks.
+
+The paper frames network defense as a partially observable problem and
+cites deep recurrent Q-learning (Hausknecht and Stone 2015) as the
+standard way to learn over observation sequences. The shipped ACSO
+sidesteps recurrence with the DBN filter; :class:`GRU` provides the
+recurrent alternative used by the DRQN baseline in
+:mod:`repro.rl.drqn`, so the two designs can be compared on equal
+footing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.modules import Linear, Module
+from repro.nn.tensor import Tensor, concat, stack
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """Gated recurrent unit (Cho et al. 2014).
+
+    Update equations for input x_t and previous hidden state h_{t-1}:
+
+        z_t = sigmoid(W_z [x_t, h_{t-1}] + b_z)      (update gate)
+        r_t = sigmoid(W_r [x_t, h_{t-1}] + b_r)      (reset gate)
+        n_t = tanh(W_n [x_t, r_t * h_{t-1}] + b_n)   (candidate)
+        h_t = (1 - z_t) * n_t + z_t * h_{t-1}
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        joint = input_dim + hidden_dim
+        self.update_gate = Linear(joint, hidden_dim, rng=rng)
+        self.reset_gate = Linear(joint, hidden_dim, rng=rng)
+        self.candidate = Linear(joint, hidden_dim, rng=rng)
+        # bias the update gate towards carrying state so early training
+        # does not wash out the history (standard LSTM/GRU trick)
+        self.update_gate.bias.data[:] = 1.0
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """(B, input_dim), (B, hidden_dim) -> (B, hidden_dim)."""
+        joint = concat([x, h], axis=-1)
+        z = self.update_gate(joint).sigmoid()
+        r = self.reset_gate(joint).sigmoid()
+        joint_reset = concat([x, r * h], axis=-1)
+        n = self.candidate(joint_reset).tanh()
+        return (1.0 - z) * n + z * h
+
+    def initial_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_dim)))
+
+
+class GRU(Module):
+    """Runs a :class:`GRUCell` over a (B, T, input_dim) sequence.
+
+    Returns either the full hidden sequence (B, T, hidden_dim) or only
+    the final state, which is what a DRQN value head consumes.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator | None = None):
+        self.cell = GRUCell(input_dim, hidden_dim, rng=rng)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor, h0: Tensor | None = None,
+                return_sequence: bool = False) -> Tensor:
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        if x.ndim != 3:
+            raise ValueError(f"GRU expects (B, T, F), got shape {x.shape}")
+        batch, steps, _ = x.shape
+        h = h0 if h0 is not None else self.cell.initial_state(batch)
+        outputs: list[Tensor] = []
+        for t in range(steps):
+            h = self.cell(x[:, t, :], h)
+            if return_sequence:
+                outputs.append(h)
+        if return_sequence:
+            return stack(outputs, axis=1)
+        return h

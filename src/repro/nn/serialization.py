@@ -1,0 +1,28 @@
+"""Save and load module parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.modules import Module
+
+__all__ = ["save_state", "load_state"]
+
+
+def save_state(module: Module, path, **metadata) -> None:
+    """Write a module's state dict (plus optional scalar metadata)."""
+    state = module.state_dict()
+    meta = {f"__meta__{k}": np.asarray(v) for k, v in metadata.items()}
+    np.savez(path, **state, **meta)
+
+
+def load_state(module: Module, path) -> dict[str, np.ndarray]:
+    """Load parameters into ``module``; returns any stored metadata."""
+    archive = np.load(path)
+    state = {k: archive[k] for k in archive.files if not k.startswith("__meta__")}
+    module.load_state_dict(state)
+    return {
+        k[len("__meta__"):]: archive[k]
+        for k in archive.files
+        if k.startswith("__meta__")
+    }

@@ -1,0 +1,51 @@
+"""Dueling network head (Wang et al. 2016), a Rainbow component.
+
+The paper adopts three Rainbow extensions (double DQN, prioritized
+replay, n-step loss). The dueling decomposition is a fourth:
+
+    Q(s, a) = V(s) + A(s, a) - mean_a' A(s, a')
+
+Decoupling the state value from per-action advantages helps when most
+actions leave the value nearly unchanged -- exactly the ACSO regime,
+where in a healthy network almost every (node, action) pair is
+irrelevant and only the state value ("is an intrusion under way?")
+matters. The ablation bench compares this variant against the paper's
+plain head.
+
+The implementation reuses the attention trunk of
+:class:`~repro.rl.qnetwork.AttentionQNetwork`: the per-type heads now
+produce advantages, and a separate value head reads the attended
+no-action token (the one token that summarizes the whole network).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.features import GLOBAL_FEATURE_DIM
+from repro.rl.qnetwork import AttentionQNetwork, QNetConfig
+from repro.nn import Tensor
+
+__all__ = ["DuelingAttentionQNetwork"]
+
+
+class DuelingAttentionQNetwork(AttentionQNetwork):
+    """Attention Q-network with a dueling value/advantage split."""
+
+    def __init__(self, config: QNetConfig | None = None, seed: int = 0):
+        super().__init__(config, seed)
+        rng = np.random.default_rng(seed + 7919)
+        head_in = self.config.d_model + GLOBAL_FEATURE_DIM
+        self.value_head = self._make_head(head_in, 1, rng)
+
+    def forward(self, node_feats, plc_feats, glob_feats) -> Tensor:
+        tokens, glob, batch = self._contextualize(
+            node_feats, plc_feats, glob_feats
+        )
+        advantages = self._head_outputs(tokens, glob, batch)
+        _, _, _, noop_ctx = self._split_contexts(tokens)
+        value = self.value_head(
+            self._with_global(noop_ctx, glob, batch)
+        ).reshape(batch, 1)
+        centered = advantages - advantages.mean(axis=1, keepdims=True)
+        return self._soft_clip(value + centered)

@@ -1,0 +1,37 @@
+"""Exploration and importance-sampling schedules."""
+
+from __future__ import annotations
+
+__all__ = ["ExponentialDecay", "LinearSchedule"]
+
+
+class ExponentialDecay:
+    """epsilon(t) = max(end, start * decay^t); the paper's epsilon-greedy
+    decay (grid values 0.999 / 0.9999 per step)."""
+
+    def __init__(self, start: float = 1.0, end: float = 0.05,
+                 decay: float = 0.999):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.start = start
+        self.end = end
+        self.decay = decay
+
+    def __call__(self, step: int) -> float:
+        return max(self.end, self.start * self.decay ** step)
+
+
+class LinearSchedule:
+    """Linear interpolation from start to end over ``steps`` calls
+    (used for the PER beta annealing)."""
+
+    def __init__(self, start: float, end: float, steps: int):
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        self.start = start
+        self.end = end
+        self.steps = steps
+
+    def __call__(self, step: int) -> float:
+        frac = min(1.0, max(0.0, step / self.steps))
+        return self.start + frac * (self.end - self.start)

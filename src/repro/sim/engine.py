@@ -1,0 +1,292 @@
+"""The network simulation engine.
+
+One :meth:`Simulation.step` call advances the clock by one hour (the
+paper's decision resolution). Within a step:
+
+1. defender actions chosen from the previous observation are launched
+   (each occupies its target until completion);
+2. the attacker policy observes its view and launches new actions,
+   limited by its labor budget;
+3. the clock advances and all actions completing by the new hour take
+   effect (with preconditions re-validated);
+4. the IDS emits passive and false alerts;
+5. the reward module scores the step and a new observation is built.
+
+Episodes are deterministic given (config, attacker policy, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.config import SimConfig
+from repro.net.nodes import NodeType
+from repro.net.topology import Topology, build_topology
+from repro.sim.apt_actions import (
+    APT_ACTION_SPECS,
+    APTActionRequest,
+    APTActionType,
+    APTKnowledge,
+    APTView,
+    apply_apt_action,
+    sample_duration,
+)
+from repro.sim.events import EventQueue
+from repro.sim.ids import IDSModule
+from repro.sim.observations import Alert, Observation, ScanResult
+from repro.sim.orchestrator import (
+    DEFENDER_ACTION_SPECS,
+    DefenderAction,
+    DefenderActionType,
+    apply_mitigation,
+    enumerate_actions,
+    scan_detection_prob,
+)
+from repro.sim.reward import RewardModule
+from repro.sim.state import NetworkState
+from repro.utils.rng import RngFactory
+
+__all__ = ["Simulation", "StepResult"]
+
+
+@dataclass
+class StepResult:
+    observation: Observation
+    reward: float
+    done: bool
+    info: dict[str, Any]
+
+
+class Simulation:
+    """INASIM core: network state, event queue, IDS, attacker, reward."""
+
+    def __init__(self, config: SimConfig, attacker, seed: int | None = None,
+                 record_truth: bool = True):
+        self.config = config
+        self.attacker = attacker
+        self.topology: Topology = build_topology(config.topology)
+        self.reward_module = RewardModule(config.reward)
+        self.actions: list[DefenderAction] = enumerate_actions(self.topology)
+        self.record_truth = record_truth
+        self.reset(seed)
+
+    # ------------------------------------------------------------------
+    def reset(self, seed: int | None = None) -> Observation:
+        self.rngs = RngFactory(seed)
+        self.state = NetworkState(self.topology)
+        self.ids = IDSModule(self.config.ids, self.topology, self.rngs.child("ids"))
+        self.knowledge = APTKnowledge()
+        self.queue = EventQueue()
+        self._apt_rng = self.rngs.child("apt")
+        self._def_rng = self.rngs.child("defender")
+        self.in_flight: list[APTActionRequest] = []
+        self._beachhead_rng = self.rngs.child("beachhead")
+        self._reintrusion_at: int | None = None
+        self._beachhead = self._establish_beachhead()
+        self.attacker.reset(self.rngs.child("attacker-policy"))
+        return self._observation([], [])
+
+    def _establish_beachhead(self) -> int:
+        """Initial intrusion: the APT controls one random L2 workstation."""
+        candidates = [
+            n.node_id for n in self.topology.nodes
+            if n.ntype is NodeType.WORKSTATION and n.level == 2
+        ]
+        node_id = int(self._beachhead_rng.choice(candidates))
+        from repro.net.nodes import Condition
+
+        self.state.set_condition(node_id, Condition.SCANNED)
+        self.state.set_condition(node_id, Condition.COMPROMISED)
+        self.knowledge.known_vlan[node_id] = self.state.node_vlan[node_id]
+        return node_id
+
+    def _apt_has_access(self) -> bool:
+        """True while the APT controls at least one reachable node."""
+        from repro.net.nodes import Condition
+
+        compromised = np.flatnonzero(
+            self.state.conditions[:, Condition.COMPROMISED]
+        )
+        return any(
+            not self.state.is_quarantined(int(i)) for i in compromised
+        )
+
+    def _maybe_reintrude(self, t1: int) -> None:
+        """APTs that lose all access mount a new initial intrusion
+        (e.g. fresh social engineering) after a re-intrusion delay.
+        Without this, a single lucky eviction ends a six-month campaign,
+        which contradicts the persistence that defines APTs (Section 3).
+        """
+        if self._apt_has_access():
+            self._reintrusion_at = None
+            return
+        if self._reintrusion_at is None:
+            apt = self.config.apt
+            n = max(1, round(apt.reintrusion_hours / 0.9))
+            delay = self._beachhead_rng.binomial(n, 0.9) / apt.time_scale
+            self._reintrusion_at = t1 + max(1, int(delay))
+        elif t1 >= self._reintrusion_at:
+            self._beachhead = self._establish_beachhead()
+            self._reintrusion_at = None
+
+    # ------------------------------------------------------------------
+    def step(self, defender_actions: Iterable[DefenderAction]) -> StepResult:
+        t0 = self.state.t
+        t1 = t0 + 1
+        alerts: list[Alert] = []
+        scan_results: list[ScanResult] = []
+        launched: list[DefenderAction] = []
+
+        # 1. launch defender actions
+        for action in defender_actions:
+            if self._launch_defender(action, t0):
+                launched.append(action)
+
+        # 2. attacker turn
+        labor_available = max(0, int(self.config.apt.labor_rate) - len(self.in_flight))
+        view = APTView(
+            t0, self.state, self.knowledge, self.topology,
+            labor_available, list(self.in_flight),
+        )
+        requests = list(self.attacker.act(view))[:labor_available]
+        for req in requests:
+            self._launch_apt(req, t0, alerts, t1)
+
+        # 3. advance clock, apply completions
+        self.state.t = t1
+        completed_cost = 0.0
+        completed_defender: list[DefenderAction] = []
+        for payload in self.queue.pop_due(t1):
+            kind = payload[0]
+            if kind == "apt":
+                _, req, success = payload
+                self._complete_apt(req, success)
+            else:
+                _, action = payload
+                completed_cost += self._complete_defender(action, t1, scan_results)
+                completed_defender.append(action)
+
+        # 4. re-intrusion if the APT lost all access
+        self._maybe_reintrude(t1)
+
+        # 5. passive and false alerts for this hour
+        alerts.extend(
+            self.ids.passive_alerts(
+                self.state, t1, self.config.apt.cleanup_effectiveness
+            )
+        )
+        alerts.extend(self.ids.false_alerts(t1))
+
+        # 5. reward
+        breakdown = self.reward_module.compute(
+            self.state.n_plcs_disrupted(),
+            self.state.n_plcs_destroyed(),
+            completed_cost,
+            t1,
+            self.config.tmax,
+        )
+        done = t1 >= self.config.tmax
+
+        observation = self._observation(alerts, scan_results)
+        observation.completed_actions = completed_defender
+        info: dict[str, Any] = {
+            "t": t1,
+            "reward_breakdown": breakdown,
+            "it_cost": completed_cost,
+            "n_compromised": self.state.n_compromised(),
+            "n_ws_compromised": self.state.n_workstations_compromised(),
+            "n_srv_compromised": self.state.n_servers_compromised(),
+            "n_plcs_offline": self.state.n_plcs_offline(),
+            "n_plcs_disrupted": self.state.n_plcs_disrupted(),
+            "n_plcs_destroyed": self.state.n_plcs_destroyed(),
+            "launched": launched,
+            "completed": completed_defender,
+            "apt_phase": getattr(self.attacker, "phase_name", None),
+        }
+        if self.record_truth:
+            info["conditions"] = self.state.conditions.copy()
+        return StepResult(observation, breakdown.total, done, info)
+
+    # ------------------------------------------------------------------
+    def _launch_defender(self, action: DefenderAction, t0: int) -> bool:
+        if action.is_noop:
+            return False
+        spec = DEFENDER_ACTION_SPECS[action.atype]
+        if spec.targets == "node":
+            if self.state.node_busy_until[action.target] > t0:
+                return False
+            self.state.node_busy_until[action.target] = t0 + spec.duration
+        elif spec.targets == "plc":
+            if self.state.plc_busy_until[action.target] > t0:
+                return False
+            self.state.plc_busy_until[action.target] = t0 + spec.duration
+        self.queue.push(t0 + spec.duration, ("def", action))
+        return True
+
+    def _launch_apt(
+        self, req: APTActionRequest, t0: int, alerts: list[Alert], alert_t: int
+    ) -> None:
+        spec = APT_ACTION_SPECS[req.atype]
+        success = self._apt_rng.random() < spec.success_prob
+        duration = sample_duration(spec, self._apt_rng, self.config.apt.time_scale)
+        alert = self.ids.action_alert(req, self.state, alert_t)
+        if alert is not None:
+            alerts.append(alert)
+        if req.atype is APTActionType.ANALYZE_HISTORIAN:
+            self.knowledge.historian_analysis_started = True
+        self.queue.push(t0 + duration, ("apt", req, success))
+        self.in_flight.append(req)
+
+    def _complete_apt(self, req: APTActionRequest, success: bool) -> None:
+        self.in_flight.remove(req)
+        applied = False
+        if success:
+            applied = apply_apt_action(
+                req, self.state, self.knowledge, self.topology,
+                self.config.apt, self._apt_rng,
+            )
+        if req.atype is APTActionType.ANALYZE_HISTORIAN and not applied:
+            # analysis was interrupted; the FSM must re-start it
+            self.knowledge.historian_analysis_started = self.knowledge.historian_analyzed
+
+    def _complete_defender(
+        self, action: DefenderAction, t1: int, scan_results: list[ScanResult]
+    ) -> float:
+        spec = DEFENDER_ACTION_SPECS[action.atype]
+        if spec.targets == "plc":
+            apply_mitigation(action, self.state, self.topology)
+            return spec.cost_host
+        node = self.topology.nodes[action.target]
+        if spec.is_investigation:
+            p = scan_detection_prob(
+                spec, self.state, action.target,
+                self.config.apt.cleanup_effectiveness,
+            )
+            detected = bool(self._def_rng.random() < p)
+            scan_results.append(ScanResult(t1, action.target, detected, action.atype))
+        else:
+            apply_mitigation(action, self.state, self.topology)
+        return spec.cost(node.is_server)
+
+    # ------------------------------------------------------------------
+    def _observation(
+        self, alerts: list[Alert], scan_results: list[ScanResult]
+    ) -> Observation:
+        state = self.state
+        t = state.t
+        quarantined = np.array(
+            [state.is_quarantined(n.node_id) for n in self.topology.nodes]
+        )
+        return Observation(
+            t=t,
+            alerts=alerts,
+            scan_results=scan_results,
+            plc_disrupted=state.plc_disrupted.copy(),
+            plc_destroyed=state.plc_destroyed.copy(),
+            node_busy=state.node_busy_until > t,
+            plc_busy=state.plc_busy_until > t,
+            quarantined=quarantined,
+        )

@@ -1,0 +1,52 @@
+"""Event queue for scheduled action completions.
+
+The simulation advances in one-hour decision steps; actions started at
+hour ``t`` with duration ``d`` take effect at hour ``t + d``. The queue
+orders events by (time, insertion sequence) so same-hour completions
+apply in launch order, keeping episodes deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    time: int
+    seq: int
+    payload: Any = field(compare=False)
+
+
+class EventQueue:
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: int, payload: Any) -> Event:
+        if self._heap and time < self._heap[0].time - 10_000_000:
+            raise ValueError("event scheduled unreasonably far in the past")
+        event = Event(time, next(self._counter), payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> int | None:
+        return self._heap[0].time if self._heap else None
+
+    def pop_due(self, now: int) -> list[Any]:
+        """Remove and return payloads of all events with time <= now."""
+        due: list[Any] = []
+        while self._heap and self._heap[0].time <= now:
+            due.append(heapq.heappop(self._heap).payload)
+        return due
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,105 @@
+"""Intrusion detection system model (Section 3.1 + appendix IDS module).
+
+Three alert channels:
+
+1. **Action alerts** -- each APT action attempt may alert with its base
+   rate; message actions multiply the rate by the device factor of every
+   device on the path (switch x1, router x2, firewall x5).
+2. **Passive alerts** -- each compromised node alerts with hourly
+   probability 0.1, reduced by cleanup effectiveness when the node has
+   the Malware Cleaned condition. Severity reflects compromise depth.
+3. **False alerts** -- per PERA level per hour, severity 1/2/3 fire with
+   probability 5e-2 / 5e-3 / 2.5e-3 and are attributed to a random node
+   on that level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import IDSConfig
+from repro.net.nodes import Condition
+from repro.net.topology import Topology
+from repro.sim.apt_actions import APTActionRequest, APT_ACTION_SPECS
+from repro.sim.observations import Alert, AlertSource
+from repro.sim.state import NetworkState
+
+__all__ = ["IDSModule"]
+
+
+class IDSModule:
+    def __init__(self, config: IDSConfig, topology: Topology, rng: np.random.Generator):
+        self.config = config
+        self.topology = topology
+        self.rng = rng
+        self._nodes_by_level = {
+            level: [n.node_id for n in topology.nodes if n.level == level]
+            for level in (1, 2)
+        }
+
+    # ------------------------------------------------------------------
+    # channel 1: APT action alerts (drawn at launch)
+    # ------------------------------------------------------------------
+    def action_alert(
+        self, req: APTActionRequest, state: NetworkState, t: int
+    ) -> Alert | None:
+        spec = APT_ACTION_SPECS[req.atype]
+        rate = spec.alert_rate
+        if rate <= 0.0:
+            return None
+        alert_node = req.source
+        if spec.is_message:
+            dst_vlan = self._destination_vlan(req, state)
+            rate *= self.topology.alert_factor(
+                state.node_vlan[req.source], dst_vlan, self.config
+            )
+            if req.target_node is not None:
+                alert_node = req.target_node
+        if self.rng.random() < min(1.0, rate):
+            return Alert(t, spec.severity, alert_node, source=AlertSource.APT_ACTION)
+        return None
+
+    def _destination_vlan(self, req: APTActionRequest, state: NetworkState) -> str:
+        if req.target_vlan is not None:
+            return req.target_vlan
+        if req.target_node is not None:
+            return state.node_vlan[req.target_node]
+        if req.target_plc is not None:
+            return self.topology.plcs[req.target_plc].vlan
+        return state.node_vlan[req.source]
+
+    # ------------------------------------------------------------------
+    # channel 2: passive alerts on compromised nodes
+    # ------------------------------------------------------------------
+    def passive_alerts(
+        self, state: NetworkState, t: int, cleanup_effectiveness: float
+    ) -> list[Alert]:
+        alerts = []
+        compromised = np.flatnonzero(state.conditions[:, Condition.COMPROMISED])
+        if compromised.size == 0:
+            return alerts
+        rates = np.full(compromised.size, self.config.passive_alert_rate)
+        cleaned = state.conditions[compromised, Condition.CLEANED]
+        rates[cleaned] *= 1.0 - cleanup_effectiveness
+        draws = self.rng.random(compromised.size) < rates
+        for node_id in compromised[draws]:
+            node_id = int(node_id)
+            severity = 2 if state.has_condition(node_id, Condition.ADMIN) else 1
+            alerts.append(Alert(t, severity, node_id, source=AlertSource.PASSIVE))
+        return alerts
+
+    # ------------------------------------------------------------------
+    # channel 3: false alerts
+    # ------------------------------------------------------------------
+    def false_alerts(self, t: int) -> list[Alert]:
+        alerts = []
+        for level, nodes in self._nodes_by_level.items():
+            if not nodes:
+                continue
+            for severity, rate in enumerate(self.config.false_alert_rates, start=1):
+                if self.rng.random() < rate:
+                    node_id = int(self.rng.choice(nodes))
+                    alerts.append(
+                        Alert(t, severity, node_id, source=AlertSource.FALSE)
+                    )
+        return alerts

@@ -1,0 +1,78 @@
+"""Defender-facing observations: alerts, scan results, PLC status.
+
+Only the fields of :class:`Alert` exposed through :class:`Observation`
+are legitimately observable; the ``source`` tag is ground truth carried
+for analysis and must not be consumed by defender policies (the paper's
+defenders cannot distinguish false alarms from true detections).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AlertSource", "Alert", "ScanResult", "Observation"]
+
+
+class AlertSource(enum.Enum):
+    APT_ACTION = "apt_action"
+    PASSIVE = "passive"
+    FALSE = "false"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """An IDS alert: ip/severity are observable, source is ground truth."""
+
+    t: int
+    severity: int  # 1 (lowest) .. 3 (highest)
+    node_id: int | None
+    device_id: int | None = None
+    source: AlertSource = AlertSource.FALSE
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of a completed defender investigation (no false alarms)."""
+
+    t: int
+    node_id: int
+    detected: bool
+    action_type: "object" = None  # DefenderActionType; typed loosely to avoid cycle
+
+
+@dataclass
+class Observation:
+    """Everything the defender sees at one decision step."""
+
+    t: int
+    alerts: list[Alert] = field(default_factory=list)
+    scan_results: list[ScanResult] = field(default_factory=list)
+    #: directly observable PLC status (paper Section 4.4 assumption)
+    plc_disrupted: np.ndarray = field(default_factory=lambda: np.zeros(0, bool))
+    plc_destroyed: np.ndarray = field(default_factory=lambda: np.zeros(0, bool))
+    #: nodes/PLCs currently occupied by an in-flight defender action
+    node_busy: np.ndarray = field(default_factory=lambda: np.zeros(0, bool))
+    plc_busy: np.ndarray = field(default_factory=lambda: np.zeros(0, bool))
+    #: which nodes are currently quarantined (defender's own bookkeeping)
+    quarantined: np.ndarray = field(default_factory=lambda: np.zeros(0, bool))
+    #: the defender's own actions that completed this step (self-knowledge)
+    completed_actions: list = field(default_factory=list)
+
+    def alert_severity_per_node(self, n_nodes: int) -> np.ndarray:
+        """Max alert severity observed per node this step (0 = none)."""
+        sev = np.zeros(n_nodes, dtype=np.int64)
+        for alert in self.alerts:
+            if alert.node_id is not None and alert.node_id < n_nodes:
+                sev[alert.node_id] = max(sev[alert.node_id], alert.severity)
+        return sev
+
+    def alert_counts_per_node(self, n_nodes: int) -> np.ndarray:
+        """Alert counts per node and severity, shape (n_nodes, 3)."""
+        counts = np.zeros((n_nodes, 3), dtype=np.int64)
+        for alert in self.alerts:
+            if alert.node_id is not None and alert.node_id < n_nodes:
+                counts[alert.node_id, alert.severity - 1] += 1
+        return counts

@@ -1,0 +1,110 @@
+"""Dynamic network state: node compromise conditions and PLC status.
+
+Conditions are stored as a boolean matrix (nodes x conditions) so the
+DBN filter, reward module, and shaping potential can read counts with
+vectorized operations. The prerequisite chain of Table 1 is enforced on
+every write.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.nodes import CONDITION_PREREQS, Condition, NodeType
+from repro.net.topology import Topology
+
+__all__ = ["NetworkState"]
+
+
+class NetworkState:
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        n, m = topology.n_nodes, topology.n_plcs
+        self.t = 0
+        self.conditions = np.zeros((n, len(Condition)), dtype=bool)
+        self.node_vlan: list[str] = [node.home_vlan for node in topology.nodes]
+        self.plc_firmware = np.zeros(m, dtype=bool)
+        self.plc_disrupted = np.zeros(m, dtype=bool)
+        self.plc_destroyed = np.zeros(m, dtype=bool)
+        #: hour until which a defender action occupies each node / PLC
+        self.node_busy_until = np.zeros(n, dtype=np.int64)
+        self.plc_busy_until = np.zeros(m, dtype=np.int64)
+        self._is_server = np.array(
+            [node.ntype is NodeType.SERVER for node in topology.nodes]
+        )
+
+    # ------------------------------------------------------------------
+    # condition manipulation
+    # ------------------------------------------------------------------
+    def set_condition(self, node_id: int, cond: Condition) -> bool:
+        """Set a compromise condition if its Table 1 prerequisite holds."""
+        prereq = CONDITION_PREREQS[cond]
+        if prereq is not None and not self.conditions[node_id, prereq]:
+            return False
+        self.conditions[node_id, cond] = True
+        return True
+
+    def has_condition(self, node_id: int, cond: Condition) -> bool:
+        return bool(self.conditions[node_id, cond])
+
+    def clear_node(self, node_id: int) -> None:
+        """Return a node to nominal (all compromise conditions removed)."""
+        self.conditions[node_id, :] = False
+
+    def is_compromised(self, node_id: int) -> bool:
+        return bool(self.conditions[node_id, Condition.COMPROMISED])
+
+    def is_quarantined(self, node_id: int) -> bool:
+        return self.node_vlan[node_id] != self.topology.nodes[node_id].home_vlan
+
+    def move_node(self, node_id: int, vlan: str) -> None:
+        if vlan not in self.topology.vlans:
+            raise KeyError(f"unknown VLAN {vlan!r}")
+        self.node_vlan[node_id] = vlan
+
+    # ------------------------------------------------------------------
+    # busy bookkeeping (one defender action per node / PLC at a time)
+    # ------------------------------------------------------------------
+    def node_busy(self, node_id: int) -> bool:
+        return bool(self.node_busy_until[node_id] > self.t)
+
+    def plc_busy(self, plc_id: int) -> bool:
+        return bool(self.plc_busy_until[plc_id] > self.t)
+
+    # ------------------------------------------------------------------
+    # aggregate queries
+    # ------------------------------------------------------------------
+    def compromised_mask(self) -> np.ndarray:
+        return self.conditions[:, Condition.COMPROMISED].copy()
+
+    def n_compromised(self) -> int:
+        return int(self.conditions[:, Condition.COMPROMISED].sum())
+
+    def n_workstations_compromised(self) -> int:
+        mask = self.conditions[:, Condition.COMPROMISED] & ~self._is_server
+        return int(mask.sum())
+
+    def n_servers_compromised(self) -> int:
+        mask = self.conditions[:, Condition.COMPROMISED] & self._is_server
+        return int(mask.sum())
+
+    def n_plcs_disrupted(self) -> int:
+        """Disrupted but not destroyed (destruction subsumes disruption)."""
+        return int((self.plc_disrupted & ~self.plc_destroyed).sum())
+
+    def n_plcs_destroyed(self) -> int:
+        return int(self.plc_destroyed.sum())
+
+    def n_plcs_offline(self) -> int:
+        return int((self.plc_disrupted | self.plc_destroyed).sum())
+
+    def snapshot(self) -> dict:
+        """Ground-truth snapshot used for logging and DBN learning."""
+        return {
+            "t": self.t,
+            "conditions": self.conditions.copy(),
+            "node_vlan": list(self.node_vlan),
+            "plc_disrupted": self.plc_disrupted.copy(),
+            "plc_destroyed": self.plc_destroyed.copy(),
+            "plc_firmware": self.plc_firmware.copy(),
+        }

@@ -1,0 +1,28 @@
+"""Cross-network policy transfer and fine-tuning.
+
+The attention Q-network's parameter count is independent of the
+protected network's size (paper Section 4.4), which makes weight
+transfer across topologies a pure re-bind. The paper's future work
+proposes exactly this deployment path: "methods for pre-training models
+using simulations, and fine-tuning for deployment to specific ICS
+networks should be explored" (Section 7).
+
+:mod:`repro.transfer.study` implements the full protocol: pre-train on
+a source network, evaluate zero-shot on a target network, fine-tune
+there, and compare against a from-scratch policy given the same target
+budget.
+"""
+
+from repro.transfer.study import (
+    TransferStudy,
+    evaluate_greedy_policy,
+    run_transfer_study,
+    train_policy,
+)
+
+__all__ = [
+    "TransferStudy",
+    "evaluate_greedy_policy",
+    "run_transfer_study",
+    "train_policy",
+]

@@ -1,0 +1,162 @@
+"""The pre-train / zero-shot / fine-tune / from-scratch protocol.
+
+All four measurements answer one deployment question: how much target-
+network experience does a transferred policy need compared to one
+trained in place? The attention architecture's claim is "little to
+none" -- its parameters never see node count, so source-network
+training transfers structurally.
+
+DBN tables are also size-agnostic (per-node beliefs share one
+conditional probability table), so a source-fitted filter can be
+carried to the target network; callers may pass a target-fitted table
+instead when one is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import repro
+from repro.config import SimConfig
+from repro.dbn.filter import DBNTables
+from repro.defenders.acso import ACSOPolicy
+from repro.eval.metrics import AggregateResult
+from repro.eval.runner import evaluate_policy
+from repro.rl.dqn import DQNConfig, DQNTrainer, EpisodeStats
+from repro.rl.features import ACSOFeaturizer
+from repro.rl.qnetwork import AttentionQNetwork
+
+__all__ = [
+    "TransferStudy",
+    "train_policy",
+    "evaluate_greedy_policy",
+    "run_transfer_study",
+]
+
+
+def train_policy(
+    config: SimConfig,
+    qnet: AttentionQNetwork,
+    tables: DBNTables,
+    dqn_config: DQNConfig,
+    episodes: int,
+    seed: int = 0,
+    max_steps: int | None = None,
+) -> list[EpisodeStats]:
+    """Run DQN episodes on ``config``'s network, training in place."""
+    env = repro.make_env(config, seed=seed)
+    featurizer = ACSOFeaturizer(env.topology, tables)
+    trainer = DQNTrainer(env, qnet, featurizer, dqn_config)
+    return trainer.train(episodes=episodes, seed=seed, max_steps=max_steps)
+
+
+def evaluate_greedy_policy(
+    config: SimConfig,
+    qnet: AttentionQNetwork,
+    tables: DBNTables,
+    episodes: int,
+    seed: int = 0,
+    max_steps: int | None = None,
+) -> AggregateResult:
+    """Greedy-ACSO evaluation of ``qnet`` on ``config``'s network."""
+    env = repro.make_env(config, seed=seed)
+    policy = ACSOPolicy(qnet, tables)
+    aggregate, _ = evaluate_policy(env, policy, episodes, seed=seed,
+                                   max_steps=max_steps)
+    return aggregate
+
+
+@dataclass
+class TransferStudy:
+    """All measurements from one transfer protocol run."""
+
+    #: evaluation of the pre-trained policy on its source network
+    source: AggregateResult
+    #: the same weights evaluated on the target network, no adaptation
+    zero_shot: AggregateResult
+    #: after fine-tuning on the target network (None if budget was 0)
+    finetuned: AggregateResult | None
+    #: a fresh policy trained on the target with the fine-tune budget
+    scratch: AggregateResult | None
+    #: training curves for the fine-tune and scratch runs
+    finetune_history: list[EpisodeStats] = field(default_factory=list)
+    scratch_history: list[EpisodeStats] = field(default_factory=list)
+    #: parameter count (identical across networks by construction)
+    n_parameters: int = 0
+
+
+def run_transfer_study(
+    source_config: SimConfig,
+    target_config: SimConfig,
+    qnet: AttentionQNetwork,
+    tables: DBNTables,
+    dqn_config: DQNConfig | None = None,
+    pretrain_episodes: int = 4,
+    finetune_episodes: int = 2,
+    eval_episodes: int = 4,
+    seed: int = 0,
+    max_steps: int | None = None,
+    target_tables: DBNTables | None = None,
+) -> TransferStudy:
+    """Execute the full protocol and return every measurement.
+
+    ``qnet`` may arrive pre-trained (set ``pretrain_episodes=0`` to
+    skip source training); it is fine-tuned in place, so the returned
+    study's "finetuned" row reflects the final state of the caller's
+    network. The scratch baseline uses a fresh network with the same
+    configuration and seed.
+    """
+    dqn_config = dqn_config or DQNConfig()
+    target_tables = target_tables or tables
+
+    if pretrain_episodes > 0:
+        train_policy(source_config, qnet, tables, dqn_config,
+                     pretrain_episodes, seed=seed, max_steps=max_steps)
+    source = evaluate_greedy_policy(
+        source_config, qnet, tables, eval_episodes, seed=seed + 100,
+        max_steps=max_steps,
+    )
+    n_params_source = qnet.n_parameters()
+
+    zero_shot = evaluate_greedy_policy(
+        target_config, qnet, target_tables, eval_episodes, seed=seed + 200,
+        max_steps=max_steps,
+    )
+    if qnet.n_parameters() != n_params_source:
+        raise AssertionError(
+            "attention network grew parameters across topologies; "
+            "the architecture contract is broken"
+        )
+
+    finetuned = None
+    finetune_history: list[EpisodeStats] = []
+    scratch = None
+    scratch_history: list[EpisodeStats] = []
+    if finetune_episodes > 0:
+        finetune_history = train_policy(
+            target_config, qnet, target_tables, dqn_config,
+            finetune_episodes, seed=seed + 300, max_steps=max_steps,
+        )
+        finetuned = evaluate_greedy_policy(
+            target_config, qnet, target_tables, eval_episodes,
+            seed=seed + 200, max_steps=max_steps,
+        )
+        fresh = AttentionQNetwork(qnet.config, seed=dqn_config.seed)
+        scratch_history = train_policy(
+            target_config, fresh, target_tables, dqn_config,
+            finetune_episodes, seed=seed + 300, max_steps=max_steps,
+        )
+        scratch = evaluate_greedy_policy(
+            target_config, fresh, target_tables, eval_episodes,
+            seed=seed + 200, max_steps=max_steps,
+        )
+
+    return TransferStudy(
+        source=source,
+        zero_shot=zero_shot,
+        finetuned=finetuned,
+        scratch=scratch,
+        finetune_history=finetune_history,
+        scratch_history=scratch_history,
+        n_parameters=n_params_source,
+    )

@@ -1,0 +1,18 @@
+"""Shared utilities: seeded randomness, statistics, and episode logging."""
+
+from repro.utils.rng import RngFactory, ensure_rng
+from repro.utils.stats import (
+    RunningStat,
+    discounted_return,
+    kl_divergence,
+    mean_stderr,
+)
+
+__all__ = [
+    "RngFactory",
+    "ensure_rng",
+    "RunningStat",
+    "discounted_return",
+    "kl_divergence",
+    "mean_stderr",
+]

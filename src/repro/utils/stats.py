@@ -1,0 +1,68 @@
+"""Small statistics helpers used by the evaluation harness and the DBN."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["discounted_return", "mean_stderr", "kl_divergence", "RunningStat"]
+
+
+def discounted_return(rewards, gamma: float) -> float:
+    """Discounted sum of a reward sequence: sum_t gamma^t r_t."""
+    total = 0.0
+    for r in reversed(list(rewards)):
+        total = r + gamma * total
+    return total
+
+
+def mean_stderr(values) -> tuple[float, float]:
+    """Mean and one standard error of the mean (paper reporting format)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 0.0, 0.0
+    if arr.size == 1:
+        return float(arr[0]), 0.0
+    return float(arr.mean()), float(arr.std(ddof=1) / math.sqrt(arr.size))
+
+
+def kl_divergence(p, q, eps: float = 1e-12) -> float:
+    """KL(p || q) between two discrete distributions, with clamping."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    p = np.clip(p, eps, None)
+    q = np.clip(q, eps, None)
+    p = p / p.sum()
+    q = q / q.sum()
+    return float(np.sum(p * np.log(p / q)))
+
+
+@dataclass
+class RunningStat:
+    """Streaming mean/variance (Welford) for per-step metrics."""
+
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+
+    def push(self, x: float) -> None:
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)

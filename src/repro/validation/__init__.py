@@ -1,0 +1,57 @@
+"""Data-efficient policy validation via off-policy evaluation (OPE).
+
+The paper's conclusion asks for "data-efficient methods to validate
+learned policies performance" before deployment (Section 7): a new
+ACSO policy must be assessed without handing it control of a live
+network. This package implements the standard OPE toolchain on logged
+INASIM episodes:
+
+* :mod:`repro.validation.logging` -- behaviour policies with recorded
+  action probabilities, and logged-episode collection;
+* :mod:`repro.validation.ope` -- ordinary, weighted, and per-decision
+  importance sampling estimators with effective-sample-size
+  diagnostics;
+* :mod:`repro.validation.fqe` -- fitted Q evaluation (model-based
+  value regression) and the doubly-robust combination;
+* :mod:`repro.validation.confidence` -- bootstrap confidence intervals
+  and an empirical-Bernstein high-confidence lower bound (the
+  "certify before deployment" number).
+"""
+
+from repro.validation.logging import (
+    LoggedEpisode,
+    LoggedStep,
+    StochasticQPolicy,
+    UniformRandomPolicy,
+    collect_logged_episodes,
+)
+from repro.validation.ope import (
+    OPEResult,
+    effective_sample_size,
+    ordinary_importance_sampling,
+    per_decision_importance_sampling,
+    weighted_importance_sampling,
+)
+from repro.validation.fqe import FQEResult, doubly_robust, fitted_q_evaluation
+from repro.validation.confidence import (
+    bootstrap_ci,
+    empirical_bernstein_lower_bound,
+)
+
+__all__ = [
+    "LoggedEpisode",
+    "LoggedStep",
+    "StochasticQPolicy",
+    "UniformRandomPolicy",
+    "collect_logged_episodes",
+    "OPEResult",
+    "effective_sample_size",
+    "ordinary_importance_sampling",
+    "weighted_importance_sampling",
+    "per_decision_importance_sampling",
+    "FQEResult",
+    "fitted_q_evaluation",
+    "doubly_robust",
+    "bootstrap_ci",
+    "empirical_bernstein_lower_bound",
+]

@@ -1,0 +1,200 @@
+"""Behaviour policies and logged-episode collection for OPE.
+
+Off-policy evaluation requires the probability the *behaviour* policy
+assigned to every logged action. Deterministic policies (greedy ACSO,
+playbook) have degenerate importance ratios, so logging is done with
+stochastic wrappers: :class:`StochasticQPolicy` (softmax and/or
+epsilon-greedy over masked Q-values) or :class:`UniformRandomPolicy`.
+
+Each logged step stores the featurized state and valid-action mask so
+target-policy probabilities, FQE regressions, and doubly-robust
+corrections can all be computed offline from the same log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dbn.filter import DBNTables
+from repro.rl.dqn import valid_action_mask
+from repro.rl.features import ACSOFeaturizer, FeatureSet
+from repro.utils.stats import discounted_return
+
+__all__ = [
+    "LoggedStep",
+    "LoggedEpisode",
+    "StochasticQPolicy",
+    "UniformRandomPolicy",
+    "collect_logged_episodes",
+]
+
+
+@dataclass(frozen=True)
+class LoggedStep:
+    """One decision in a logged episode."""
+
+    action: int
+    behavior_prob: float
+    reward: float
+    features: FeatureSet | None = None
+    mask: np.ndarray | None = None
+
+
+@dataclass
+class LoggedEpisode:
+    """A trajectory logged under a known behaviour policy."""
+
+    steps: list[LoggedStep]
+    gamma: float
+    #: features/mask of the state after the final step (for bootstraps)
+    final_features: FeatureSet | None = None
+    final_mask: np.ndarray | None = None
+    seed: int | None = None
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def rewards(self) -> np.ndarray:
+        return np.array([s.reward for s in self.steps])
+
+    @property
+    def behavior_probs(self) -> np.ndarray:
+        return np.array([s.behavior_prob for s in self.steps])
+
+    @property
+    def actions(self) -> np.ndarray:
+        return np.array([s.action for s in self.steps], dtype=np.int64)
+
+    def discounted_return(self) -> float:
+        return discounted_return(self.rewards, self.gamma)
+
+
+class StochasticQPolicy:
+    """Stochastic policy over masked Q-values.
+
+    With ``temperature`` set, base probabilities are a softmax of
+    Q / temperature over valid actions; otherwise the base is the
+    greedy one-hot. An ``epsilon`` mixture with the uniform-over-valid
+    distribution guarantees full support, which ordinary importance
+    sampling needs from the behaviour policy.
+    """
+
+    name = "stochastic-q"
+
+    def __init__(self, qnet, tables: DBNTables,
+                 temperature: float | None = None, epsilon: float = 0.1,
+                 seed: int = 0):
+        if temperature is not None and temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.qnet = qnet
+        self.tables = tables
+        self.temperature = temperature
+        self.epsilon = epsilon
+        self.rng = np.random.default_rng(seed)
+        self.featurizer: ACSOFeaturizer | None = None
+
+    # ------------------------------------------------------------------
+    def reset(self, env) -> None:
+        self.qnet.bind_topology(env.topology)
+        self.featurizer = ACSOFeaturizer(env.topology, self.tables)
+        self.featurizer.reset()
+
+    def action_probs(self, features: FeatureSet, mask: np.ndarray) -> np.ndarray:
+        """Full action distribution at a (featurized) state.
+
+        Works offline on logged features, which is how target-policy
+        probabilities are recovered during estimation.
+        """
+        q = self.qnet.q_values(features)
+        return self._probs_from_q(q, mask)
+
+    def _probs_from_q(self, q: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        valid = np.asarray(mask, dtype=bool)
+        probs = np.zeros(len(q))
+        if self.temperature is None:
+            best = int(np.argmax(np.where(valid, q, -np.inf)))
+            probs[best] = 1.0
+        else:
+            logits = np.where(valid, q / self.temperature, -np.inf)
+            logits -= logits.max()
+            exp = np.where(valid, np.exp(logits), 0.0)
+            probs = exp / exp.sum()
+        if self.epsilon > 0:
+            uniform = valid / valid.sum()
+            probs = (1.0 - self.epsilon) * probs + self.epsilon * uniform
+        return probs
+
+    def decide(self, obs) -> tuple[int, float, FeatureSet, np.ndarray]:
+        """Online decision: (action index, its probability, features, mask)."""
+        features = self.featurizer.update(obs)
+        mask = valid_action_mask(self.qnet.action_list, obs)
+        probs = self.action_probs(features, mask)
+        action = int(self.rng.choice(len(probs), p=probs))
+        return action, float(probs[action]), features, mask
+
+
+class UniformRandomPolicy:
+    """Uniform over valid actions; the maximum-coverage behaviour."""
+
+    name = "uniform-random"
+
+    def __init__(self, qnet, tables: DBNTables, seed: int = 0):
+        # the Q-network is only used for its action list / featurizer
+        # plumbing, so logs stay compatible with Q-based targets
+        self._inner = StochasticQPolicy(qnet, tables, epsilon=1.0, seed=seed)
+
+    def reset(self, env) -> None:
+        self._inner.reset(env)
+
+    def action_probs(self, features: FeatureSet, mask: np.ndarray) -> np.ndarray:
+        valid = np.asarray(mask, dtype=bool)
+        return valid / valid.sum()
+
+    def decide(self, obs):
+        return self._inner.decide(obs)
+
+
+def collect_logged_episodes(
+    env,
+    behavior,
+    episodes: int,
+    seed: int = 0,
+    max_steps: int | None = None,
+) -> list[LoggedEpisode]:
+    """Run the behaviour policy and log (action, probability, reward).
+
+    One environment action index is taken per step (the DQN decision
+    model); the resulting log supports every estimator in this package.
+    """
+    gamma = env.config.reward.gamma
+    horizon = env.config.tmax if max_steps is None else min(
+        max_steps, env.config.tmax
+    )
+    logs: list[LoggedEpisode] = []
+    for i in range(episodes):
+        obs = env.reset(seed=seed + i)
+        behavior.reset(env)
+        steps: list[LoggedStep] = []
+        done, t = False, 0
+        while not done and t < horizon:
+            action, prob, features, mask = behavior.decide(obs)
+            obs, reward, done, info = env.step(action)
+            t = info["t"]
+            steps.append(LoggedStep(action, prob, reward, features, mask))
+        final_action, _, final_features, final_mask = behavior.decide(obs)
+        del final_action  # only the state snapshot is needed
+        logs.append(
+            LoggedEpisode(
+                steps=steps,
+                gamma=gamma,
+                final_features=final_features,
+                final_mask=final_mask,
+                seed=seed + i,
+            )
+        )
+    return logs

@@ -1,0 +1,152 @@
+"""Importance-sampling estimators of a target policy's value.
+
+Given episodes logged under a behaviour policy b and a target policy
+pi, each step has an importance ratio rho_t = pi(a_t|s_t) / b(a_t|s_t).
+Three standard estimators (Precup 2000; Thomas 2015):
+
+* **Ordinary IS**: mean over episodes of w_T * G, where w_T is the
+  full-trajectory ratio product and G the discounted return. Unbiased,
+  unbounded variance.
+* **Weighted IS**: the w_T-weighted mean of returns. Biased, consistent,
+  much lower variance.
+* **Per-decision IS**: credit each reward only with the ratios up to
+  its own time step: sum_t gamma^t w_t r_t. Unbiased with lower
+  variance than ordinary IS.
+
+The effective sample size ESS = (sum w)^2 / sum w^2 diagnoses weight
+degeneracy -- the central failure mode over INASIM's 5,000-step
+horizons, and the reason the doubly-robust estimator of
+:mod:`repro.validation.fqe` exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.validation.logging import LoggedEpisode
+
+__all__ = [
+    "OPEResult",
+    "step_ratios",
+    "effective_sample_size",
+    "ordinary_importance_sampling",
+    "weighted_importance_sampling",
+    "per_decision_importance_sampling",
+]
+
+
+@dataclass(frozen=True)
+class OPEResult:
+    """A value estimate with sampling diagnostics."""
+
+    estimate: float
+    stderr: float
+    #: effective sample size of the trajectory weights
+    ess: float
+    episodes: int
+    method: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"{self.method}: {self.estimate:.2f} +/- {self.stderr:.2f} "
+            f"(ESS {self.ess:.1f} / {self.episodes})"
+        )
+
+
+def step_ratios(episode: LoggedEpisode, target_policy,
+                clip: float | None = None) -> np.ndarray:
+    """Per-step importance ratios pi(a_t|s_t) / b(a_t|s_t).
+
+    ``target_policy`` must expose ``action_probs(features, mask)``;
+    ``clip`` truncates each ratio from above (weight clipping trades a
+    small bias for bounded variance).
+    """
+    ratios = np.empty(len(episode))
+    for t, step in enumerate(episode.steps):
+        target_probs = target_policy.action_probs(step.features, step.mask)
+        if step.behavior_prob <= 0:
+            raise ValueError(
+                f"step {t}: behaviour probability is zero; the behaviour "
+                "policy must have full support over logged actions"
+            )
+        ratios[t] = target_probs[step.action] / step.behavior_prob
+    if clip is not None:
+        np.clip(ratios, 0.0, clip, out=ratios)
+    return ratios
+
+
+def effective_sample_size(weights: np.ndarray) -> float:
+    """Kish's ESS: (sum w)^2 / sum w^2 (0 when all weights vanish)."""
+    weights = np.asarray(weights, dtype=float)
+    denom = float((weights ** 2).sum())
+    if denom == 0.0:
+        return 0.0
+    return float(weights.sum() ** 2 / denom)
+
+
+def _trajectory_weights(episodes, target_policy, clip) -> np.ndarray:
+    return np.array(
+        [float(np.prod(step_ratios(ep, target_policy, clip)))
+         for ep in episodes]
+    )
+
+
+def _mean_stderr(values: np.ndarray) -> tuple[float, float]:
+    if values.size <= 1:
+        return float(values.mean()) if values.size else 0.0, 0.0
+    return float(values.mean()), float(values.std(ddof=1) / np.sqrt(values.size))
+
+
+def ordinary_importance_sampling(
+    episodes: list[LoggedEpisode], target_policy, clip: float | None = None
+) -> OPEResult:
+    """Unbiased full-trajectory IS estimate of the target value."""
+    if not episodes:
+        raise ValueError("need at least one logged episode")
+    weights = _trajectory_weights(episodes, target_policy, clip)
+    returns = np.array([ep.discounted_return() for ep in episodes])
+    estimate, stderr = _mean_stderr(weights * returns)
+    return OPEResult(estimate, stderr, effective_sample_size(weights),
+                     len(episodes), "OIS")
+
+
+def weighted_importance_sampling(
+    episodes: list[LoggedEpisode], target_policy, clip: float | None = None
+) -> OPEResult:
+    """Self-normalized IS: biased, consistent, low variance."""
+    if not episodes:
+        raise ValueError("need at least one logged episode")
+    weights = _trajectory_weights(episodes, target_policy, clip)
+    returns = np.array([ep.discounted_return() for ep in episodes])
+    total = weights.sum()
+    if total == 0.0:
+        estimate = 0.0
+        residuals = np.zeros_like(returns)
+    else:
+        normalized = weights / total
+        estimate = float(normalized @ returns)
+        residuals = normalized * (returns - estimate) * len(episodes)
+    _, stderr = _mean_stderr(residuals)
+    return OPEResult(estimate, stderr, effective_sample_size(weights),
+                     len(episodes), "WIS")
+
+
+def per_decision_importance_sampling(
+    episodes: list[LoggedEpisode], target_policy, clip: float | None = None
+) -> OPEResult:
+    """Per-decision IS: each reward weighted by ratios up to its step."""
+    if not episodes:
+        raise ValueError("need at least one logged episode")
+    values = np.empty(len(episodes))
+    final_weights = np.empty(len(episodes))
+    for i, episode in enumerate(episodes):
+        ratios = step_ratios(episode, target_policy, clip)
+        cumulative = np.cumprod(ratios)
+        discounts = episode.gamma ** np.arange(len(episode))
+        values[i] = float(np.sum(discounts * cumulative * episode.rewards))
+        final_weights[i] = cumulative[-1] if len(cumulative) else 1.0
+    estimate, stderr = _mean_stderr(values)
+    return OPEResult(estimate, stderr, effective_sample_size(final_weights),
+                     len(episodes), "PDIS")

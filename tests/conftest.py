@@ -1,0 +1,43 @@
+"""Shared fixtures: tiny environments and a session-scoped fitted DBN."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.config import paper_network, tiny_network
+from repro.dbn import fit_dbn
+from repro.defenders import SemiRandomPolicy
+from repro.net.topology import build_topology
+
+
+@pytest.fixture()
+def tiny_cfg():
+    return tiny_network(tmax=200)
+
+
+@pytest.fixture()
+def tiny_env(tiny_cfg):
+    return repro.make_env(tiny_cfg, seed=0)
+
+
+@pytest.fixture()
+def tiny_topology(tiny_cfg):
+    return build_topology(tiny_cfg.topology)
+
+
+@pytest.fixture(scope="session")
+def paper_topology():
+    return build_topology(paper_network().topology)
+
+
+@pytest.fixture(scope="session")
+def tiny_tables():
+    """DBN tables fitted once on the tiny network (shared read-only)."""
+    cfg = tiny_network(tmax=150)
+    return fit_dbn(
+        lambda: repro.make_env(cfg),
+        lambda: SemiRandomPolicy(rate=3.0),
+        episodes=8,
+        seed=7,
+    )

@@ -1,0 +1,310 @@
+"""Tests for the adversarial package: parameter space, CEM best
+response, self-play loop, and robustness matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.adversarial import (
+    AttackerParameterSpace,
+    AttackerPopulation,
+    CrossEntropySearch,
+    ParameterSpec,
+    SelfPlayConfig,
+    SelfPlayLoop,
+    attack_utility,
+    format_matrix,
+    make_defender_fitness,
+    robustness_matrix,
+)
+from repro.attacker import apt1, apt2
+from repro.config import APTConfig, tiny_network
+from repro.defenders import NoopPolicy, PlaybookPolicy, SemiRandomPolicy
+
+
+class TestParameterSpec:
+    def test_float_decode_endpoints(self):
+        spec = ParameterSpec("cleanup_effectiveness", 0.1, 0.9)
+        assert spec.decode(0.0) == pytest.approx(0.1)
+        assert spec.decode(1.0) == pytest.approx(0.9)
+
+    def test_int_decode_rounds(self):
+        spec = ParameterSpec("lateral_threshold", 1, 6, kind="int")
+        assert spec.decode(0.0) == 1
+        assert spec.decode(1.0) == 6
+        assert isinstance(spec.decode(0.5), int)
+
+    def test_choice_decode_partitions_unit_interval(self):
+        spec = ParameterSpec("objective", 0, 1, kind="choice",
+                             choices=("disrupt", "destroy"))
+        assert spec.decode(0.25) == "disrupt"
+        assert spec.decode(0.75) == "destroy"
+        assert spec.decode(1.0) == "destroy"  # boundary stays in range
+
+    def test_decode_clips_out_of_box_inputs(self):
+        spec = ParameterSpec("labor_rate", 1, 4, kind="int")
+        assert spec.decode(-3.0) == 1
+        assert spec.decode(7.0) == 4
+
+    def test_encode_decode_roundtrip_float(self):
+        spec = ParameterSpec("cleanup_effectiveness", 0.0, 1.0)
+        for value in (0.0, 0.3, 0.77, 1.0):
+            assert spec.decode(spec.encode(value)) == pytest.approx(value)
+
+    def test_encode_decode_roundtrip_choice(self):
+        spec = ParameterSpec("vector", 0, 1, kind="choice",
+                             choices=("opc", "hmi"))
+        for value in ("opc", "hmi"):
+            assert spec.decode(spec.encode(value)) == value
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ParameterSpec("x", 2.0, 1.0)
+
+    def test_rejects_single_choice(self):
+        with pytest.raises(ValueError):
+            ParameterSpec("x", 0, 1, kind="choice", choices=("only",))
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ParameterSpec("x", 0, 1, kind="bool")
+
+
+class TestAttackerParameterSpace:
+    def test_sample_produces_valid_config(self):
+        space = AttackerParameterSpace()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            apt = space.sample(rng)
+            assert isinstance(apt, APTConfig)
+            assert 1 <= apt.lateral_threshold <= 6
+            assert 0.05 <= apt.cleanup_effectiveness <= 0.95
+            assert apt.objective in ("disrupt", "destroy")
+
+    def test_base_fields_preserved(self):
+        base = APTConfig(time_scale=8.0, reintrusion_hours=33)
+        space = AttackerParameterSpace(base=base)
+        apt = space.sample(np.random.default_rng(1))
+        assert apt.time_scale == 8.0
+        assert apt.reintrusion_hours == 33
+
+    def test_encode_decode_roundtrip_on_paper_profiles(self):
+        space = AttackerParameterSpace()
+        for profile in (apt1(), apt2()):
+            decoded = space.decode(space.encode(profile))
+            assert decoded.lateral_threshold == profile.lateral_threshold
+            assert decoded.plc_threshold_destroy == profile.plc_threshold_destroy
+            assert decoded.objective == profile.objective
+            assert decoded.vector == profile.vector
+
+    def test_decode_rejects_wrong_dim(self):
+        space = AttackerParameterSpace()
+        with pytest.raises(ValueError):
+            space.decode(np.zeros(space.dim + 1))
+
+    def test_rejects_duplicate_names(self):
+        spec = ParameterSpec("labor_rate", 1, 4, kind="int")
+        with pytest.raises(ValueError):
+            AttackerParameterSpace(specs=(spec, spec))
+
+    @given(st.lists(st.floats(-2, 3), min_size=8, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_any_vector_decodes_to_valid_config(self, values):
+        """Decoding never produces an APTConfig that fails validation
+        (APTConfig.__post_init__ raises on out-of-range values)."""
+        space = AttackerParameterSpace()
+        apt = space.decode(space.clip(np.array(values)))
+        assert isinstance(apt, APTConfig)
+
+
+class TestCrossEntropySearch:
+    def _quadratic_space(self):
+        """Search space where fitness peaks at a known interior point."""
+        return AttackerParameterSpace(
+            specs=(
+                ParameterSpec("cleanup_effectiveness", 0.0, 1.0),
+                ParameterSpec("lateral_threshold", 1, 6, kind="int"),
+            )
+        )
+
+    def test_converges_on_synthetic_quadratic(self):
+        space = self._quadratic_space()
+        target = 0.8
+
+        def fitness(apt: APTConfig) -> float:
+            return -((apt.cleanup_effectiveness - target) ** 2)
+
+        search = CrossEntropySearch(space, fitness, population=16, seed=0)
+        result = search.run(iterations=12)
+        assert result.best_config.cleanup_effectiveness == pytest.approx(
+            target, abs=0.08
+        )
+        assert result.evaluations == 16 * 12
+
+    def test_history_tracks_monotone_best(self):
+        space = self._quadratic_space()
+        search = CrossEntropySearch(
+            space, lambda apt: -apt.cleanup_effectiveness, population=8, seed=1
+        )
+        result = search.run(iterations=5)
+        best_series = [h[2] for h in result.history]
+        assert best_series == sorted(best_series)
+
+    def test_rejects_tiny_population(self):
+        space = self._quadratic_space()
+        with pytest.raises(ValueError):
+            CrossEntropySearch(space, lambda apt: 0.0, population=1)
+
+    def test_rejects_bad_elite_frac(self):
+        space = self._quadratic_space()
+        with pytest.raises(ValueError):
+            CrossEntropySearch(space, lambda apt: 0.0, elite_frac=0.0)
+
+    def test_fixed_defender_fitness_runs(self):
+        cfg = tiny_network(tmax=40)
+        fitness = make_defender_fitness(cfg, NoopPolicy(), episodes=1,
+                                        max_steps=40)
+        utility = fitness(cfg.apt)
+        assert np.isfinite(utility)
+
+    def test_undefended_network_is_more_exploitable(self):
+        """The attacker's utility against no defense must beat its
+        utility against the playbook on identical seeds."""
+        cfg = tiny_network(tmax=120)
+        apt = cfg.apt
+        noop = make_defender_fitness(cfg, NoopPolicy(), episodes=2,
+                                     max_steps=120)(apt)
+        playbook = make_defender_fitness(cfg, PlaybookPolicy(), episodes=2,
+                                         max_steps=120)(apt)
+        assert noop >= playbook
+
+
+class TestAttackerPopulation:
+    def test_uniform_weights_by_default(self):
+        pop = AttackerPopulation([apt1(), apt2()])
+        assert np.allclose(pop.probabilities, [0.5, 0.5])
+
+    def test_add_extends(self):
+        pop = AttackerPopulation([apt1()])
+        pop.add(apt2(), weight=3.0)
+        assert len(pop) == 2
+        assert np.allclose(pop.probabilities, [0.25, 0.75])
+
+    def test_sample_respects_weights(self):
+        pop = AttackerPopulation([apt1(), apt2()], weights=[0.0, 1.0])
+        rng = np.random.default_rng(0)
+        assert all(pop.sample(rng) == apt2() for _ in range(10))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AttackerPopulation([])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            AttackerPopulation([apt1()], weights=[-1.0])
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            AttackerPopulation([apt1()], weights=[1.0, 2.0])
+
+
+class TestRobustnessMatrix:
+    def test_matrix_shape_and_metrics(self):
+        cfg = tiny_network(tmax=30)
+        matrix = robustness_matrix(
+            cfg,
+            defenders={"noop": NoopPolicy(), "random": SemiRandomPolicy(seed=0)},
+            attackers={"APT1": apt1(time_scale=10.0),
+                       "APT2": apt2(time_scale=10.0)},
+            episodes=1,
+            max_steps=30,
+        )
+        assert set(matrix) == {"noop", "random"}
+        for row in matrix.values():
+            assert set(row) == {"APT1", "APT2"}
+            for agg in row.values():
+                assert np.isfinite(agg.mean("discounted_return"))
+
+    def test_format_matrix_contains_all_names(self):
+        cfg = tiny_network(tmax=20)
+        matrix = robustness_matrix(
+            cfg, {"noop": NoopPolicy()}, {"APT1": apt1(time_scale=10.0)},
+            episodes=1, max_steps=20,
+        )
+        text = format_matrix(matrix, metric="avg_it_cost")
+        assert "noop" in text and "APT1" in text
+
+    def test_identical_seeds_make_cells_comparable(self):
+        """The same defender twice gives identical cells."""
+        cfg = tiny_network(tmax=30)
+        matrix = robustness_matrix(
+            cfg,
+            {"a": NoopPolicy(), "b": NoopPolicy()},
+            {"APT1": apt1(time_scale=10.0)},
+            episodes=2, max_steps=30,
+        )
+        assert (
+            matrix["a"]["APT1"].mean("discounted_return")
+            == matrix["b"]["APT1"].mean("discounted_return")
+        )
+
+
+class TestSelfPlayLoop:
+    def test_one_round_structure(self, tiny_tables):
+        from repro.defenders.acso import ACSOPolicy
+        from repro.rl import (
+            ACSOFeaturizer,
+            AttentionQNetwork,
+            DQNConfig,
+            DQNTrainer,
+            QNetConfig,
+        )
+
+        cfg = tiny_network(tmax=30)
+        env = repro.make_env(cfg, seed=0)
+        qnet = AttentionQNetwork(
+            QNetConfig(d_model=8, n_heads=2, encoder_hidden=16,
+                       head_hidden=16),
+            seed=0,
+        )
+        featurizer = ACSOFeaturizer(env.topology, tiny_tables)
+        trainer = DQNTrainer(
+            env, qnet, featurizer,
+            DQNConfig(batch_size=8, warmup=8, update_every=4,
+                      buffer_size=500),
+        )
+        loop = SelfPlayLoop(
+            cfg,
+            trainer,
+            ACSOPolicy(qnet, tiny_tables),
+            selfplay=SelfPlayConfig(
+                rounds=1, train_episodes=1, train_max_steps=15,
+                cem_iterations=1, cem_population=2, fitness_episodes=1,
+                eval_episodes=1, eval_max_steps=15,
+            ),
+        )
+        rounds = loop.run()
+        assert len(rounds) == 1
+        record = rounds[0]
+        assert np.isfinite(record.best_response_utility)
+        assert np.isfinite(record.population_utility)
+        assert record.exploitability == pytest.approx(
+            record.best_response_utility - record.population_utility
+        )
+        # the best response joined the population
+        assert len(loop.population) == 2
+        assert loop.population.members[-1] == record.best_response
+
+    def test_attack_utility_sign(self):
+        """Higher defender return means lower attacker utility."""
+
+        class FakeAgg:
+            def __init__(self, value):
+                self.value = value
+
+            def mean(self, metric):
+                return self.value
+
+        assert attack_utility(FakeAgg(2000.0)) < attack_utility(FakeAgg(1000.0))

@@ -1,0 +1,210 @@
+"""Tests for APT action execution semantics."""
+
+import numpy as np
+import pytest
+
+from repro.config import APTConfig, tiny_network
+from repro.net import Condition, ServerRole, build_topology
+from repro.net.topology import L1_OPS, L2_OPS, L2_QUAR
+from repro.sim.apt_actions import (
+    APT_ACTION_SPECS,
+    APTActionRequest,
+    APTActionType,
+    APTKnowledge,
+    apply_apt_action,
+    sample_duration,
+)
+from repro.sim.state import NetworkState
+
+_A = APTActionType
+
+
+@pytest.fixture()
+def topo():
+    return build_topology(tiny_network().topology)
+
+
+@pytest.fixture()
+def state(topo):
+    return NetworkState(topo)
+
+
+@pytest.fixture()
+def know():
+    return APTKnowledge()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def apt_cfg():
+    return APTConfig()
+
+
+def _beachhead(state, know, node=0):
+    state.set_condition(node, Condition.SCANNED)
+    state.set_condition(node, Condition.COMPROMISED)
+    know.known_vlan[node] = state.node_vlan[node]
+    return node
+
+
+def _apply(req, state, know, topo, cfg, rng):
+    return apply_apt_action(req, state, know, topo, cfg, rng)
+
+
+class TestSampleDuration:
+    def test_at_least_one_hour(self, rng):
+        spec = APT_ACTION_SPECS[_A.FLASH_FIRMWARE]
+        assert sample_duration(spec, rng) == 1
+
+    def test_time_scale_shortens(self, rng):
+        spec = APT_ACTION_SPECS[_A.SCAN_VLAN]
+        base = [sample_duration(spec, np.random.default_rng(i)) for i in range(50)]
+        fast = [sample_duration(spec, np.random.default_rng(i), 10.0) for i in range(50)]
+        assert np.mean(fast) < np.mean(base)
+        assert min(fast) >= 1
+
+    def test_mean_close_to_np(self, rng):
+        spec = APT_ACTION_SPECS[_A.COMPROMISE]
+        samples = [sample_duration(spec, rng) for _ in range(300)]
+        assert np.mean(samples) == pytest.approx(60 * 0.8, rel=0.1)
+
+
+class TestScanVlan:
+    def test_marks_nodes_scanned(self, state, know, topo, apt_cfg, rng):
+        src = _beachhead(state, know)
+        req = APTActionRequest(_A.SCAN_VLAN, src, target_vlan=L2_OPS)
+        assert _apply(req, state, know, topo, apt_cfg, rng)
+        for node_id in topo.nodes_in_vlan(L2_OPS, state.node_vlan):
+            assert state.has_condition(node_id, Condition.SCANNED)
+        assert L2_OPS in know.scanned_vlans
+
+    def test_fails_without_compromised_source(self, state, know, topo, apt_cfg, rng):
+        req = APTActionRequest(_A.SCAN_VLAN, 0, target_vlan=L2_OPS)
+        assert not _apply(req, state, know, topo, apt_cfg, rng)
+
+    def test_fails_from_quarantined_source(self, state, know, topo, apt_cfg, rng):
+        src = _beachhead(state, know)
+        state.move_node(src, L2_QUAR)
+        req = APTActionRequest(_A.SCAN_VLAN, src, target_vlan=L2_OPS)
+        assert not _apply(req, state, know, topo, apt_cfg, rng)
+
+
+class TestCompromise:
+    def test_succeeds_on_scanned_known_node(self, state, know, topo, apt_cfg, rng):
+        src = _beachhead(state, know)
+        _apply(APTActionRequest(_A.SCAN_VLAN, src, target_vlan=L2_OPS),
+               state, know, topo, apt_cfg, rng)
+        target = 1
+        req = APTActionRequest(_A.COMPROMISE, src, target_node=target)
+        assert _apply(req, state, know, topo, apt_cfg, rng)
+        assert state.is_compromised(target)
+
+    def test_fails_on_unscanned_node(self, state, know, topo, apt_cfg, rng):
+        src = _beachhead(state, know)
+        req = APTActionRequest(_A.COMPROMISE, src, target_node=1)
+        assert not _apply(req, state, know, topo, apt_cfg, rng)
+
+    def test_fails_when_node_moved_since_scan(self, state, know, topo, apt_cfg, rng):
+        src = _beachhead(state, know)
+        _apply(APTActionRequest(_A.SCAN_VLAN, src, target_vlan=L2_OPS),
+               state, know, topo, apt_cfg, rng)
+        state.move_node(1, L2_QUAR)  # defender quarantines before completion
+        req = APTActionRequest(_A.COMPROMISE, src, target_node=1)
+        assert not _apply(req, state, know, topo, apt_cfg, rng)
+        assert not state.is_compromised(1)
+
+
+class TestNodeHardening:
+    @pytest.mark.parametrize(
+        "atype, cond, needs_admin",
+        [
+            (_A.REBOOT_PERSIST, Condition.REBOOT_PERSIST, False),
+            (_A.ESCALATE, Condition.ADMIN, False),
+            (_A.CRED_PERSIST, Condition.CRED_PERSIST, True),
+            (_A.CLEANUP, Condition.CLEANED, True),
+        ],
+    )
+    def test_ladder(self, state, know, topo, apt_cfg, rng, atype, cond, needs_admin):
+        node = _beachhead(state, know)
+        if needs_admin:
+            state.set_condition(node, Condition.ADMIN)
+        req = APTActionRequest(atype, node, target_node=node)
+        assert _apply(req, state, know, topo, apt_cfg, rng)
+        assert state.has_condition(node, cond)
+
+    def test_cred_persist_without_admin_fails(self, state, know, topo, apt_cfg, rng):
+        node = _beachhead(state, know)
+        req = APTActionRequest(_A.CRED_PERSIST, node, target_node=node)
+        assert not _apply(req, state, know, topo, apt_cfg, rng)
+
+
+class TestDiscovery:
+    def test_discover_vlan(self, state, know, topo, apt_cfg, rng):
+        src = _beachhead(state, know)
+        assert _apply(APTActionRequest(_A.DISCOVER_VLAN, src), state, know,
+                      topo, apt_cfg, rng)
+        assert set(topo.ops_vlans()) <= know.discovered_vlans
+
+    def test_discover_server_finds_servers_only(self, state, know, topo, apt_cfg, rng):
+        src = _beachhead(state, know)
+        req = APTActionRequest(_A.DISCOVER_SERVER, src, target_vlan=L2_OPS)
+        assert _apply(req, state, know, topo, apt_cfg, rng)
+        servers = {n.node_id for n in topo.nodes if n.is_server}
+        assert know.discovered_servers == servers
+
+    def test_discover_plc_batches(self, state, know, topo, apt_cfg, rng):
+        src = _beachhead(state, know)
+        req = APTActionRequest(_A.DISCOVER_PLC, src, target_vlan=L1_OPS)
+        assert _apply(req, state, know, topo, apt_cfg, rng)
+        assert 0 < len(know.discovered_plcs) <= apt_cfg.plcs_per_discovery
+        # repeating eventually discovers everything
+        for _ in range(10):
+            _apply(req, state, know, topo, apt_cfg, rng)
+        assert len(know.discovered_plcs) == topo.n_plcs
+
+    def test_analyze_historian_requires_admin(self, state, know, topo, apt_cfg, rng):
+        historian = topo.server(ServerRole.HISTORIAN).node_id
+        req = APTActionRequest(_A.ANALYZE_HISTORIAN, historian, target_node=historian)
+        assert not _apply(req, state, know, topo, apt_cfg, rng)
+        _beachhead(state, know, historian)
+        state.set_condition(historian, Condition.ADMIN)
+        assert _apply(req, state, know, topo, apt_cfg, rng)
+        assert know.historian_analyzed
+
+
+class TestPLCAttacks:
+    def _armed_source(self, state, know, topo):
+        opc = topo.server(ServerRole.OPC).node_id
+        _beachhead(state, know, opc)
+        state.set_condition(opc, Condition.ADMIN)
+        return opc
+
+    def test_disrupt(self, state, know, topo, apt_cfg, rng):
+        src = self._armed_source(state, know, topo)
+        req = APTActionRequest(_A.DISRUPT_PLC, src, target_plc=0)
+        assert _apply(req, state, know, topo, apt_cfg, rng)
+        assert state.plc_disrupted[0]
+
+    def test_destroy_requires_firmware(self, state, know, topo, apt_cfg, rng):
+        src = self._armed_source(state, know, topo)
+        destroy = APTActionRequest(_A.DESTROY_PLC, src, target_plc=0)
+        assert not _apply(destroy, state, know, topo, apt_cfg, rng)
+        flash = APTActionRequest(_A.FLASH_FIRMWARE, src, target_plc=0)
+        assert _apply(flash, state, know, topo, apt_cfg, rng)
+        assert _apply(destroy, state, know, topo, apt_cfg, rng)
+        assert state.plc_destroyed[0]
+
+    def test_attack_requires_admin(self, state, know, topo, apt_cfg, rng):
+        src = _beachhead(state, know)  # compromised but not admin
+        req = APTActionRequest(_A.DISRUPT_PLC, src, target_plc=0)
+        assert not _apply(req, state, know, topo, apt_cfg, rng)
+
+    def test_destroyed_plc_cannot_be_redisrupted(self, state, know, topo, apt_cfg, rng):
+        src = self._armed_source(state, know, topo)
+        state.plc_destroyed[0] = True
+        req = APTActionRequest(_A.DISRUPT_PLC, src, target_plc=0)
+        assert not _apply(req, state, know, topo, apt_cfg, rng)

@@ -1,0 +1,166 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        commands = set(sub.choices)
+        assert commands == {
+            "topology", "simulate", "evaluate", "fig6", "fig10",
+            "fit-dbn", "trace", "config",
+        }
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["topology", "--preset", "huge"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "magic"])
+
+
+class TestTopology:
+    def test_prints_inventory(self, capsys):
+        assert main(["topology", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes: 6" in out
+        assert "plcs: 4" in out
+        assert "server-opc" in out
+
+    def test_paper_preset_counts(self, capsys):
+        main(["topology", "--preset", "paper"])
+        out = capsys.readouterr().out
+        assert "nodes: 33" in out
+        assert "plcs: 50" in out
+
+
+class TestSimulate:
+    def test_noop_policy_runs(self, capsys):
+        code = main([
+            "simulate", "--preset", "tiny", "--policy", "noop",
+            "--episodes", "1", "--max-steps", "20",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Discounted Return" in out
+        assert "noop" in out
+
+    def test_verbose_prints_per_episode(self, capsys):
+        main([
+            "simulate", "--preset", "tiny", "--policy", "playbook",
+            "--episodes", "2", "--max-steps", "15", "--verbose",
+        ])
+        out = capsys.readouterr().out
+        assert out.count("seed=") == 2
+
+
+class TestConfigCommand:
+    def test_prints_valid_json(self, capsys):
+        main(["config", "--preset", "tiny"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["topology"]["plcs"] == 4
+
+    def test_config_file_roundtrip(self, capsys, tmp_path):
+        main(["config", "--preset", "tiny"])
+        path = tmp_path / "c.json"
+        path.write_text(capsys.readouterr().out)
+        code = main([
+            "simulate", "--config", str(path), "--policy", "noop",
+            "--episodes", "1", "--max-steps", "10",
+        ])
+        assert code == 0
+
+    def test_max_steps_caps_tmax(self, capsys):
+        main(["config", "--preset", "tiny", "--max-steps", "50"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["tmax"] == 50
+
+
+class TestTrace:
+    def test_writes_jsonl(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.jsonl"
+        code = main([
+            "trace", "--preset", "tiny", "--policy", "random",
+            "--max-steps", "15", "--out", str(out_path),
+        ])
+        assert code == 0
+        lines = out_path.read_text().strip().split("\n")
+        assert len(lines) == 16  # header + 15 steps
+        assert "wrote 15-step trace" in capsys.readouterr().out
+
+
+class TestFitDbn:
+    def test_writes_tables(self, capsys, tmp_path):
+        out_path = tmp_path / "tables.npz"
+        code = main([
+            "fit-dbn", "--preset", "tiny", "--episodes", "2",
+            "--max-steps", "30", "--out", str(out_path),
+        ])
+        assert code == 0
+        from repro.dbn import DBNTables
+
+        tables = DBNTables.load(out_path)
+        assert tables.transition.ndim == 4
+
+
+@pytest.fixture(scope="module")
+def dbn_file(tmp_path_factory):
+    """Tables fitted once and passed to the experiment subcommands via
+    --dbn, so they skip the fit-on-the-fly path."""
+    path = tmp_path_factory.mktemp("cli") / "tables.npz"
+    main(["fit-dbn", "--preset", "tiny", "--episodes", "2",
+          "--max-steps", "30", "--out", str(path)])
+    return str(path)
+
+
+class TestExperimentCommands:
+    def test_evaluate_prints_all_baselines(self, capsys, dbn_file):
+        code = main([
+            "evaluate", "--preset", "tiny", "--episodes", "1",
+            "--max-steps", "20", "--dbn", dbn_file,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("DBN Expert", "Playbook", "Semi Random"):
+            assert name in out
+
+    def test_fig6_prints_both_panels(self, capsys, dbn_file):
+        code = main([
+            "fig6", "--preset", "tiny", "--episodes", "1",
+            "--max-steps", "15", "--dbn", dbn_file,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final_plcs_offline" in out
+        assert "avg_nodes_compromised" in out
+
+    def test_fig10_prints_both_attackers(self, capsys, dbn_file):
+        code = main([
+            "fig10", "--preset", "tiny", "--episodes", "1",
+            "--max-steps", "15", "--dbn", dbn_file,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "APT1" in out and "APT2" in out
+
+    def test_acso_policy_with_untrained_network(self, capsys, dbn_file):
+        code = main([
+            "simulate", "--preset", "tiny", "--policy", "acso",
+            "--episodes", "1", "--max-steps", "10", "--dbn", dbn_file,
+        ])
+        assert code == 0
+        assert "acso" in capsys.readouterr().out

@@ -1,0 +1,83 @@
+"""Tests for repro.config presets and validation."""
+
+import pytest
+
+from repro.config import (
+    APTConfig,
+    RewardConfig,
+    SimConfig,
+    TopologyConfig,
+    paper_network,
+    small_network,
+    tiny_network,
+)
+
+
+class TestTopologyConfig:
+    def test_paper_counts(self):
+        topo = paper_network().topology
+        assert topo.l2_workstations == 25
+        assert topo.n_servers == 3
+        assert topo.l1_hmis == 5
+        assert topo.plcs == 50
+        assert topo.n_nodes == 33
+        assert topo.n_hosts == 30
+
+    def test_small_network_is_grid_search_config(self):
+        topo = small_network().topology
+        assert (topo.l2_workstations, topo.l1_hmis, topo.plcs) == (10, 3, 30)
+
+    def test_tiny_network_small_and_fast(self):
+        cfg = tiny_network()
+        assert cfg.topology.n_nodes <= 8
+        assert cfg.apt.time_scale > 1
+
+
+class TestAPTConfig:
+    def test_defaults_match_paper(self):
+        apt = APTConfig()
+        assert apt.lateral_threshold == 3
+        assert apt.plc_threshold_destroy == 15
+        assert apt.plc_threshold_disrupt == 25
+        assert apt.labor_rate == 2
+        assert apt.cleanup_effectiveness == 0.5
+
+    def test_plc_threshold_follows_objective(self):
+        assert APTConfig(objective="destroy").plc_threshold == 15
+        assert APTConfig(objective="disrupt").plc_threshold == 25
+
+    @pytest.mark.parametrize("bad", [{"objective": "steal"}, {"vector": "usb"},
+                                     {"cleanup_effectiveness": 1.5},
+                                     {"time_scale": 0.0}])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            APTConfig(**bad)
+
+
+class TestRewardConfig:
+    def test_terminal_reward_is_inverse_gap(self):
+        cfg = RewardConfig()
+        assert cfg.terminal_reward == pytest.approx(1.0 / (1.0 - cfg.gamma))
+
+    def test_paper_gamma(self):
+        assert RewardConfig().gamma == 0.9995
+
+
+class TestSimConfig:
+    def test_default_horizon(self):
+        assert paper_network().tmax == 5000
+
+    def test_with_apt_replaces_only_apt(self):
+        cfg = paper_network()
+        new_apt = APTConfig(objective="disrupt")
+        cfg2 = cfg.with_apt(new_apt)
+        assert cfg2.apt.objective == "disrupt"
+        assert cfg2.topology is cfg.topology
+        assert cfg.apt.objective == "destroy"  # original untouched
+
+    def test_with_tmax(self):
+        assert paper_network().with_tmax(10).tmax == 10
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            paper_network().tmax = 1

@@ -1,0 +1,85 @@
+"""Tests for config JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.config import (
+    APTConfig,
+    SimConfig,
+    TopologyConfig,
+    paper_network,
+    small_network,
+    tiny_network,
+)
+from repro.config_io import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("factory", [paper_network, small_network,
+                                         tiny_network])
+    def test_presets_roundtrip(self, factory):
+        config = factory()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_roundtrip_through_json_text(self):
+        config = tiny_network()
+        text = json.dumps(config_to_dict(config))
+        assert config_from_dict(json.loads(text)) == config
+
+    def test_file_roundtrip(self, tmp_path):
+        config = small_network(tmax=123)
+        path = tmp_path / "config.json"
+        save_config(config, path)
+        assert load_config(path) == config
+
+    def test_custom_values_survive(self):
+        config = SimConfig(
+            topology=TopologyConfig(l2_workstations=7,
+                                    l2_servers=("opc",), l1_hmis=2, plcs=9),
+            apt=APTConfig(objective="disrupt", vector="hmi",
+                          cleanup_effectiveness=0.77),
+            tmax=444,
+        )
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+        assert restored.topology.l2_servers == ("opc",)
+        assert restored.apt.cleanup_effectiveness == 0.77
+
+
+class TestValidation:
+    def test_unknown_top_level_field_rejected(self):
+        data = config_to_dict(tiny_network())
+        data["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            config_from_dict(data)
+
+    def test_unknown_nested_field_rejected(self):
+        data = config_to_dict(tiny_network())
+        data["apt"]["stealth_level"] = 11
+        with pytest.raises(ValueError, match="stealth_level"):
+            config_from_dict(data)
+
+    def test_invalid_apt_values_rejected_by_dataclass(self):
+        data = config_to_dict(tiny_network())
+        data["apt"]["objective"] = "annoy"
+        with pytest.raises(ValueError):
+            config_from_dict(data)
+
+    def test_missing_sections_default(self):
+        config = config_from_dict({"tmax": 77})
+        assert config.tmax == 77
+        assert config.topology == TopologyConfig()
+
+    def test_saved_file_is_pretty_json(self, tmp_path):
+        path = tmp_path / "config.json"
+        save_config(tiny_network(), path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text)  # valid JSON
+        assert "\n  " in text  # indented

@@ -1,0 +1,160 @@
+"""Tests for the FSM attacker: phase sequences, criteria, reversion."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.attacker import FSMAttacker, Phase, apt1, apt2
+from repro.attacker.fsm import phase_sequence
+from repro.config import APTConfig, tiny_network
+from repro.sim.orchestrator import DefenderAction, DefenderActionType
+
+
+class TestPhaseSequence:
+    def test_destroy_opc(self):
+        seq = phase_sequence("destroy", "opc")
+        assert seq == [
+            Phase.LATERAL_MOVEMENT_L2, Phase.PROCESS_DISCOVERY,
+            Phase.NETWORK_DISCOVERY, Phase.OPC_COMPROMISE,
+            Phase.PLC_DISCOVERY, Phase.FIRMWARE_COMPROMISE, Phase.EXECUTE,
+        ]
+
+    def test_disrupt_skips_firmware(self):
+        assert Phase.FIRMWARE_COMPROMISE not in phase_sequence("disrupt", "opc")
+
+    def test_hmi_vector_captures_hmis(self):
+        seq = phase_sequence("disrupt", "hmi")
+        assert Phase.HMI_CAPTURE in seq
+        assert Phase.LATERAL_MOVEMENT_L1 in seq
+        assert Phase.OPC_COMPROMISE not in seq
+
+    def test_all_four_configs_end_with_execute(self):
+        for objective in ("disrupt", "destroy"):
+            for vector in ("opc", "hmi"):
+                assert phase_sequence(objective, vector)[-1] is Phase.EXECUTE
+
+
+class TestQualitativeSampling:
+    def test_sampling_covers_configs(self):
+        attacker = FSMAttacker(APTConfig(), sample_qualitative=True)
+        seen = set()
+        for seed in range(30):
+            attacker.reset(np.random.default_rng(seed))
+            seen.add((attacker.objective, attacker.vector))
+        assert len(seen) == 4
+
+    def test_fixed_config_respected(self):
+        attacker = FSMAttacker(
+            APTConfig(objective="disrupt", vector="hmi"), sample_qualitative=False
+        )
+        attacker.reset(np.random.default_rng(0))
+        assert (attacker.objective, attacker.vector) == ("disrupt", "hmi")
+
+    def test_plc_threshold_switches_with_objective(self):
+        attacker = FSMAttacker(APTConfig(), sample_qualitative=False)
+        attacker.objective = "destroy"
+        assert attacker.plc_threshold == 15
+        attacker.objective = "disrupt"
+        assert attacker.plc_threshold == 25
+
+
+@pytest.mark.parametrize("objective,vector", [
+    ("destroy", "opc"), ("disrupt", "opc"), ("destroy", "hmi"), ("disrupt", "hmi"),
+])
+def test_full_attack_completes(objective, vector):
+    """Every FSM configuration reaches its goal against a passive defender."""
+    cfg = tiny_network(tmax=400)
+    attacker = FSMAttacker(
+        APTConfig(
+            objective=objective, vector=vector, lateral_threshold=2,
+            hmi_threshold=1, plc_threshold_destroy=2, plc_threshold_disrupt=2,
+            time_scale=10.0,
+        ),
+        sample_qualitative=False,
+    )
+    env = repro.make_env(cfg, seed=0, attacker=attacker)
+    env.reset(seed=2)
+    phases = set()
+    done, info = False, {}
+    while not done:
+        _, _, done, info = env.step(None)
+        phases.add(info["apt_phase"])
+    assert info["n_plcs_offline"] >= 2
+    if objective == "destroy":
+        assert info["n_plcs_destroyed"] >= 2
+        assert "firmware_compromise" in phases
+    else:
+        assert info["n_plcs_destroyed"] == 0
+    assert "done" in phases
+
+
+class TestReversion:
+    def test_cleaning_nodes_reverts_phase(self):
+        """Re-imaging compromised nodes pushes the FSM back to lateral
+        movement (the Fig 3 reversion rule)."""
+        cfg = tiny_network(tmax=400)
+        attacker = FSMAttacker(cfg.apt, sample_qualitative=False)
+        env = repro.make_env(cfg, seed=0, attacker=attacker)
+        env.reset(seed=5)
+        # let the attack progress beyond lateral movement
+        for _ in range(120):
+            _, _, _, info = env.step(None)
+        assert info["apt_phase"] != "lateral_movement_l2"
+        # defender wipes every compromised node
+        state = env.sim.state
+        for node_id in np.flatnonzero(state.compromised_mask()):
+            state.clear_node(int(node_id))
+        _, _, _, info = env.step(None)
+        assert info["apt_phase"] == "lateral_movement_l2"
+
+    def test_plc_repair_triggers_reattack(self):
+        cfg = tiny_network(tmax=500)
+        attacker = FSMAttacker(
+            APTConfig(objective="disrupt", vector="opc", lateral_threshold=2,
+                      hmi_threshold=1, plc_threshold_disrupt=2, time_scale=10.0),
+            sample_qualitative=False,
+        )
+        env = repro.make_env(cfg, seed=0, attacker=attacker)
+        env.reset(seed=2)
+        done, info = False, {}
+        while not done and env.sim.state.n_plcs_offline() < 2:
+            _, _, done, info = env.step(None)
+        assert env.sim.state.n_plcs_offline() >= 2
+        # repair all PLCs; the EXECUTE criteria is no longer met
+        env.sim.state.plc_disrupted[:] = False
+        _, _, _, info = env.step(None)
+        assert info["apt_phase"] in ("execute", "plc_discovery")
+
+
+class TestProfiles:
+    def test_apt2_is_more_aggressive(self):
+        a1, a2 = apt1(), apt2()
+        assert a2.lateral_threshold < a1.lateral_threshold
+        assert a2.plc_threshold_destroy < a1.plc_threshold_destroy
+        assert a2.plc_threshold_disrupt < a1.plc_threshold_disrupt
+
+    def test_apt2_attacks_sooner(self):
+        """APT2 should reach the execute phase earlier than APT1."""
+        def first_execute_time(apt_cfg, seed=3):
+            cfg = tiny_network(tmax=400).with_apt(apt_cfg)
+            attacker = FSMAttacker(apt_cfg, sample_qualitative=False)
+            env = repro.make_env(cfg, seed=seed, attacker=attacker)
+            env.reset(seed=seed)
+            done = False
+            while not done:
+                _, _, done, info = env.step(None)
+                if info["apt_phase"] in ("execute", "done"):
+                    return info["t"]
+            return cfg.tmax
+
+        base = dict(objective="disrupt", vector="opc", time_scale=10.0)
+        t1 = first_execute_time(apt1(**base))
+        t2 = first_execute_time(apt2(**base))
+        assert t2 < t1
+
+    def test_cleanup_override(self):
+        from repro.attacker import with_cleanup_effectiveness
+
+        cfg = with_cleanup_effectiveness(apt1(), 0.9)
+        assert cfg.cleanup_effectiveness == 0.9
+        assert apt1().cleanup_effectiveness == 0.5

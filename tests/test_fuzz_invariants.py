@@ -1,0 +1,294 @@
+"""Fuzzed whole-simulation invariants and failure injection.
+
+These tests drive the full engine with randomized defender behaviour
+and verify the structural invariants every experiment silently relies
+on: the Table 1 condition lattice, labor-budget enforcement, busy-
+target rejection, PLC accounting, reward-envelope bounds, DBN simplex
+preservation, and determinism under fuzzing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.config import tiny_network
+from repro.dbn.states import N_STATES
+from repro.net.nodes import Condition
+from repro.sim.orchestrator import (
+    DEFENDER_ACTION_SPECS,
+    DefenderAction,
+    DefenderActionType,
+)
+
+_T = DefenderActionType
+
+
+def _random_actions(env, rng, max_actions=3):
+    """A burst of random (possibly conflicting) defender actions."""
+    count = int(rng.integers(0, max_actions + 1))
+    return [
+        env.action_list[int(rng.integers(env.n_actions))]
+        for _ in range(count)
+    ]
+
+
+def _check_condition_lattice(conditions: np.ndarray) -> None:
+    """Table 1's requirement column, as array implications."""
+    comp = conditions[:, Condition.COMPROMISED]
+    scanned = conditions[:, Condition.SCANNED]
+    admin = conditions[:, Condition.ADMIN]
+    assert not (comp & ~scanned).any(), "compromise requires scanned"
+    assert not (admin & ~comp).any(), "admin requires compromise"
+    assert not (
+        conditions[:, Condition.REBOOT_PERSIST] & ~comp
+    ).any(), "reboot persistence requires compromise"
+    assert not (
+        conditions[:, Condition.CRED_PERSIST] & ~admin
+    ).any(), "credential persistence requires admin"
+    assert not (
+        conditions[:, Condition.CLEANED] & ~admin
+    ).any(), "cleanup requires admin"
+
+
+class TestFuzzedEpisodes:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_engine_invariants_under_random_defense(self, seed):
+        env = repro.make_env(tiny_network(tmax=60), seed=seed)
+        env.reset(seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        apt = env.config.apt
+        last_t = 0
+        for _ in range(60):
+            obs, reward, done, info = env.step(_random_actions(env, rng))
+            # clock advances exactly one hour per step
+            assert info["t"] == last_t + 1
+            last_t = info["t"]
+            # Table 1 condition lattice holds at every step
+            _check_condition_lattice(info["conditions"])
+            # labor budget: never more in-flight APT actions than labor
+            assert len(env.sim.in_flight) <= apt.labor_rate
+            # PLC accounting
+            assert 0 <= info["n_plcs_offline"] <= env.topology.n_plcs
+            assert info["n_plcs_destroyed"] <= info["n_plcs_offline"]
+            # compromise counts are consistent
+            assert info["n_compromised"] == (
+                info["n_ws_compromised"] + info["n_srv_compromised"]
+            )
+            # per-step reward envelope: r = rPLC + lambda*rIT + rterm
+            rcfg = env.config.reward
+            r_min = (1.0 - rcfg.destroyed_penalty * env.topology.n_plcs
+                     + rcfg.lambda_it * (1.0 - 10.0))
+            r_max = 1.0 + rcfg.lambda_it + rcfg.terminal_reward
+            assert r_min <= reward <= r_max
+            if done:
+                break
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_fuzzed_episode_is_deterministic(self, seed):
+        def run():
+            env = repro.make_env(tiny_network(tmax=40), seed=seed)
+            env.reset(seed=seed)
+            rng = np.random.default_rng(seed)
+            rewards = []
+            for _ in range(40):
+                _, reward, done, info = env.step(_random_actions(env, rng))
+                rewards.append(reward)
+                if done:
+                    break
+            return rewards, info["conditions"].tolist()
+
+        first, second = run(), run()
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_dbn_stays_on_simplex_under_fuzz(self, tiny_tables, seed):
+        from repro.dbn.filter import DBNFilter
+
+        env = repro.make_env(tiny_network(tmax=40), seed=seed)
+        dbn = DBNFilter(tiny_tables, env.topology)
+        obs = env.reset(seed=seed)
+        rng = np.random.default_rng(seed + 2)
+        for _ in range(40):
+            beliefs = dbn.update(obs)
+            assert beliefs.shape == (env.topology.n_nodes, N_STATES)
+            assert np.allclose(beliefs.sum(axis=1), 1.0)
+            assert (beliefs >= -1e-12).all()
+            obs, _, done, _ = env.step(_random_actions(env, rng))
+            if done:
+                break
+
+
+class TestFailureInjection:
+    def test_busy_target_rejected_not_queued(self, tiny_env):
+        tiny_env.reset(seed=0)
+        action = DefenderAction(_T.REIMAGE, 0)  # 8-hour action
+        spec = DEFENDER_ACTION_SPECS[_T.REIMAGE]
+        _, _, _, info = tiny_env.step([action])
+        assert action in info["launched"]
+        busy_until = tiny_env.sim.state.node_busy_until[0]
+        assert busy_until == spec.duration
+        # relaunching on the busy node is silently rejected and the
+        # occupancy window is not extended
+        _, _, _, info = tiny_env.step([action])
+        assert action not in info["launched"]
+        assert tiny_env.sim.state.node_busy_until[0] == busy_until
+
+    def test_duplicate_actions_in_one_step_collapse(self, tiny_env):
+        tiny_env.reset(seed=0)
+        action = DefenderAction(_T.ADVANCED_SCAN, 1)
+        _, _, _, info = tiny_env.step([action, action, action])
+        assert info["launched"].count(action) == 1
+
+    def test_mitigating_clean_nodes_is_harmless(self, tiny_env):
+        """Reimaging the whole (clean) network never corrupts state."""
+        tiny_env.reset(seed=0)
+        before = tiny_env.sim.state.conditions.copy()
+        beachhead = int(np.flatnonzero(
+            before[:, Condition.COMPROMISED]
+        )[0])
+        actions = [
+            DefenderAction(_T.REIMAGE, node.node_id)
+            for node in tiny_env.topology.nodes
+        ]
+        tiny_env.step(actions)
+        for _ in range(10):
+            tiny_env.step([])
+        after = tiny_env.sim.state.conditions
+        _check_condition_lattice(after)
+        # every node except possibly a re-compromised one is nominal
+        clean_rows = [
+            n.node_id for n in tiny_env.topology.nodes
+            if n.node_id != beachhead
+        ]
+        for node_id in clean_rows:
+            assert not after[
+                node_id,
+                [Condition.ADMIN, Condition.CRED_PERSIST, Condition.CLEANED],
+            ].any()
+
+    def test_plc_repair_on_healthy_plc_is_noop(self, tiny_env):
+        tiny_env.reset(seed=0)
+        state = tiny_env.sim.state
+        assert not state.plc_disrupted.any()
+        for _ in range(3):
+            tiny_env.step([DefenderAction(_T.RESET_PLC, 0)])
+        assert not state.plc_disrupted.any()
+        assert not state.plc_destroyed.any()
+
+    def test_quarantine_toggle_is_involution(self, tiny_env):
+        tiny_env.reset(seed=0)
+        state = tiny_env.sim.state
+        home = state.node_vlan[0]
+        # quarantine completes within one step (1-hour duration)
+        tiny_env.step([DefenderAction(_T.QUARANTINE, 0)])
+        assert state.is_quarantined(0)
+        assert state.node_vlan[0] != home
+        # a second quarantine returns the node to its home VLAN
+        tiny_env.step([DefenderAction(_T.QUARANTINE, 0)])
+        assert not state.is_quarantined(0)
+        assert state.node_vlan[0] == home
+
+    def test_noop_flood_changes_nothing(self, tiny_env):
+        tiny_env.reset(seed=0)
+        noop = DefenderAction(_T.NOOP)
+        _, _, _, info = tiny_env.step([noop] * 50)
+        assert info["launched"] == []
+        assert info["it_cost"] == 0.0
+
+    def test_episode_terminates_exactly_at_tmax(self):
+        env = repro.make_env(tiny_network(tmax=25), seed=0)
+        env.reset(seed=0)
+        done = False
+        steps = 0
+        while not done:
+            _, reward, done, info = env.step([])
+            steps += 1
+            assert steps <= 25
+        assert steps == 25
+        # terminal step pays the 1/(1-gamma) bonus
+        assert reward > env.config.reward.terminal_reward - 2.0
+
+    def test_reset_fully_clears_state(self, tiny_env):
+        rng = np.random.default_rng(0)
+        tiny_env.reset(seed=0)
+        for _ in range(20):
+            tiny_env.step(_random_actions(tiny_env, rng))
+        obs = tiny_env.reset(seed=1)
+        assert tiny_env.t == 0
+        assert not obs.node_busy.any()
+        assert not obs.plc_busy.any()
+        assert tiny_env.sim.state.n_plcs_offline() == 0
+        assert len(tiny_env.sim.queue) == 0
+        assert len(tiny_env.sim.in_flight) == 0
+        # exactly the beachhead is compromised after reset
+        assert tiny_env.sim.state.n_compromised() == 1
+
+
+class TestAttackerDegenerateConfigs:
+    def test_labor_rate_one_attacker_still_progresses(self):
+        from dataclasses import replace
+
+        cfg = tiny_network(tmax=200)
+        cfg = cfg.with_apt(replace(cfg.apt, labor_rate=1))
+        env = repro.make_env(cfg, seed=3)
+        env.reset(seed=3)
+        compromised = []
+        for _ in range(200):
+            _, _, done, info = env.step([])
+            compromised.append(info["n_compromised"])
+            assert len(env.sim.in_flight) <= 1
+            if done:
+                break
+        assert max(compromised) >= 2  # lateral movement happened
+
+    def test_single_plc_network_runs(self):
+        from dataclasses import replace
+
+        from repro.config import SimConfig, TopologyConfig
+
+        cfg = tiny_network()
+        config = SimConfig(
+            topology=TopologyConfig(l2_workstations=2, l2_servers=("opc",),
+                                    l1_hmis=1, plcs=1),
+            apt=replace(cfg.apt, plc_threshold_destroy=1,
+                        plc_threshold_disrupt=1),
+            tmax=50,
+        )
+        env = repro.make_env(config, seed=0)
+        env.reset(seed=0)
+        for _ in range(50):
+            _, _, done, info = env.step([])
+            assert info["n_plcs_offline"] <= 1
+            if done:
+                break
+
+    def test_historianless_network_skips_process_discovery(self):
+        """The FSM must degrade gracefully when the precondition server
+        for its Process Discovery phase does not exist."""
+        from dataclasses import replace
+
+        from repro.config import SimConfig, TopologyConfig
+
+        cfg = tiny_network()
+        config = SimConfig(
+            topology=TopologyConfig(l2_workstations=3, l2_servers=("opc",),
+                                    l1_hmis=1, plcs=3),
+            apt=replace(cfg.apt, time_scale=10.0),
+            tmax=150,
+        )
+        env = repro.make_env(config, seed=1)
+        env.reset(seed=1)
+        phases = set()
+        for _ in range(150):
+            _, _, done, info = env.step([])
+            phases.add(info["apt_phase"])
+            if done:
+                break
+        # the attacker moved past the historian-gated phase
+        assert len(phases) > 2

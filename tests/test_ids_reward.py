@@ -1,0 +1,152 @@
+"""Tests for the IDS alert model and the reward module."""
+
+import numpy as np
+import pytest
+
+from repro.config import IDSConfig, RewardConfig, tiny_network
+from repro.net import Condition, build_topology
+from repro.net.topology import L1_OPS, L2_OPS
+from repro.sim.apt_actions import APTActionRequest, APTActionType
+from repro.sim.ids import IDSModule
+from repro.sim.observations import AlertSource
+from repro.sim.reward import RewardModule
+from repro.sim.state import NetworkState
+
+_A = APTActionType
+
+
+@pytest.fixture()
+def topo():
+    return build_topology(tiny_network().topology)
+
+
+@pytest.fixture()
+def state(topo):
+    return NetworkState(topo)
+
+
+def _ids(topo, seed=0, **kw):
+    return IDSModule(IDSConfig(**kw), topo, np.random.default_rng(seed))
+
+
+def _compromise(state, node, *extra):
+    state.set_condition(node, Condition.SCANNED)
+    state.set_condition(node, Condition.COMPROMISED)
+    for cond in extra:
+        state.set_condition(node, cond)
+
+
+class TestActionAlerts:
+    def test_zero_rate_never_alerts(self, topo, state):
+        ids = _ids(topo)
+        req = APTActionRequest(_A.ANALYZE_HISTORIAN, 0, target_node=0)
+        assert all(
+            ids.action_alert(req, state, t) is None for t in range(200)
+        )
+
+    def test_guaranteed_alert(self, topo, state):
+        ids = _ids(topo)
+        req = APTActionRequest(_A.DESTROY_PLC, 0, target_plc=0)  # rate 1.0
+        alert = ids.action_alert(req, state, 5)
+        assert alert is not None
+        assert alert.severity == 3
+        assert alert.source is AlertSource.APT_ACTION
+
+    def test_cross_level_message_alerts_more(self, topo, state):
+        """Commands from L2 to L1 PLCs traverse the firewall (x20)."""
+        n_trials = 4000
+        hits_local, hits_cross = 0, 0
+        hmi = next(n.node_id for n in topo.nodes if n.level == 1)
+        l2 = next(n.node_id for n in topo.nodes if n.level == 2)
+        for seed in range(n_trials):
+            ids = _ids(topo, seed=seed)
+            local = APTActionRequest(_A.DISCOVER_PLC, hmi, target_vlan=L1_OPS)
+            cross = APTActionRequest(_A.DISCOVER_PLC, l2, target_vlan=L1_OPS)
+            hits_local += ids.action_alert(local, state, 0) is not None
+            hits_cross += ids.action_alert(cross, state, 0) is not None
+        assert hits_local / n_trials == pytest.approx(0.03, abs=0.01)
+        assert hits_cross / n_trials == pytest.approx(
+            min(1.0, 0.03 * 20), abs=0.03
+        )
+
+    def test_message_alert_attributed_to_target(self, topo, state):
+        ids = _ids(topo)
+        req = APTActionRequest(_A.COMPROMISE, 0, target_node=2)
+        for t in range(500):
+            alert = ids.action_alert(req, state, t)
+            if alert is not None:
+                assert alert.node_id == 2
+                return
+        pytest.fail("expected at least one alert in 500 draws")
+
+
+class TestPassiveAlerts:
+    def test_none_when_clean(self, topo, state):
+        ids = _ids(topo)
+        assert ids.passive_alerts(state, 0, 0.5) == []
+
+    def test_rate_on_compromised(self, topo, state):
+        _compromise(state, 0)
+        hits = 0
+        ids = _ids(topo)
+        for t in range(3000):
+            hits += len(ids.passive_alerts(state, t, 0.5))
+        assert hits / 3000 == pytest.approx(0.1, abs=0.02)
+
+    def test_cleanup_reduces_rate(self, topo, state):
+        _compromise(state, 0, Condition.ADMIN, Condition.CLEANED)
+        ids = _ids(topo)
+        hits = sum(len(ids.passive_alerts(state, t, 0.9)) for t in range(3000))
+        assert hits / 3000 == pytest.approx(0.01, abs=0.01)
+
+    def test_severity_reflects_depth(self, topo, state):
+        _compromise(state, 0)
+        _compromise(state, 1, Condition.ADMIN)
+        ids = _ids(topo)
+        severities = {0: set(), 1: set()}
+        for t in range(2000):
+            for alert in ids.passive_alerts(state, t, 0.0):
+                severities[alert.node_id].add(alert.severity)
+        assert severities[0] == {1}
+        assert severities[1] == {2}
+
+
+class TestFalseAlerts:
+    def test_rates_per_level_and_severity(self, topo):
+        ids = _ids(topo)
+        counts = np.zeros(4)
+        n = 20000
+        for t in range(n):
+            for alert in ids.false_alerts(t):
+                assert alert.source is AlertSource.FALSE
+                counts[alert.severity] += 1
+        # two levels, so expected rate is 2x the per-level rate
+        assert counts[1] / n == pytest.approx(2 * 5e-2, rel=0.15)
+        assert counts[2] / n == pytest.approx(2 * 5e-3, rel=0.4)
+        assert counts[3] / n > 0
+
+
+class TestRewardModule:
+    def test_nominal_step(self):
+        module = RewardModule(RewardConfig())
+        r = module.compute(0, 0, 0.0, 1, 5000)
+        assert r.total == pytest.approx(1.0 + 0.1 * 1.0)
+
+    def test_plc_penalties(self):
+        module = RewardModule(RewardConfig())
+        r = module.compute(2, 3, 0.0, 1, 5000)
+        assert r.r_plc == pytest.approx(1 - 0.05 * 2 - 0.1 * 3)
+
+    def test_it_cost_penalty(self):
+        module = RewardModule(RewardConfig())
+        r = module.compute(0, 0, 0.25, 1, 5000)
+        assert r.r_it == pytest.approx(0.75)
+        assert r.total == pytest.approx(1.0 + 0.1 * 0.75)
+
+    def test_terminal_bonus_only_at_tmax(self):
+        module = RewardModule(RewardConfig())
+        assert module.compute(0, 0, 0, 4999, 5000).r_term == 0.0
+        assert module.compute(0, 0, 0, 5000, 5000).r_term == pytest.approx(2000.0)
+
+    def test_max_step_reward(self):
+        assert RewardModule(RewardConfig()).max_step_reward == pytest.approx(1.1)

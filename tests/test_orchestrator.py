@@ -1,0 +1,167 @@
+"""Tests for defender actions: scans, mitigations, quarantine."""
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_network
+from repro.net import Condition, NodeType, build_topology
+from repro.sim.orchestrator import (
+    DEFENDER_ACTION_SPECS,
+    DefenderAction,
+    DefenderActionType,
+    HOST_ACTIONS,
+    PLC_ACTIONS,
+    SERVER_ACTIONS,
+    apply_mitigation,
+    enumerate_actions,
+    scan_detection_prob,
+)
+from repro.sim.state import NetworkState
+
+_T = DefenderActionType
+
+
+@pytest.fixture()
+def topo():
+    return build_topology(tiny_network().topology)
+
+
+@pytest.fixture()
+def state(topo):
+    return NetworkState(topo)
+
+
+def _compromise(state, node, *extra):
+    state.set_condition(node, Condition.SCANNED)
+    state.set_condition(node, Condition.COMPROMISED)
+    for cond in extra:
+        state.set_condition(node, cond)
+
+
+class TestMenus:
+    def test_host_menu_has_quarantine_servers_do_not(self):
+        assert _T.QUARANTINE in HOST_ACTIONS
+        assert _T.QUARANTINE not in SERVER_ACTIONS
+        assert set(SERVER_ACTIONS) < set(HOST_ACTIONS)
+
+    def test_plc_menu(self):
+        assert PLC_ACTIONS == (_T.RESET_PLC, _T.REPLACE_PLC)
+
+    def test_enumerate_counts(self, topo):
+        actions = enumerate_actions(topo)
+        hosts = sum(1 for n in topo.nodes if not n.is_server)
+        servers = topo.n_nodes - hosts
+        expected = 1 + hosts * len(HOST_ACTIONS) + servers * len(SERVER_ACTIONS) \
+            + topo.n_plcs * len(PLC_ACTIONS)
+        assert len(actions) == expected
+        assert actions[0].is_noop
+
+    def test_enumerate_unique(self, topo):
+        actions = enumerate_actions(topo)
+        assert len(set(actions)) == len(actions)
+
+
+class TestScanDetection:
+    def test_zero_without_malware(self, state):
+        spec = DEFENDER_ACTION_SPECS[_T.SIMPLE_SCAN]
+        assert scan_detection_prob(spec, state, 0, 0.5) == 0.0
+
+    def test_base_probability_when_compromised(self, state):
+        _compromise(state, 0)
+        spec = DEFENDER_ACTION_SPECS[_T.SIMPLE_SCAN]
+        assert scan_detection_prob(spec, state, 0, 0.5) == pytest.approx(0.03)
+
+    def test_cleanup_reduces_detection(self, state):
+        _compromise(state, 0, Condition.ADMIN, Condition.CLEANED)
+        spec = DEFENDER_ACTION_SPECS[_T.SIMPLE_SCAN]
+        assert scan_detection_prob(spec, state, 0, 0.5) == pytest.approx(0.015)
+        assert scan_detection_prob(spec, state, 0, 0.9) == pytest.approx(0.003)
+        assert scan_detection_prob(spec, state, 0, 0.0) == pytest.approx(0.03)
+
+    def test_advanced_scan_aggregates_hourly_draws(self, state):
+        _compromise(state, 0)
+        spec = DEFENDER_ACTION_SPECS[_T.ADVANCED_SCAN]
+        expected = 1 - (1 - 0.05) ** 8
+        assert scan_detection_prob(spec, state, 0, 0.5) == pytest.approx(expected)
+
+    def test_human_analysis_most_reliable(self, state):
+        _compromise(state, 0)
+        human = scan_detection_prob(DEFENDER_ACTION_SPECS[_T.HUMAN_ANALYSIS], state, 0, 0.5)
+        simple = scan_detection_prob(DEFENDER_ACTION_SPECS[_T.SIMPLE_SCAN], state, 0, 0.5)
+        assert human > simple
+
+
+class TestMitigations:
+    def test_reboot_clears_without_persistence(self, state, topo):
+        _compromise(state, 0)
+        assert apply_mitigation(DefenderAction(_T.REBOOT, 0), state, topo)
+        assert not state.is_compromised(0)
+        # SCANNED survives: it models attacker recon knowledge
+        assert state.has_condition(0, Condition.SCANNED)
+
+    def test_reboot_blocked_by_persistence(self, state, topo):
+        _compromise(state, 0, Condition.REBOOT_PERSIST)
+        assert not apply_mitigation(DefenderAction(_T.REBOOT, 0), state, topo)
+        assert state.is_compromised(0)
+
+    def test_password_reset_blocked_by_cred_persist(self, state, topo):
+        _compromise(state, 0, Condition.ADMIN, Condition.CRED_PERSIST)
+        assert not apply_mitigation(DefenderAction(_T.RESET_PASSWORD, 0), state, topo)
+        assert state.is_compromised(0)
+
+    def test_password_reset_clears_reboot_persisted_node(self, state, topo):
+        _compromise(state, 0, Condition.REBOOT_PERSIST)
+        assert apply_mitigation(DefenderAction(_T.RESET_PASSWORD, 0), state, topo)
+        assert not state.is_compromised(0)
+        assert not state.has_condition(0, Condition.REBOOT_PERSIST)
+
+    def test_reimage_always_clears(self, state, topo):
+        _compromise(state, 0, Condition.REBOOT_PERSIST, Condition.ADMIN,
+                    Condition.CRED_PERSIST, Condition.CLEANED)
+        assert apply_mitigation(DefenderAction(_T.REIMAGE, 0), state, topo)
+        assert not state.is_compromised(0)
+        assert not state.conditions[0, Condition.COMPROMISED:].any()
+
+    def test_quarantine_toggles(self, state, topo):
+        node = topo.nodes_of_type(NodeType.WORKSTATION)[0].node_id
+        apply_mitigation(DefenderAction(_T.QUARANTINE, node), state, topo)
+        assert state.is_quarantined(node)
+        apply_mitigation(DefenderAction(_T.QUARANTINE, node), state, topo)
+        assert not state.is_quarantined(node)
+
+    def test_quarantine_rejected_for_server(self, state, topo):
+        server = next(n.node_id for n in topo.nodes if n.is_server)
+        assert not apply_mitigation(DefenderAction(_T.QUARANTINE, server), state, topo)
+        assert not state.is_quarantined(server)
+
+    def test_reset_plc_clears_disruption_not_destruction(self, state, topo):
+        state.plc_disrupted[0] = True
+        state.plc_firmware[0] = True
+        state.plc_destroyed[1] = True
+        apply_mitigation(DefenderAction(_T.RESET_PLC, 0), state, topo)
+        assert not state.plc_disrupted[0] and not state.plc_firmware[0]
+        apply_mitigation(DefenderAction(_T.RESET_PLC, 1), state, topo)
+        assert state.plc_destroyed[1]  # reset cannot fix destroyed hardware
+
+    def test_replace_plc_fixes_everything(self, state, topo):
+        state.plc_destroyed[0] = True
+        state.plc_disrupted[0] = True
+        state.plc_firmware[0] = True
+        apply_mitigation(DefenderAction(_T.REPLACE_PLC, 0), state, topo)
+        assert not state.plc_destroyed[0]
+        assert not state.plc_disrupted[0]
+        assert not state.plc_firmware[0]
+
+    def test_mitigation_on_clean_node_reports_no_change(self, state, topo):
+        assert not apply_mitigation(DefenderAction(_T.REBOOT, 0), state, topo)
+
+
+class TestCosts:
+    def test_cost_selector(self):
+        spec = DEFENDER_ACTION_SPECS[_T.REIMAGE]
+        assert spec.cost(is_server=False) == 0.05
+        assert spec.cost(is_server=True) == 0.1
+
+    def test_noop_free(self):
+        spec = DEFENDER_ACTION_SPECS[_T.NOOP]
+        assert spec.cost_host == 0.0 and spec.duration == 0

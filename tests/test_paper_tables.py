@@ -1,0 +1,133 @@
+"""Verbatim checks of the paper's published parameters (experiment E8).
+
+These tests pin the reproduction to the paper's Tables 3, 4, and 5,
+the reward function of Section 4.1, and the action-space size implied
+by Table 7 (329 outputs on the evaluation network).
+"""
+
+import pytest
+
+from repro.config import RewardConfig, paper_network
+from repro.net import build_topology
+from repro.sim.apt_actions import APT_ACTION_SPECS, APTActionType
+from repro.sim.orchestrator import (
+    DEFENDER_ACTION_SPECS,
+    DefenderActionType,
+    enumerate_actions,
+)
+from repro.sim.reward import RewardModule
+
+_A = APTActionType
+_D = DefenderActionType
+
+
+class TestTable3Investigations:
+    """Detect probability / duration / cost (paper Table 3)."""
+
+    @pytest.mark.parametrize(
+        "atype, detect, duration, cost",
+        [
+            (_D.SIMPLE_SCAN, 0.03, 2, 0.01),
+            (_D.ADVANCED_SCAN, 0.05, 8, 0.03),
+            (_D.HUMAN_ANALYSIS, 0.5, 8, 0.05),
+        ],
+    )
+    def test_values(self, atype, detect, duration, cost):
+        spec = DEFENDER_ACTION_SPECS[atype]
+        assert spec.detect_prob == detect
+        assert spec.duration == duration
+        assert spec.cost_host == cost
+        assert spec.is_investigation
+
+    def test_cleaned_halves_detection_at_nominal_effectiveness(self):
+        # Table 3 lists "0.03/0.01"-style pairs; at the nominal cleanup
+        # effectiveness of 0.5, cleaned detection = half the base rate.
+        assert 0.03 * (1 - 0.5) == pytest.approx(0.015)
+
+
+class TestTable4Mitigations:
+    @pytest.mark.parametrize(
+        "atype, cost_host, cost_server",
+        [
+            (_D.REBOOT, 0.01, 0.03),
+            (_D.RESET_PASSWORD, 0.03, 0.05),
+            (_D.REIMAGE, 0.05, 0.1),
+        ],
+    )
+    def test_node_mitigation_costs(self, atype, cost_host, cost_server):
+        spec = DEFENDER_ACTION_SPECS[atype]
+        assert spec.cost_host == cost_host
+        assert spec.cost_server == cost_server
+
+    def test_plc_action_costs(self):
+        assert DEFENDER_ACTION_SPECS[_D.RESET_PLC].cost_host == 0.02
+        assert DEFENDER_ACTION_SPECS[_D.REPLACE_PLC].cost_host == 0.04
+
+    def test_countermeasures(self):
+        from repro.net.nodes import Condition
+
+        assert DEFENDER_ACTION_SPECS[_D.REBOOT].countermeasure is Condition.REBOOT_PERSIST
+        assert DEFENDER_ACTION_SPECS[_D.RESET_PASSWORD].countermeasure is Condition.CRED_PERSIST
+        assert DEFENDER_ACTION_SPECS[_D.REIMAGE].countermeasure is None
+
+
+class TestTable5APTActions:
+    @pytest.mark.parametrize(
+        "atype, success, n, p, rate",
+        [
+            (_A.SCAN_VLAN, 1.0, 60, 0.9, 0.01),
+            (_A.COMPROMISE, 0.9, 60, 0.8, 0.05),
+            (_A.REBOOT_PERSIST, 1.0, 4, 0.9, 0.05),
+            (_A.ESCALATE, 1.0, 22, 0.9, 0.05),
+            (_A.CRED_PERSIST, 1.0, 4, 0.9, 0.05),
+            (_A.CLEANUP, 1.0, 4, 0.9, 0.05),
+            (_A.DISCOVER_VLAN, 1.0, 60, 0.9, 0.05),
+            (_A.DISCOVER_SERVER, 1.0, 60, 0.9, 0.01),
+            (_A.ANALYZE_HISTORIAN, 1.0, 600, 0.9, 0.0),
+            (_A.DISCOVER_PLC, 1.0, 24, 0.875, 0.03),
+            (_A.FLASH_FIRMWARE, 1.0, 1, 1.0, 0.5),
+            (_A.DISRUPT_PLC, 1.0, 8, 0.9, 0.9),
+            (_A.DESTROY_PLC, 1.0, 1, 1.0, 1.0),
+        ],
+    )
+    def test_values(self, atype, success, n, p, rate):
+        spec = APT_ACTION_SPECS[atype]
+        assert spec.success_prob == success
+        assert spec.time_n == n
+        assert spec.time_p == p
+        assert spec.alert_rate == rate
+
+    def test_message_actions(self):
+        message = {
+            _A.SCAN_VLAN, _A.COMPROMISE, _A.DISCOVER_VLAN, _A.DISCOVER_SERVER,
+            _A.DISCOVER_PLC, _A.FLASH_FIRMWARE, _A.DISRUPT_PLC, _A.DESTROY_PLC,
+        }
+        for atype, spec in APT_ACTION_SPECS.items():
+            assert spec.is_message == (atype in message)
+
+
+class TestRewardSection41:
+    def test_reward_weights(self):
+        cfg = RewardConfig()
+        assert cfg.lambda_it == 0.1
+        assert cfg.disrupted_penalty == 0.05
+        assert cfg.destroyed_penalty == 0.1
+        assert cfg.gamma == 0.9995
+
+    def test_max_return_is_about_2200(self):
+        """Section 4.1: 'the maximum discounted return ... is 2200'."""
+        cfg = RewardConfig()
+        module = RewardModule(cfg)
+        tmax = 5000
+        total = 0.0
+        for t in range(1, tmax + 1):
+            r = module.compute(0, 0, 0.0, t, tmax).total
+            total += cfg.gamma ** (t - 1) * r
+        assert total == pytest.approx(2200, rel=0.01)
+
+
+class TestActionSpaceSize:
+    def test_329_actions_on_paper_network(self):
+        """Matches the 329-unit output layer of the baseline net (Table 7)."""
+        topo = build_topology(paper_network().topology)
+        assert len(enumerate_actions(topo)) == 329

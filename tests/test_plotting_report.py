@@ -1,0 +1,136 @@
+"""Tests for ASCII plotting and markdown report generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import EpisodeMetrics, aggregate
+from repro.eval.plotting import bar_chart, series_plot, sparkline
+from repro.eval.report import experiment_report, markdown_sweep, markdown_table
+
+
+def _aggregate(returns):
+    return aggregate([
+        EpisodeMetrics(
+            discounted_return=r, final_plcs_offline=0, avg_it_cost=0.1,
+            avg_nodes_compromised=1.0, steps=10, seed=i,
+        )
+        for i, r in enumerate(returns)
+    ])
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        text = bar_chart(["ACSO", "Playbook"], [0.15, 0.21],
+                         title="IT cost")
+        assert "IT cost" in text
+        assert "ACSO" in text and "Playbook" in text
+        assert "0.15" in text and "0.21" in text
+
+    def test_larger_value_longer_bar(self):
+        text = bar_chart(["a", "b"], [1.0, 4.0])
+        bar_a, bar_b = (line.count("█") for line in text.split("\n"))
+        assert bar_b > bar_a
+
+    def test_zero_values_have_no_bar(self):
+        lines = bar_chart(["a", "b"], [0.0, 2.0]).split("\n")
+        assert lines[0].count("█") == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_never_crashes_on_finite_values(self, values):
+        labels = [f"v{i}" for i in range(len(values))]
+        text = bar_chart(labels, values)
+        assert len(text.split("\n")) == len(values)
+
+
+class TestSeriesPlot:
+    def test_structure(self):
+        text = series_plot(
+            [0.1, 0.5, 0.9],
+            {"ACSO": [0, 0, 1], "Playbook": [0, 2, 13]},
+            title="Fig 6a", height=8, width=30,
+        )
+        assert "Fig 6a" in text
+        assert "o ACSO" in text and "x Playbook" in text
+        assert "13.00" in text  # y max label
+
+    def test_all_markers_present(self):
+        text = series_plot([0, 1], {"a": [0, 1], "b": [1, 0]})
+        assert "o" in text and "x" in text
+
+    def test_rejects_ragged_series(self):
+        with pytest.raises(ValueError):
+            series_plot([0, 1], {"a": [1.0]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            series_plot([], {})
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        text = series_plot([0, 1, 2], {"flat": [3.0, 3.0, 3.0]})
+        assert "flat" in text
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 8
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_nan_becomes_blank(self):
+        assert " " in sparkline([1.0, float("nan"), 2.0])
+
+
+class TestMarkdownReport:
+    def test_table_structure(self):
+        table = markdown_table({"ACSO": _aggregate([2100, 2150])})
+        lines = table.split("\n")
+        assert lines[0].startswith("| Policy |")
+        assert lines[1].startswith("|---")
+        assert "ACSO" in lines[2]
+        assert "±" in lines[2]
+
+    def test_table_rejects_empty(self):
+        with pytest.raises(ValueError):
+            markdown_table({})
+
+    def test_sweep_layout(self):
+        sweep = {
+            0.1: {"ACSO": _aggregate([2100])},
+            0.9: {"ACSO": _aggregate([1800])},
+        }
+        text = markdown_sweep(sweep, "discounted_return", "cleanup")
+        assert "| Policy (cleanup) | 0.1 | 0.9 |" in text
+        assert "2100" in text and "1800" in text
+
+    def test_report_assembly(self):
+        report = experiment_report(
+            "Table 2",
+            "Nominal evaluation.",
+            {"Results": markdown_table({"A": _aggregate([1.0])})},
+            episodes=100,
+        )
+        assert report.startswith("# Table 2")
+        assert "## Results" in report
+        assert "100 episodes per cell" in report
+
+    def test_report_without_episode_count(self):
+        report = experiment_report("T", "d", {})
+        assert "episodes per cell" not in report

@@ -1,0 +1,181 @@
+"""Tests for Q-networks, features, shaping, and schedules."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import paper_network, small_network, tiny_network
+from repro.net import build_topology
+from repro.rl import (
+    ACSOFeaturizer,
+    AttentionQNetwork,
+    ConvQNetwork,
+    PotentialShaper,
+    QNetConfig,
+    RawHistoryEncoder,
+    ExponentialDecay,
+    LinearSchedule,
+    stack_features,
+)
+from repro.rl.features import GLOBAL_FEATURE_DIM, NODE_FEATURE_DIM, PLC_FEATURE_DIM
+from repro.rl.qnetwork import ConvNetConfig
+from repro.sim.orchestrator import enumerate_actions
+
+
+@pytest.fixture()
+def tiny_topo():
+    return build_topology(tiny_network().topology)
+
+
+class TestFeaturizer:
+    def test_feature_shapes(self, tiny_topo, tiny_tables):
+        env = repro.make_env(tiny_network(tmax=30), seed=0)
+        feat = ACSOFeaturizer(env.topology, tiny_tables)
+        obs = env.reset(seed=0)
+        fs = feat.update(obs)
+        assert fs.node.shape == (env.topology.n_nodes, NODE_FEATURE_DIM)
+        assert fs.plc.shape == (env.topology.n_plcs, PLC_FEATURE_DIM)
+        assert fs.glob.shape == (GLOBAL_FEATURE_DIM,)
+
+    def test_stack_features(self, tiny_tables):
+        env = repro.make_env(tiny_network(tmax=30), seed=0)
+        feat = ACSOFeaturizer(env.topology, tiny_tables)
+        obs = env.reset(seed=0)
+        fs = feat.update(obs)
+        node, plc, glob = stack_features([fs, fs, fs])
+        assert node.shape[0] == 3 and plc.shape[0] == 3 and glob.shape == (3, 3)
+
+    def test_raw_history_encoder(self, tiny_topo):
+        env = repro.make_env(tiny_network(tmax=30), seed=0)
+        enc = RawHistoryEncoder(env.topology, window=16)
+        obs = env.reset(seed=0)
+        hist = enc.update(obs)
+        assert hist.shape == (enc.step_dim, 16)
+        obs2, *_ = env.step(None)
+        hist2 = enc.update(obs2)
+        # history slides: previous newest column moved left by one
+        assert np.allclose(hist[:, -1], hist2[:, -2])
+
+
+class TestAttentionQNetwork:
+    def test_requires_binding(self):
+        qnet = AttentionQNetwork(QNetConfig(), seed=0)
+        with pytest.raises(RuntimeError):
+            qnet.forward(np.zeros((1, 2, NODE_FEATURE_DIM)),
+                         np.zeros((1, 1, PLC_FEATURE_DIM)),
+                         np.zeros((1, GLOBAL_FEATURE_DIM)))
+
+    def test_action_list_matches_orchestrator_set(self, tiny_topo):
+        qnet = AttentionQNetwork(QNetConfig(), seed=0).bind_topology(tiny_topo)
+        assert set(qnet.action_list) == set(enumerate_actions(tiny_topo))
+        assert qnet.n_actions == len(enumerate_actions(tiny_topo))
+
+    def test_forward_shape_and_bounds(self, tiny_topo):
+        cfg = QNetConfig(q_scale=4.0)
+        qnet = AttentionQNetwork(cfg, seed=0).bind_topology(tiny_topo)
+        node = np.random.default_rng(0).normal(
+            size=(5, tiny_topo.n_nodes, NODE_FEATURE_DIM))
+        plc = np.zeros((5, tiny_topo.n_plcs, PLC_FEATURE_DIM))
+        glob = np.zeros((5, GLOBAL_FEATURE_DIM))
+        q = qnet.forward(node, plc, glob)
+        assert q.shape == (5, qnet.n_actions)
+        assert (np.abs(q.data) <= cfg.q_scale).all()
+
+    def test_parameter_count_independent_of_network_size(self):
+        """The paper's core scaling claim (Section 4.4)."""
+        small = AttentionQNetwork(QNetConfig(), seed=0).bind_topology(
+            build_topology(small_network().topology))
+        big = AttentionQNetwork(QNetConfig(), seed=0).bind_topology(
+            build_topology(paper_network().topology))
+        assert small.n_parameters() == big.n_parameters()
+        assert big.n_actions > small.n_actions
+
+    def test_same_weights_rebindable_across_topologies(self, tiny_tables):
+        qnet = AttentionQNetwork(QNetConfig(), seed=0)
+        for cfg in (tiny_network(), small_network()):
+            topo = build_topology(cfg.topology)
+            qnet.bind_topology(topo)
+            node = np.zeros((1, topo.n_nodes, NODE_FEATURE_DIM))
+            plc = np.zeros((1, topo.n_plcs, PLC_FEATURE_DIM))
+            glob = np.zeros((1, GLOBAL_FEATURE_DIM))
+            assert qnet.forward(node, plc, glob).shape == (1, qnet.n_actions)
+
+    def test_q_values_single(self, tiny_topo, tiny_tables):
+        env = repro.make_env(tiny_network(tmax=20), seed=0)
+        qnet = AttentionQNetwork(QNetConfig(), seed=0).bind_topology(env.topology)
+        feat = ACSOFeaturizer(env.topology, tiny_tables)
+        q = qnet.q_values(feat.update(env.reset(seed=0)))
+        assert q.shape == (qnet.n_actions,)
+
+    def test_paper_config_larger(self):
+        assert QNetConfig.paper().encoder_layers == 4
+        small = AttentionQNetwork(QNetConfig(), seed=0)
+        paper = AttentionQNetwork(QNetConfig.paper(), seed=0)
+        assert paper.n_parameters() > small.n_parameters()
+
+
+class TestConvQNetwork:
+    def test_forward_shape(self):
+        net = ConvQNetwork(step_dim=30, n_actions=49,
+                           config=ConvNetConfig(window=64), seed=0)
+        out = net.forward(np.zeros((2, 30, 64)))
+        assert out.shape == (2, 49)
+
+    def test_parameters_grow_with_action_space(self):
+        small = ConvQNetwork(step_dim=30, n_actions=49, seed=0)
+        big = ConvQNetwork(step_dim=30, n_actions=329, seed=0)
+        assert big.n_parameters() > small.n_parameters()
+
+    def test_window_too_small(self):
+        with pytest.raises(ValueError):
+            ConvQNetwork(step_dim=4, n_actions=3,
+                         config=ConvNetConfig(window=4, channels=(8, 8, 8)))
+
+
+class TestShaping:
+    def test_securing_nodes_is_rewarded(self):
+        shaper = PotentialShaper(gamma=0.99, a_weight=1.0, b_weight=2.0)
+        phi_bad = shaper.potential(3, 1)  # -(3 + 2)
+        phi_good = shaper.potential(1, 0)
+        assert shaper.shape(phi_bad, phi_good) > 0
+        assert shaper.shape(phi_good, phi_bad) < 0
+
+    def test_telescoping_sum_is_policy_invariant(self):
+        """Sum of discounted shaping terms collapses to -Phi(s0): the
+        potential-based guarantee of Ng et al. (paper's non-bias claim)."""
+        gamma = 0.9
+        shaper = PotentialShaper(gamma)
+        rng = np.random.default_rng(0)
+        counts = [(int(rng.integers(5)), int(rng.integers(3))) for _ in range(20)]
+        phis = [shaper.potential(w, s) for w, s in counts]
+        shaped = 0.0
+        for t in range(len(phis) - 1):
+            done = t == len(phis) - 2
+            shaped += gamma ** t * shaper.shape(phis[t], phis[t + 1], done=done)
+        assert shaped == pytest.approx(-phis[0])
+
+    def test_potential_from_info(self):
+        shaper = PotentialShaper(0.99, 1.0, 2.0)
+        info = {"n_ws_compromised": 2, "n_srv_compromised": 1}
+        assert shaper.potential_from_info(info) == -(2 + 2)
+
+
+class TestSchedules:
+    def test_exponential_decay(self):
+        eps = ExponentialDecay(1.0, 0.05, 0.999)
+        assert eps(0) == 1.0
+        assert eps(1) == pytest.approx(0.999)
+        assert eps(100000) == 0.05
+
+    def test_linear_schedule(self):
+        beta = LinearSchedule(0.4, 1.0, 100)
+        assert beta(0) == pytest.approx(0.4)
+        assert beta(50) == pytest.approx(0.7)
+        assert beta(100) == 1.0
+        assert beta(500) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(decay=0.0)
+        with pytest.raises(ValueError):
+            LinearSchedule(0, 1, 0)

@@ -1,0 +1,149 @@
+"""Tests for the replay machinery: sum tree, PER, n-step assembly."""
+
+import numpy as np
+import pytest
+
+from repro.rl.replay import NStepAssembler, PrioritizedReplay, SumTree, Transition
+
+
+def _tr(tag: int) -> Transition:
+    return Transition(state=tag, action=tag, reward=float(tag),
+                      next_state=tag + 1, done=False, discount=0.99)
+
+
+class TestSumTree:
+    def test_total_tracks_sets(self):
+        tree = SumTree(8)
+        tree.set(0, 1.0)
+        tree.set(3, 2.0)
+        assert tree.total == pytest.approx(3.0)
+        tree.set(0, 0.5)
+        assert tree.total == pytest.approx(2.5)
+
+    def test_get(self):
+        tree = SumTree(4)
+        tree.set(2, 7.0)
+        assert tree.get(2) == 7.0
+        assert tree.get(0) == 0.0
+
+    def test_find_respects_mass(self):
+        tree = SumTree(4)
+        tree.set(0, 1.0)
+        tree.set(1, 3.0)
+        assert tree.find(0.5) == 0
+        assert tree.find(1.5) == 1
+        assert tree.find(3.9) == 1
+
+    def test_find_statistics(self):
+        tree = SumTree(4)
+        weights = [1.0, 2.0, 3.0, 4.0]
+        for i, w in enumerate(weights):
+            tree.set(i, w)
+        rng = np.random.default_rng(0)
+        counts = np.zeros(4)
+        for _ in range(4000):
+            counts[tree.find(rng.random() * tree.total)] += 1
+        assert np.allclose(counts / 4000, np.array(weights) / 10, atol=0.03)
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(ValueError):
+            SumTree(4).set(0, -1.0)
+
+    def test_non_power_of_two_capacity(self):
+        tree = SumTree(5)
+        for i in range(5):
+            tree.set(i, 1.0)
+        assert tree.total == pytest.approx(5.0)
+
+
+class TestPrioritizedReplay:
+    def test_add_and_len(self):
+        buf = PrioritizedReplay(10)
+        for i in range(4):
+            buf.add(_tr(i))
+        assert len(buf) == 4
+
+    def test_wraps_at_capacity(self):
+        buf = PrioritizedReplay(3)
+        for i in range(5):
+            buf.add(_tr(i))
+        assert len(buf) == 3
+
+    def test_sample_returns_stored_transitions(self):
+        buf = PrioritizedReplay(16, seed=0)
+        for i in range(10):
+            buf.add(_tr(i))
+        idx, transitions, weights = buf.sample(4, beta=0.5)
+        assert len(idx) == len(transitions) == len(weights) == 4
+        assert all(isinstance(t, Transition) for t in transitions)
+        assert (weights <= 1.0 + 1e-12).all() and (weights > 0).all()
+
+    def test_high_priority_sampled_more(self):
+        buf = PrioritizedReplay(8, alpha=1.0, seed=0)
+        for i in range(8):
+            buf.add(_tr(i), priority=0.01)
+        special = buf.add(_tr(99), priority=0.0)
+        buf.update_priorities([special], [100.0])
+        counts = 0
+        for _ in range(200):
+            idx, _, _ = buf.sample(4, beta=0.4)
+            counts += int((idx == special).sum())
+        assert counts > 300  # ~all samples should hit the huge priority
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            PrioritizedReplay(4).sample(1)
+
+    def test_update_priorities_uses_abs(self):
+        buf = PrioritizedReplay(4, seed=0)
+        i = buf.add(_tr(0))
+        buf.update_priorities([i], [-5.0])
+        assert buf.tree.get(i) > 0
+
+
+class TestNStepAssembler:
+    def test_emits_after_n_pushes(self):
+        asm = NStepAssembler(3, gamma=0.5)
+        assert asm.push("s0", 0, 1.0, "s1", False) == []
+        assert asm.push("s1", 1, 1.0, "s2", False) == []
+        out = asm.push("s2", 2, 1.0, "s3", False)
+        assert len(out) == 1
+        tr = out[0]
+        assert tr.state == "s0" and tr.action == 0
+        assert tr.reward == pytest.approx(1 + 0.5 + 0.25)
+        assert tr.next_state == "s3"
+        assert tr.discount == pytest.approx(0.5 ** 3)
+        assert not tr.done
+
+    def test_done_flushes_all(self):
+        asm = NStepAssembler(4, gamma=1.0)
+        asm.push("s0", 0, 1.0, "s1", False)
+        asm.push("s1", 1, 2.0, "s2", False)
+        out = asm.push("s2", 2, 4.0, "s3", True)
+        assert len(out) == 3
+        assert [tr.reward for tr in out] == [7.0, 6.0, 4.0]
+        assert all(tr.done for tr in out)
+        assert all(tr.next_state == "s3" for tr in out)
+
+    def test_sliding_window(self):
+        asm = NStepAssembler(2, gamma=1.0)
+        asm.push("s0", 0, 1.0, "s1", False)
+        first = asm.push("s1", 1, 10.0, "s2", False)[0]
+        second = asm.push("s2", 2, 100.0, "s3", False)[0]
+        assert first.state == "s0" and first.reward == 11.0
+        assert second.state == "s1" and second.reward == 110.0
+
+    def test_reset_clears_pending(self):
+        asm = NStepAssembler(3, gamma=1.0)
+        asm.push("s0", 0, 1.0, "s1", False)
+        asm.reset()
+        assert asm.push("s1", 1, 1.0, "s2", False) == []
+
+    def test_n1_is_plain_transition(self):
+        asm = NStepAssembler(1, gamma=0.9)
+        out = asm.push("s0", 3, 2.0, "s1", False)
+        assert out[0].reward == 2.0 and out[0].discount == pytest.approx(0.9)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            NStepAssembler(0, 0.9)

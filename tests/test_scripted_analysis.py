@@ -1,0 +1,237 @@
+"""Tests for the scripted attacker and trace analysis metrics."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.attacker.scripted import (
+    ScriptedAttacker,
+    ScriptedStep,
+    beachhead_rush,
+)
+from repro.config import tiny_network
+from repro.defenders import NoopPolicy, PlaybookPolicy
+from repro.eval.analysis import (
+    action_counts,
+    dwell_time,
+    mean_time_to_repair,
+    phase_breakdown,
+    time_to_first_response,
+)
+from repro.sim.apt_actions import APTActionRequest, APTActionType
+from repro.sim.trace import EpisodeTrace, TraceStep, record_episode
+
+_A = APTActionType
+
+
+def _scripted_env(script, seed=0, tmax=80):
+    return repro.make_env(tiny_network(tmax=tmax), seed=seed,
+                          attacker=ScriptedAttacker(script))
+
+
+def _beachhead_of(env) -> int:
+    from repro.net.nodes import Condition
+
+    return int(np.flatnonzero(
+        env.sim.state.conditions[:, Condition.COMPROMISED]
+    )[0])
+
+
+class TestScriptedAttacker:
+    def test_script_fires_in_order(self):
+        env = _scripted_env([])
+        env.reset(seed=0)
+        beachhead = _beachhead_of(env)
+        script = beachhead_rush(beachhead, target_plcs=[0, 1], start=1,
+                                spacing=4)
+        env = _scripted_env(script, seed=0)
+        env.reset(seed=0)
+        attacker = env.sim.attacker
+        assert attacker.remaining == len(script)
+        for _ in range(60):
+            _, _, done, info = env.step([])
+            if done:
+                break
+        assert attacker.remaining == 0
+        assert attacker.phase_name == "script-done"
+
+    def test_disruption_actually_lands(self):
+        env = _scripted_env([])
+        env.reset(seed=0)
+        beachhead = _beachhead_of(env)
+        env = _scripted_env(
+            beachhead_rush(beachhead, target_plcs=[0], start=1, spacing=3),
+            seed=0, tmax=60,
+        )
+        env.reset(seed=0)
+        offline = []
+        for _ in range(60):
+            _, _, done, info = env.step([])
+            offline.append(info["n_plcs_offline"])
+            if done:
+                break
+        assert max(offline) >= 1  # the scripted disruption succeeded
+
+    def test_empty_script_attacker_is_inert(self):
+        env = _scripted_env([], tmax=30)
+        env.reset(seed=0)
+        for _ in range(30):
+            _, _, done, info = env.step([])
+            if done:
+                break
+        assert info["n_plcs_offline"] == 0
+        assert info["n_compromised"] == 1  # only the beachhead
+
+    def test_labor_budget_respected(self):
+        # ten same-hour requests with labor_rate 2: at most 2 launch/hour
+        requests = [
+            ScriptedStep(1, APTActionRequest(_A.SCAN_VLAN, 0,
+                                             target_vlan=f"v{i}"))
+            for i in range(10)
+        ]
+        env = _scripted_env(requests, tmax=30)
+        env.reset(seed=0)
+        env.step([])
+        assert len(env.sim.in_flight) <= env.config.apt.labor_rate
+
+    def test_reset_restarts_script(self):
+        script = [ScriptedStep(1, APTActionRequest(_A.ESCALATE, 0,
+                                                   target_node=0))]
+        attacker = ScriptedAttacker(script)
+        env = repro.make_env(tiny_network(tmax=20), seed=0,
+                             attacker=attacker)
+        env.reset(seed=0)
+        # the attacker sees the clock before it advances, so an entry
+        # at t=1 fires on the second step
+        env.step([])
+        env.step([])
+        assert attacker.remaining == 0
+        env.reset(seed=1)
+        assert attacker.remaining == 1
+
+    def test_script_sorted_by_time(self):
+        late = ScriptedStep(9, APTActionRequest(_A.ESCALATE, 0, target_node=0))
+        early = ScriptedStep(2, APTActionRequest(_A.CLEANUP, 0, target_node=0))
+        attacker = ScriptedAttacker([late, early])
+        assert attacker.script[0] is early
+
+
+def _trace(compromised, plcs_offline=None, alerts=None, actions=None,
+           phases=None):
+    n = len(compromised)
+    plcs_offline = plcs_offline or [0] * n
+    alerts = alerts or [0] * n
+    actions = actions or [()] * n
+    phases = phases or ["lateral_movement_l2"] * n
+    steps = [
+        TraceStep(
+            t=i + 1,
+            actions=tuple(actions[i]),
+            reward=1.0,
+            it_cost=0.0,
+            n_alerts=alerts[i],
+            alerts_by_severity=(alerts[i], 0, 0),
+            n_compromised=compromised[i],
+            n_plcs_offline=plcs_offline[i],
+            apt_phase=phases[i],
+        )
+        for i in range(n)
+    ]
+    return EpisodeTrace(seed=0, policy="test", steps=steps)
+
+
+class TestDwellTime:
+    def test_counts_and_streaks(self):
+        trace = _trace([1, 1, 0, 1, 1, 1, 0, 0])
+        result = dwell_time(trace)
+        assert result.total_hours == 5
+        assert result.longest_streak == 3
+        assert result.fraction == pytest.approx(5 / 8)
+
+    def test_never_compromised(self):
+        result = dwell_time(_trace([0, 0, 0]))
+        assert result.total_hours == 0
+        assert result.longest_streak == 0
+
+    def test_empty_trace(self):
+        assert dwell_time(EpisodeTrace(None, "x")).fraction == 0.0
+
+
+class TestTimeToFirstResponse:
+    def test_basic_latency(self):
+        trace = _trace([1] * 6, alerts=[0, 1, 0, 0, 0, 0],
+                       actions=[(), (), (), (("reboot", 0),), (), ()])
+        assert time_to_first_response(trace) == 2  # alert t=2, action t=4
+
+    def test_proactive_defense_is_negative(self):
+        trace = _trace([1] * 4, alerts=[0, 0, 1, 0],
+                       actions=[(("simple_scan", 0),), (), (), ()])
+        assert time_to_first_response(trace) == -2
+
+    def test_none_when_no_action(self):
+        assert time_to_first_response(_trace([1], alerts=[1])) is None
+
+
+class TestMeanTimeToRepair:
+    def test_intervals_averaged(self):
+        trace = _trace([0] * 9, plcs_offline=[0, 1, 1, 0, 0, 1, 1, 1, 0])
+        assert mean_time_to_repair(trace) == pytest.approx(2.5)  # (2+3)/2
+
+    def test_open_interval_counts(self):
+        trace = _trace([0] * 4, plcs_offline=[0, 0, 1, 1])
+        assert mean_time_to_repair(trace) == pytest.approx(2.0)
+
+    def test_none_when_never_offline(self):
+        assert mean_time_to_repair(_trace([0, 0])) is None
+
+
+class TestPhaseBreakdown:
+    def test_hours_per_phase_in_order(self):
+        trace = _trace([1] * 5, phases=["a", "a", "b", "b", "b"])
+        assert phase_breakdown(trace) == {"a": 2, "b": 3}
+        assert list(phase_breakdown(trace)) == ["a", "b"]
+
+    def test_missing_phase_tagged_unknown(self):
+        trace = _trace([1], phases=[None])
+        assert phase_breakdown(trace) == {"unknown": 1}
+
+
+class TestActionCounts:
+    def test_mix_totals(self):
+        trace = _trace(
+            [1] * 3,
+            actions=[
+                (("simple_scan", 0), ("reboot", 1)),
+                (("advanced_scan", 2),),
+                (("reimage", 0),),
+            ],
+        )
+        counts = action_counts(trace)
+        assert counts["simple_scan"] == 1
+        assert counts["reboot"] == 1
+        assert counts["total_investigations"] == 2
+        assert counts["total_mitigations"] == 2
+
+    def test_real_episode_counts_match_trace(self, tiny_env):
+        trace = record_episode(tiny_env, PlaybookPolicy(), seed=0,
+                               max_steps=60)
+        counts = action_counts(trace)
+        total_typed = sum(
+            v for k, v in counts.items() if not k.startswith("total_")
+        )
+        assert total_typed == len(trace.actions_taken())
+
+
+class TestEndToEndAnalysis:
+    def test_noop_vs_playbook_dwell(self):
+        """The playbook must not dwell longer than no defense on the
+        same seeds."""
+        cfg = tiny_network(tmax=150)
+        env = repro.make_env(cfg, seed=0)
+        noop_dwell = dwell_time(
+            record_episode(env, NoopPolicy(), seed=5)
+        ).total_hours
+        playbook_dwell = dwell_time(
+            record_episode(env, PlaybookPolicy(), seed=5)
+        ).total_hours
+        assert playbook_dwell <= noop_dwell

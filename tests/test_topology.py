@@ -1,0 +1,146 @@
+"""Tests for the network substrate: nodes, devices, topology, paths."""
+
+import pytest
+
+from repro.config import IDSConfig, TopologyConfig, paper_network
+from repro.net import (
+    Condition,
+    CONDITION_PREREQS,
+    DeviceType,
+    NodeType,
+    ServerRole,
+    build_topology,
+)
+from repro.net.topology import L1_OPS, L1_QUAR, L2_OPS, L2_QUAR
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(paper_network().topology)
+
+
+class TestConditions:
+    def test_six_conditions(self):
+        assert len(Condition) == 6
+
+    def test_prereq_chain_matches_table1(self):
+        assert CONDITION_PREREQS[Condition.SCANNED] is None
+        assert CONDITION_PREREQS[Condition.COMPROMISED] is Condition.SCANNED
+        assert CONDITION_PREREQS[Condition.REBOOT_PERSIST] is Condition.COMPROMISED
+        assert CONDITION_PREREQS[Condition.ADMIN] is Condition.COMPROMISED
+        assert CONDITION_PREREQS[Condition.CRED_PERSIST] is Condition.ADMIN
+        assert CONDITION_PREREQS[Condition.CLEANED] is Condition.ADMIN
+
+
+class TestBuildTopology:
+    def test_node_counts(self, topo):
+        assert topo.n_nodes == 33
+        assert topo.n_plcs == 50
+        assert len(topo.nodes_of_type(NodeType.WORKSTATION)) == 25
+        assert len(topo.nodes_of_type(NodeType.SERVER)) == 3
+        assert len(topo.nodes_of_type(NodeType.HMI)) == 5
+
+    def test_levels(self, topo):
+        for node in topo.nodes:
+            expected = 1 if node.ntype is NodeType.HMI else 2
+            assert node.level == expected
+
+    def test_server_roles_present(self, topo):
+        assert topo.server(ServerRole.OPC) is not None
+        assert topo.server(ServerRole.HISTORIAN) is not None
+        assert topo.server(ServerRole.DOMAIN_CONTROLLER) is not None
+        assert topo.server(ServerRole.NONE) is None or True
+
+    def test_unique_ips(self, topo):
+        ips = [n.ip for n in topo.nodes] + [p.ip for p in topo.plcs] + [
+            d.ip for d in topo.devices
+        ]
+        assert len(ips) == len(set(ips))
+
+    def test_four_vlans_two_quarantine(self, topo):
+        assert set(topo.vlans) == {L2_OPS, L2_QUAR, L1_OPS, L1_QUAR}
+        assert topo.vlans[L2_QUAR].quarantine
+        assert topo.vlans[L1_QUAR].quarantine
+        assert not topo.vlans[L2_OPS].quarantine
+
+    def test_device_types(self, topo):
+        kinds = [d.dtype for d in topo.devices]
+        assert kinds.count(DeviceType.SWITCH) == 4
+        assert kinds.count(DeviceType.ROUTER) == 2
+        assert kinds.count(DeviceType.FIREWALL) == 1
+
+    def test_plcs_on_l1_ops(self, topo):
+        assert all(p.vlan == L1_OPS for p in topo.plcs)
+
+    def test_ops_vlans(self, topo):
+        assert set(topo.ops_vlans()) == {L2_OPS, L1_OPS}
+
+    def test_quarantine_vlan_for(self, topo):
+        ws = topo.nodes_of_type(NodeType.WORKSTATION)[0]
+        hmi = topo.nodes_of_type(NodeType.HMI)[0]
+        assert topo.quarantine_vlan_for(ws) == L2_QUAR
+        assert topo.quarantine_vlan_for(hmi) == L1_QUAR
+
+
+class TestMessagePaths:
+    def test_same_vlan_single_switch(self, topo):
+        devices = topo.path_devices(L2_OPS, L2_OPS)
+        assert len(devices) == 1
+        assert devices[0].dtype is DeviceType.SWITCH
+
+    def test_cross_vlan_same_level(self, topo):
+        devices = topo.path_devices(L2_OPS, L2_QUAR)
+        kinds = [d.dtype for d in devices]
+        assert kinds == [DeviceType.SWITCH, DeviceType.ROUTER, DeviceType.SWITCH]
+
+    def test_cross_level_passes_firewall(self, topo):
+        kinds = [d.dtype for d in topo.path_devices(L2_OPS, L1_OPS)]
+        assert kinds.count(DeviceType.FIREWALL) == 1
+        assert kinds.count(DeviceType.ROUTER) == 2
+        assert kinds.count(DeviceType.SWITCH) == 2
+
+    def test_alert_factors(self, topo):
+        ids = IDSConfig()
+        assert topo.alert_factor(L2_OPS, L2_OPS, ids) == pytest.approx(1.0)
+        assert topo.alert_factor(L2_OPS, L2_QUAR, ids) == pytest.approx(2.0)
+        # cross level: switch * router * firewall * router * switch = 20
+        assert topo.alert_factor(L2_OPS, L1_OPS, ids) == pytest.approx(20.0)
+
+    def test_alert_factor_symmetric(self, topo):
+        ids = IDSConfig()
+        assert topo.alert_factor(L1_OPS, L2_OPS, ids) == topo.alert_factor(
+            L2_OPS, L1_OPS, ids
+        )
+
+    def test_custom_device_factors(self, topo):
+        ids = IDSConfig(switch_factor=1.0, router_factor=3.0, firewall_factor=7.0)
+        assert topo.alert_factor(L2_OPS, L1_OPS, ids) == pytest.approx(63.0)
+
+
+class TestReachability:
+    def test_ops_to_ops_reachable(self, topo):
+        assert topo.reachable(L2_OPS, L1_OPS)
+        assert topo.reachable(L1_OPS, L2_OPS)
+
+    def test_quarantine_blocks_traffic(self, topo):
+        assert not topo.reachable(L2_OPS, L2_QUAR)
+        assert not topo.reachable(L2_QUAR, L2_OPS)
+        assert not topo.reachable(L2_QUAR, L1_OPS)
+
+    def test_same_quarantine_loopback(self, topo):
+        assert topo.reachable(L2_QUAR, L2_QUAR)
+
+
+class TestNodesInVlan:
+    def test_follows_dynamic_assignment(self, topo):
+        vlans = [n.home_vlan for n in topo.nodes]
+        node0 = topo.nodes[0].node_id
+        assert node0 in topo.nodes_in_vlan(L2_OPS, vlans)
+        vlans[node0] = L2_QUAR
+        assert node0 not in topo.nodes_in_vlan(L2_OPS, vlans)
+        assert node0 in topo.nodes_in_vlan(L2_QUAR, vlans)
+
+    def test_scaled_topology(self):
+        topo = build_topology(TopologyConfig(l2_workstations=2, plcs=3, l1_hmis=1))
+        assert topo.n_nodes == 6
+        assert topo.n_plcs == 3

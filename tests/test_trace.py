@@ -1,0 +1,116 @@
+"""Tests for episode trace recording, serialization, and replay."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import tiny_network
+from repro.defenders import NoopPolicy, PlaybookPolicy, SemiRandomPolicy
+from repro.sim.trace import (
+    EpisodeTrace,
+    TraceStep,
+    record_episode,
+    verify_determinism,
+)
+
+
+@pytest.fixture()
+def trace(tiny_env):
+    return record_episode(tiny_env, SemiRandomPolicy(rate=3.0, seed=0),
+                          seed=3, max_steps=40)
+
+
+class TestRecording:
+    def test_one_step_per_hour(self, trace):
+        assert len(trace) == 40
+        assert [s.t for s in trace.steps] == list(range(1, 41))
+
+    def test_metadata(self, trace):
+        assert trace.seed == 3
+        assert trace.policy == "semi-random"
+
+    def test_actions_reconstruct(self, trace):
+        actions = trace.actions_taken()
+        assert all(hasattr(a, "atype") for a in actions)
+        # the random policy at rate 3 launches actions most steps
+        assert actions
+
+    def test_alert_severity_sums_to_total(self, trace):
+        for step in trace.steps:
+            assert sum(step.alerts_by_severity) == step.n_alerts
+
+    def test_totals(self, trace):
+        assert trace.total_reward == pytest.approx(
+            sum(s.reward for s in trace.steps)
+        )
+        assert trace.total_it_cost >= 0.0
+
+    def test_noop_trace_has_no_actions(self, tiny_env):
+        trace = record_episode(tiny_env, NoopPolicy(), seed=1, max_steps=20)
+        assert all(not step.actions for step in trace.steps)
+
+    def test_apt_phase_recorded(self, trace):
+        phases = {s.apt_phase for s in trace.steps}
+        assert phases  # FSM attacker reports its phase every step
+        assert None not in phases
+
+
+class TestSerialization:
+    def test_jsonl_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "episode.jsonl"
+        trace.to_jsonl(path)
+        loaded = EpisodeTrace.from_jsonl(path)
+        assert loaded.seed == trace.seed
+        assert loaded.policy == trace.policy
+        assert loaded.steps == trace.steps
+
+    def test_file_is_line_oriented_json(self, trace, tmp_path):
+        import json
+
+        path = tmp_path / "episode.jsonl"
+        trace.to_jsonl(path)
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == len(trace) + 1  # header + steps
+        for line in lines:
+            json.loads(line)
+
+    def test_truncated_file_rejected(self, trace, tmp_path):
+        path = tmp_path / "episode.jsonl"
+        trace.to_jsonl(path)
+        lines = path.read_text().strip().split("\n")
+        path.write_text("\n".join(lines[:-3]) + "\n")
+        with pytest.raises(ValueError, match="truncated"):
+            EpisodeTrace.from_jsonl(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            EpisodeTrace.from_jsonl(path)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_traces(self):
+        cfg = tiny_network(tmax=60)
+        assert verify_determinism(
+            lambda: repro.make_env(cfg),
+            lambda: PlaybookPolicy(),
+            seed=5,
+            max_steps=60,
+        )
+
+    def test_different_seeds_diverge(self):
+        cfg = tiny_network(tmax=60)
+        env = repro.make_env(cfg)
+        a = record_episode(env, PlaybookPolicy(), seed=1, max_steps=60)
+        b = record_episode(env, PlaybookPolicy(), seed=2, max_steps=60)
+        assert a.steps != b.steps
+
+    def test_stochastic_policy_with_fixed_seed_is_deterministic(self):
+        cfg = tiny_network(tmax=40)
+        assert verify_determinism(
+            lambda: repro.make_env(cfg),
+            lambda: SemiRandomPolicy(rate=3.0, seed=9),
+            seed=2,
+            max_steps=40,
+        )

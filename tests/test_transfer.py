@@ -1,0 +1,165 @@
+"""Tests for cross-network transfer: weight portability, the study
+protocol, and the size-invariance contract."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import TopologyConfig, SimConfig, small_network, tiny_network
+from repro.net.topology import build_topology
+from repro.rl import AttentionQNetwork, DQNConfig, QNetConfig
+from repro.transfer import (
+    evaluate_greedy_policy,
+    run_transfer_study,
+    train_policy,
+)
+
+SMALL_QNET = QNetConfig(d_model=8, n_heads=2, encoder_hidden=16,
+                        encoder_layers=2, head_hidden=16)
+FAST_DQN = DQNConfig(batch_size=8, warmup=8, update_every=4,
+                     target_update=50, buffer_size=500, n_step=3)
+
+
+def _other_tiny() -> SimConfig:
+    """A second tiny topology, different node counts from tiny_network."""
+    cfg = tiny_network(tmax=40)
+    topo = TopologyConfig(
+        l2_workstations=4, l2_servers=("opc", "historian"), l1_hmis=2, plcs=6
+    )
+    return SimConfig(topology=topo, apt=cfg.apt, tmax=40)
+
+
+class TestWeightPortability:
+    def test_state_dict_survives_rebinding(self):
+        net = AttentionQNetwork(SMALL_QNET, seed=0)
+        t1 = build_topology(tiny_network().topology)
+        t2 = build_topology(_other_tiny().topology)
+        net.bind_topology(t1)
+        before = net.state_dict()
+        net.bind_topology(t2)
+        after = net.state_dict()
+        assert before.keys() == after.keys()
+        for key in before:
+            assert np.array_equal(before[key], after[key])
+
+    def test_action_list_tracks_topology(self):
+        net = AttentionQNetwork(SMALL_QNET, seed=0)
+        n1 = net.bind_topology(build_topology(tiny_network().topology)).n_actions
+        n2 = net.bind_topology(build_topology(_other_tiny().topology)).n_actions
+        assert n1 != n2
+
+    def test_parameter_count_invariant(self):
+        net = AttentionQNetwork(SMALL_QNET, seed=0)
+        net.bind_topology(build_topology(tiny_network().topology))
+        n_params = net.n_parameters()
+        net.bind_topology(build_topology(small_network().topology))
+        assert net.n_parameters() == n_params
+
+    def test_transferred_policy_runs_on_target(self, tiny_tables):
+        """Weights trained nowhere still act on a never-seen topology."""
+        net = AttentionQNetwork(SMALL_QNET, seed=0)
+        result = evaluate_greedy_policy(
+            _other_tiny(), net, tiny_tables, episodes=1, max_steps=20
+        )
+        assert np.isfinite(result.mean("discounted_return"))
+
+
+class TestTrainPolicy:
+    def test_training_produces_history(self, tiny_tables):
+        net = AttentionQNetwork(SMALL_QNET, seed=0)
+        history = train_policy(
+            tiny_network(tmax=30), net, tiny_tables, FAST_DQN,
+            episodes=2, max_steps=20,
+        )
+        assert len(history) == 2
+        assert all(h.steps == 20 for h in history)
+
+    def test_training_changes_weights(self, tiny_tables):
+        net = AttentionQNetwork(SMALL_QNET, seed=0)
+        before = {k: v.copy() for k, v in net.state_dict().items()}
+        train_policy(tiny_network(tmax=30), net, tiny_tables, FAST_DQN,
+                     episodes=1, max_steps=30)
+        after = net.state_dict()
+        assert any(
+            not np.array_equal(before[k], after[k]) for k in before
+        )
+
+
+class TestTransferStudy:
+    def test_full_protocol_structure(self, tiny_tables):
+        net = AttentionQNetwork(SMALL_QNET, seed=0)
+        study = run_transfer_study(
+            source_config=tiny_network(tmax=30),
+            target_config=_other_tiny(),
+            qnet=net,
+            tables=tiny_tables,
+            dqn_config=FAST_DQN,
+            pretrain_episodes=1,
+            finetune_episodes=1,
+            eval_episodes=1,
+            max_steps=20,
+        )
+        for aggregate in (study.source, study.zero_shot, study.finetuned,
+                          study.scratch):
+            assert aggregate is not None
+            assert np.isfinite(aggregate.mean("discounted_return"))
+        assert len(study.finetune_history) == 1
+        assert len(study.scratch_history) == 1
+        assert study.n_parameters == net.n_parameters()
+
+    def test_zero_budget_skips_finetune(self, tiny_tables):
+        net = AttentionQNetwork(SMALL_QNET, seed=0)
+        study = run_transfer_study(
+            source_config=tiny_network(tmax=20),
+            target_config=_other_tiny(),
+            qnet=net,
+            tables=tiny_tables,
+            dqn_config=FAST_DQN,
+            pretrain_episodes=0,
+            finetune_episodes=0,
+            eval_episodes=1,
+            max_steps=15,
+        )
+        assert study.finetuned is None
+        assert study.scratch is None
+        assert study.finetune_history == []
+
+    def test_pretrain_zero_keeps_weights(self, tiny_tables):
+        net = AttentionQNetwork(SMALL_QNET, seed=0)
+        before = {k: v.copy() for k, v in net.state_dict().items()}
+        run_transfer_study(
+            source_config=tiny_network(tmax=20),
+            target_config=_other_tiny(),
+            qnet=net,
+            tables=tiny_tables,
+            pretrain_episodes=0,
+            finetune_episodes=0,
+            eval_episodes=1,
+            max_steps=10,
+        )
+        after = net.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key])
+
+    def test_identical_eval_seeds_make_columns_comparable(self, tiny_tables):
+        """Zero-shot and fine-tuned rows share evaluation seeds, so a
+        do-nothing fine-tune would reproduce the zero-shot numbers."""
+        net = AttentionQNetwork(SMALL_QNET, seed=0)
+        study = run_transfer_study(
+            source_config=tiny_network(tmax=20),
+            target_config=_other_tiny(),
+            qnet=net,
+            tables=tiny_tables,
+            dqn_config=FAST_DQN,
+            pretrain_episodes=0,
+            finetune_episodes=0,
+            eval_episodes=2,
+            max_steps=15,
+        )
+        again = evaluate_greedy_policy(
+            _other_tiny(), net, tiny_tables, episodes=2, seed=200,
+            max_steps=15,
+        )
+        assert study.zero_shot.mean("discounted_return") == pytest.approx(
+            again.mean("discounted_return")
+        )

@@ -1,0 +1,119 @@
+"""Tests for repro.utils: seeded RNG and statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils import RngFactory, ensure_rng
+from repro.utils.stats import (
+    RunningStat,
+    discounted_return,
+    kl_divergence,
+    mean_stderr,
+)
+
+
+class TestRngFactory:
+    def test_same_seed_same_stream(self):
+        a = RngFactory(42).child("ids").random(5)
+        b = RngFactory(42).child("ids").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_names_independent(self):
+        factory = RngFactory(42)
+        a = factory.child("ids").random(5)
+        b = factory.child("apt").random(5)
+        assert not np.allclose(a, b)
+
+    def test_child_order_does_not_matter(self):
+        f1 = RngFactory(7)
+        _ = f1.child("first").random()
+        stream_a = f1.child("target").random(3)
+        f2 = RngFactory(7)
+        stream_b = f2.child("target").random(3)
+        assert np.allclose(stream_a, stream_b)
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(1).child("x").random(5)
+        b = RngFactory(2).child("x").random(5)
+        assert not np.allclose(a, b)
+
+    def test_none_seed_is_random(self):
+        a = RngFactory(None).child("x").random(3)
+        b = RngFactory(None).child("x").random(3)
+        assert not np.allclose(a, b)
+
+
+class TestEnsureRng:
+    def test_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_from_seed(self):
+        assert np.allclose(ensure_rng(5).random(3), ensure_rng(5).random(3))
+
+
+class TestDiscountedReturn:
+    def test_undiscounted(self):
+        assert discounted_return([1, 1, 1], 1.0) == 3
+
+    def test_geometric(self):
+        assert math.isclose(discounted_return([1, 1, 1], 0.5), 1 + 0.5 + 0.25)
+
+    def test_empty(self):
+        assert discounted_return([], 0.9) == 0.0
+
+    def test_single(self):
+        assert discounted_return([4.2], 0.1) == 4.2
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        rewards = rng.normal(size=50)
+        gamma = 0.97
+        expected = float(np.sum(rewards * gamma ** np.arange(50)))
+        assert math.isclose(discounted_return(rewards, gamma), expected)
+
+
+class TestMeanStderr:
+    def test_empty(self):
+        assert mean_stderr([]) == (0.0, 0.0)
+
+    def test_single(self):
+        assert mean_stderr([3.0]) == (3.0, 0.0)
+
+    def test_known_values(self):
+        mean, err = mean_stderr([1.0, 2.0, 3.0])
+        assert math.isclose(mean, 2.0)
+        assert math.isclose(err, 1.0 / math.sqrt(3))
+
+
+class TestKlDivergence:
+    def test_zero_for_identical(self):
+        assert kl_divergence([0.3, 0.7], [0.3, 0.7]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive(self):
+        assert kl_divergence([0.9, 0.1], [0.5, 0.5]) > 0
+
+    def test_asymmetric(self):
+        p, q = [0.9, 0.1], [0.4, 0.6]
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_handles_zeros(self):
+        assert np.isfinite(kl_divergence([1.0, 0.0], [0.5, 0.5]))
+
+
+class TestRunningStat:
+    def test_mean_and_std(self):
+        stat = RunningStat()
+        values = [1.0, 2.0, 3.0, 4.0]
+        for v in values:
+            stat.push(v)
+        assert stat.count == 4
+        assert stat.mean == pytest.approx(np.mean(values))
+        assert stat.std == pytest.approx(np.std(values, ddof=1))
+
+    def test_single_value_has_zero_variance(self):
+        stat = RunningStat()
+        stat.push(5.0)
+        assert stat.variance == 0.0
