@@ -1,13 +1,17 @@
 #!/usr/bin/env python
 """Quickstart: simulate an APT campaign and defend the network.
 
-Builds the paper's evaluation network (25 engineering workstations,
-3 servers, 5 HMIs, 50 PLCs), runs the FSM attacker against two
-defenders -- nobody home vs. the automated playbook -- and prints the
-paper's four evaluation metrics for each.
+Resolves the evaluation environment by scenario id
+(``repro.make("inasim-paper-v1")``), runs the FSM attacker against
+three defenders -- nobody home, the automated playbook, and a
+semi-random responder -- and prints the paper's four evaluation
+metrics for each. Episodes are fanned out over a vectorized
+environment (``repro.make_vec``); pass ``--num-envs 1`` for the
+single-env path (the metrics are identical).
 
 Run:
-    python examples/quickstart.py [--episodes 3] [--tmax 2000]
+    python examples/quickstart.py [--scenario inasim-paper-v1]
+                                  [--episodes 3] [--num-envs 4]
 """
 
 from __future__ import annotations
@@ -15,32 +19,38 @@ from __future__ import annotations
 import argparse
 
 import repro
-from repro.config import paper_network
 from repro.defenders import NoopPolicy, PlaybookPolicy, SemiRandomPolicy
-from repro.eval import aggregate, format_aggregate_table, run_episode
+from repro.eval import evaluate_policy_vec, format_aggregate_table
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="inasim-paper-v1",
+                        help="registered scenario id; see "
+                             "repro.list_scenarios() or `repro scenarios`")
     parser.add_argument("--episodes", type=int, default=3)
+    parser.add_argument("--num-envs", type=int, default=4,
+                        help="vectorized lanes to fan episodes over")
     parser.add_argument("--tmax", type=int, default=2000,
                         help="episode horizon in simulated hours")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
-    config = paper_network(tmax=args.tmax)
-    env = repro.make_env(config, seed=args.seed)
-    print(f"network: {env.topology.n_nodes} nodes, {env.topology.n_plcs} PLCs, "
-          f"{env.n_actions} defender actions, horizon {config.tmax}h\n")
+    spec = repro.get_scenario(args.scenario)
+    venv = repro.make_vec(spec, min(args.num_envs, args.episodes),
+                          seed=args.seed, horizon=args.tmax)
+    print(f"scenario: {spec.scenario_id} -- {spec.description}")
+    print(f"network: {venv.topology.n_nodes} nodes, {venv.topology.n_plcs} "
+          f"PLCs, {venv.n_actions} defender actions, horizon "
+          f"{venv.config.tmax}h, {venv.num_envs} lanes\n")
 
     policies = [NoopPolicy(), PlaybookPolicy(), SemiRandomPolicy(seed=args.seed)]
     results = {}
     for policy in policies:
-        episodes = [
-            run_episode(env, policy, seed=args.seed + i)
-            for i in range(args.episodes)
-        ]
-        results[policy.name] = aggregate(episodes)
+        aggregate, episodes = evaluate_policy_vec(
+            venv, policy, args.episodes, seed=args.seed
+        )
+        results[policy.name] = aggregate
         last = episodes[-1]
         print(f"{policy.name}: last episode ended with "
               f"{last.final_plcs_offline} PLCs offline after {last.steps}h")

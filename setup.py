@@ -1,3 +1,41 @@
-from setuptools import setup
+"""Packaging for the DSN 2022 attack-mitigation reproduction."""
 
-setup()
+import pathlib
+
+from setuptools import find_packages, setup
+
+_README = pathlib.Path(__file__).parent / "README.md"
+
+setup(
+    name="repro-inasim",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Autonomous Attack Mitigation for Industrial "
+        "Control Systems' (Mern et al., DSN 2022): the INASIM simulator, "
+        "scenario registry, vectorized environments, and the ACSO "
+        "defender stack"
+    ),
+    long_description=_README.read_text() if _README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "tests": ["pytest>=7"],
+        "benchmarks": ["pytest>=7", "pytest-benchmark>=4"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Intended Audience :: Science/Research",
+        "Topic :: Security",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
+)

@@ -3,8 +3,13 @@ Systems" (Mern et al., DSN 2022).
 
 Public entry points:
 
-* :func:`make_env` -- build an :class:`~repro.sim.env.InasimEnv` with the
-  paper's FSM attacker.
+* :func:`make` / :func:`make_vec` -- build a single environment or an
+  N-way batched :class:`~repro.sim.vec_env.VectorEnv` from a registered
+  scenario id (``repro.make("inasim-paper-v1")``).
+* :func:`register` / :func:`list_scenarios` / :func:`get_scenario` --
+  the scenario registry (see :mod:`repro.scenarios`).
+* :func:`make_env` -- legacy config-first construction; kept as a thin
+  compatibility shim over the scenario machinery.
 * :mod:`repro.config` -- network presets (`paper_network`, `small_network`).
 * :mod:`repro.defenders` -- baseline and learned defender policies.
 * :mod:`repro.rl` -- the DQN training stack for the ACSO agent, plus the
@@ -27,16 +32,30 @@ from repro.config import (
     small_network,
     tiny_network,
 )
+from repro.scenarios import (
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    make,
+    make_vec,
+    register,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "APTConfig",
     "SimConfig",
+    "ScenarioSpec",
     "paper_network",
     "small_network",
     "tiny_network",
+    "make",
+    "make_vec",
     "make_env",
+    "register",
+    "get_scenario",
+    "list_scenarios",
 ]
 
 
@@ -48,6 +67,11 @@ def make_env(
     record_truth: bool = True,
 ):
     """Build a simulation environment with the paper's FSM attacker.
+
+    Compatibility shim predating the scenario registry: prefer
+    ``repro.make("inasim-paper-v1")`` and friends for named, shareable
+    configurations. ``make_env(paper_network())`` is equivalent to
+    ``make("inasim-paper-v1")``.
 
     Parameters
     ----------

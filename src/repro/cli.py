@@ -2,6 +2,7 @@
 
 Commands cover the full reproduction workflow without writing Python:
 
+* ``repro scenarios`` -- list the scenario registry;
 * ``repro topology`` -- inspect a network preset;
 * ``repro simulate`` -- run one policy and print the paper's metrics;
 * ``repro evaluate`` -- the Table 2 grid over all baseline policies;
@@ -11,9 +12,12 @@ Commands cover the full reproduction workflow without writing Python:
 * ``repro config`` -- dump a preset's JSON (edit, then pass anywhere
   via ``--config``).
 
-Every command accepts ``--preset {paper,small,tiny}`` or ``--config
-file.json``, ``--episodes``, ``--seed``, and ``--max-steps``, so quick
-CPU-budget runs and full paper-scale runs use the same entry points.
+Every command accepts ``--scenario <id>`` (a registry entry, see
+``repro scenarios``), ``--preset {paper,small,tiny}``, or ``--config
+file.json``, plus ``--episodes``, ``--seed``, and ``--max-steps``;
+``repro simulate --num-envs N`` fans episodes out over a vectorized
+environment. Quick CPU-budget runs and full paper-scale runs use the
+same entry points.
 """
 
 from __future__ import annotations
@@ -34,8 +38,23 @@ _PRESETS = {
 }
 
 
+def _resolve_spec(args):
+    """The ScenarioSpec named by --scenario, or None."""
+    if getattr(args, "scenario", None):
+        from repro.scenarios import get_scenario
+
+        try:
+            return get_scenario(args.scenario)
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+    return None
+
+
 def _resolve_config(args) -> SimConfig:
-    if getattr(args, "config", None):
+    spec = _resolve_spec(args)
+    if spec is not None:
+        config = spec.build_config()
+    elif getattr(args, "config", None):
         with open(args.config) as handle:
             config = config_from_dict(json.load(handle))
     else:
@@ -43,6 +62,23 @@ def _resolve_config(args) -> SimConfig:
     if getattr(args, "max_steps", None):
         config = config.with_tmax(min(config.tmax, args.max_steps))
     return config
+
+
+def _build_env(args, config: SimConfig, seed: int | None = None):
+    """One environment honouring --scenario's attacker, else the default."""
+    import repro
+
+    spec = _resolve_spec(args)
+    if spec is not None:
+        return spec.build_env(config=config, seed=seed)
+    return repro.make_env(config, seed=seed)
+
+
+def _build_vec_env(args, config: SimConfig, num_envs: int, seed: int):
+    from repro.sim.vec_env import VectorEnv
+
+    envs = [_build_env(args, config, seed=seed + i) for i in range(num_envs)]
+    return VectorEnv(envs, base_seed=seed)
 
 
 def _make_policy(name: str, config: SimConfig, seed: int,
@@ -114,17 +150,30 @@ def cmd_topology(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    import repro
-    from repro.eval import evaluate_policy, format_aggregate_table
+    from repro.eval import (
+        evaluate_policy,
+        evaluate_policy_vec,
+        format_aggregate_table,
+    )
 
     config = _resolve_config(args)
     policy = _make_policy(args.policy, config, args.seed, args.dbn, args.qnet)
-    env = repro.make_env(config, seed=args.seed)
-    aggregate, episodes = evaluate_policy(
-        env, policy, args.episodes, seed=args.seed, max_steps=args.max_steps
-    )
-    print(format_aggregate_table({args.policy: aggregate},
-                                 title=f"{args.episodes} episode(s)"))
+    num_envs = max(1, args.num_envs)
+    if num_envs > 1:
+        venv = _build_vec_env(args, config, num_envs, args.seed)
+        aggregate, episodes = evaluate_policy_vec(
+            venv, policy, args.episodes, seed=args.seed,
+            max_steps=args.max_steps,
+        )
+        title = f"{args.episodes} episode(s), {num_envs} envs"
+    else:
+        env = _build_env(args, config, seed=args.seed)
+        aggregate, episodes = evaluate_policy(
+            env, policy, args.episodes, seed=args.seed,
+            max_steps=args.max_steps,
+        )
+        title = f"{args.episodes} episode(s)"
+    print(format_aggregate_table({args.policy: aggregate}, title=title))
     if args.verbose:
         for metrics in episodes:
             print(f"  seed={metrics.seed} return="
@@ -188,13 +237,12 @@ def cmd_fig10(args) -> int:
 
 
 def cmd_fit_dbn(args) -> int:
-    import repro
     from repro.dbn import fit_dbn
     from repro.defenders import SemiRandomPolicy
 
     config = _resolve_config(args)
     tables = fit_dbn(
-        lambda: repro.make_env(config),
+        lambda: _build_env(args, config),
         lambda: SemiRandomPolicy(rate=5.0, seed=args.seed),
         episodes=args.episodes,
         seed=args.seed,
@@ -206,12 +254,11 @@ def cmd_fit_dbn(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    import repro
     from repro.sim.trace import record_episode
 
     config = _resolve_config(args)
     policy = _make_policy(args.policy, config, args.seed, args.dbn, args.qnet)
-    env = repro.make_env(config, seed=args.seed)
+    env = _build_env(args, config, seed=args.seed)
     trace = record_episode(env, policy, seed=args.seed,
                            max_steps=args.max_steps)
     trace.to_jsonl(args.out)
@@ -226,9 +273,32 @@ def cmd_config(args) -> int:
     return 0
 
 
+def cmd_scenarios(args) -> int:
+    from repro.scenarios import list_scenarios
+
+    specs = list_scenarios(tag=args.tag)
+    if not specs:
+        print(f"no scenarios tagged {args.tag!r}")
+        return 1
+    print(f"{'id':<26} {'network':<8} {'attacker':<14} {'reward':<15} tags")
+    for spec in specs:
+        attacker = spec.attacker if spec.attacker != "fsm" else (
+            f"{spec.profile}:{spec.objective}/{spec.vector}"
+            if spec.objective else f"{spec.profile}:sampled"
+        )
+        print(f"{spec.scenario_id:<26} {spec.network:<8} {attacker:<14} "
+              f"{spec.reward_variant:<15} {','.join(spec.tags)}")
+        if args.verbose and spec.description:
+            print(f"    {spec.description}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 def _add_common(parser: argparse.ArgumentParser,
                 episodes_default: int = 2) -> None:
+    parser.add_argument("--scenario", default=None,
+                        help="registered scenario id (see 'repro scenarios'; "
+                             "overrides --preset/--config)")
     parser.add_argument("--preset", choices=sorted(_PRESETS), default="small",
                         help="network preset (default: small)")
     parser.add_argument("--config", help="JSON config file (overrides preset)")
@@ -258,8 +328,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--policy", default="playbook",
                    choices=("noop", "playbook", "random", "expert", "acso"))
+    p.add_argument("--num-envs", type=int, default=1,
+                   help="fan episodes over N vectorized environments")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("scenarios", help="list the scenario registry")
+    p.add_argument("--tag", default=None,
+                   help="only scenarios carrying this tag")
+    p.add_argument("--verbose", action="store_true",
+                   help="include descriptions")
+    p.set_defaults(func=cmd_scenarios)
 
     p = sub.add_parser("evaluate", help="Table 2 over baseline policies")
     _add_common(p)

@@ -1,10 +1,19 @@
-"""Episode runner used by all experiments."""
+"""Episode runner used by all experiments.
+
+:func:`run_episode` / :func:`evaluate_policy` drive one environment at
+a time; :func:`evaluate_policy_vec` fans the same seeded episodes out
+over a :class:`~repro.sim.vec_env.VectorEnv` and produces identical
+metrics for deterministic policies (episode ``i`` always runs with
+seed ``seed + i`` against a freshly reset policy).
+"""
 
 from __future__ import annotations
 
+import copy
+
 from repro.eval.metrics import EpisodeMetrics, aggregate
 
-__all__ = ["run_episode", "evaluate_policy"]
+__all__ = ["run_episode", "evaluate_policy", "evaluate_policy_vec"]
 
 
 def run_episode(env, policy, seed: int | None = None,
@@ -47,4 +56,105 @@ def evaluate_policy(env, policy, episodes: int, seed: int = 0,
         run_episode(env, policy, seed=seed + i, max_steps=max_steps)
         for i in range(episodes)
     ]
+    return aggregate(results), results
+
+
+class _Lane:
+    """Bookkeeping for one VectorEnv slot running episode ``ep``."""
+
+    __slots__ = ("ep", "obs", "discounted", "discount", "cost",
+                 "compromised", "t", "info")
+
+    def __init__(self, ep: int, obs):
+        self.ep = ep
+        self.obs = obs
+        self.discounted = 0.0
+        self.discount = 1.0
+        self.cost = 0.0
+        self.compromised = 0
+        self.t = 0
+        self.info: dict = {}
+
+    def metrics(self, seed: int) -> EpisodeMetrics:
+        steps = max(self.t, 1)
+        return EpisodeMetrics(
+            discounted_return=self.discounted,
+            final_plcs_offline=int(self.info.get("n_plcs_offline", 0)),
+            avg_it_cost=self.cost / steps,
+            avg_nodes_compromised=self.compromised / steps,
+            steps=self.t,
+            seed=seed,
+        )
+
+
+def evaluate_policy_vec(venv, policy, episodes: int, seed: int = 0,
+                        max_steps: int | None = None):
+    """Batched :func:`evaluate_policy`: fan episodes over a VectorEnv.
+
+    Episode ``i`` runs with seed ``seed + i`` against its own clone of
+    ``policy`` (or a fresh instance, when ``policy`` is a zero-argument
+    factory), so for deterministic policies the (aggregate, per-episode)
+    result matches the single-env path exactly. Lanes are stepped in
+    lockstep; each picks up the next pending episode as it finishes.
+    """
+    from repro.defenders.base import DefenderPolicy
+
+    if isinstance(policy, DefenderPolicy):
+        make_policy = lambda: copy.deepcopy(policy)  # noqa: E731
+    elif callable(policy):
+        make_policy = policy
+    else:
+        raise TypeError("policy must be a DefenderPolicy or a factory")
+
+    n = venv.num_envs
+    gamma = venv.config.reward.gamma
+    tmax = venv.config.tmax
+    horizon = tmax if max_steps is None else min(max_steps, tmax)
+
+    results: list[EpisodeMetrics | None] = [None] * episodes
+    policies = [make_policy() for _ in range(n)]
+    lanes: list[_Lane | None] = [None] * n
+    next_ep = 0
+
+    def start(slot: int) -> None:
+        nonlocal next_ep
+        if next_ep >= episodes:
+            lanes[slot] = None
+            return
+        ep = next_ep
+        next_ep += 1
+        obs = venv.reset_env(slot, seed=seed + ep)
+        policies[slot].reset(venv.envs[slot])
+        lanes[slot] = _Lane(ep, obs)
+
+    was_auto_reset = venv.auto_reset
+    venv.auto_reset = False  # episode boundaries are scheduled here
+    try:
+        for slot in range(n):
+            start(slot)
+        while any(lane is not None for lane in lanes):
+            active = [lane is not None for lane in lanes]
+            actions = [
+                policies[i].act(lane.obs) if (lane := lanes[i]) else None
+                for i in range(n)
+            ]
+            step = venv.step(actions, mask=active)
+            for i, lane in enumerate(lanes):
+                if lane is None:
+                    continue
+                lane.obs = step.observations[i]
+                info = step.infos[i]
+                lane.t = info["t"]
+                lane.discounted += lane.discount * step.rewards[i]
+                lane.discount *= gamma
+                lane.cost += info["it_cost"]
+                lane.compromised += info["n_compromised"]
+                lane.info = info
+                if step.dones[i] or lane.t >= horizon:
+                    results[lane.ep] = lane.metrics(seed + lane.ep)
+                    start(i)
+    finally:
+        venv.auto_reset = was_auto_reset
+
+    assert all(r is not None for r in results)
     return aggregate(results), results

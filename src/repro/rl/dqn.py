@@ -9,6 +9,7 @@ normalized by (1 - gamma) so the tanh value heads regress O(1) returns.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -26,6 +27,7 @@ from repro.rl.replay import (
 from repro.rl.schedules import ExponentialDecay, LinearSchedule
 from repro.rl.shaping import PotentialShaper
 from repro.sim.orchestrator import DefenderAction, DEFENDER_ACTION_SPECS
+from repro.sim.vec_env import VectorEnv
 
 __all__ = ["DQNConfig", "DQNTrainer", "valid_action_mask"]
 
@@ -89,7 +91,44 @@ class EpisodeStats:
     plcs_offline: int
 
 
+@dataclass
+class _VecLane:
+    """Per-lane collection state for :meth:`DQNTrainer.train_vec`."""
+
+    episode: int
+    obs: object
+    features: FeatureSet
+    nstep: NStepAssembler
+    phi: float
+    action_idx: int = 0
+    env_return: float = 0.0
+    shaped_return: float = 0.0
+    discount: float = 1.0
+    steps: int = 0
+    info: dict = field(default_factory=dict)
+    losses: list[float] = field(default_factory=list)
+
+    def stats(self, epsilon: float) -> EpisodeStats:
+        return EpisodeStats(
+            episode=self.episode,
+            env_return=self.env_return,
+            shaped_return=self.shaped_return,
+            steps=self.steps,
+            mean_loss=float(np.mean(self.losses)) if self.losses else 0.0,
+            epsilon=epsilon,
+            plcs_offline=int(self.info.get("n_plcs_offline", 0)),
+        )
+
+
 class DQNTrainer:
+    """Double-DQN trainer over one environment or a :class:`VectorEnv`.
+
+    With a ``VectorEnv``, transitions are collected from all lanes per
+    iteration and action selection runs as one batched forward pass;
+    replay, schedules, and update cadence are shared across lanes
+    (``total_steps`` counts environment steps, not lockstep rounds).
+    """
+
     def __init__(
         self,
         env,
@@ -98,8 +137,10 @@ class DQNTrainer:
         config: DQNConfig | None = None,
     ):
         self.env = env
+        self.vec = isinstance(env, VectorEnv)
         self.qnet = qnet.bind_topology(env.topology)
         self.featurizer = featurizer
+        self._featurizers: list[ACSOFeaturizer] | None = None
         self.config = config or DQNConfig()
         self.gamma = env.config.reward.gamma
         cfg = self.config
@@ -145,6 +186,9 @@ class DQNTrainer:
     # ------------------------------------------------------------------
     def train(self, episodes: int, seed: int = 0, max_steps: int | None = None,
               callback: Callable | None = None) -> list[EpisodeStats]:
+        if self.vec:
+            return self.train_vec(episodes, seed=seed, max_steps=max_steps,
+                                  callback=callback)
         for episode in range(episodes):
             stats = self.train_episode(seed + episode, episode, max_steps)
             self.history.append(stats)
@@ -211,6 +255,142 @@ class DQNTrainer:
             epsilon=epsilon,
             plcs_offline=int(info.get("n_plcs_offline", 0)),
         )
+
+    # ------------------------------------------------------------------
+    def select_actions_vec(self, features: list[FeatureSet],
+                           masks: np.ndarray, epsilon: float) -> np.ndarray:
+        """Batched action selection: one forward pass for all lanes."""
+        if self.config.noisy:
+            self.qnet.reset_noise()
+        q = self.qnet.forward(*stack_features(features)).data
+        q = np.where(masks, q, -np.inf)
+        greedy = q.argmax(axis=1)
+        out = np.empty(len(features), dtype=np.int64)
+        for i in range(len(features)):
+            if not self.config.noisy and self.rng.random() < epsilon:
+                out[i] = int(self.rng.choice(np.flatnonzero(masks[i])))
+            else:
+                out[i] = int(greedy[i])
+        return out
+
+    def train_vec(self, episodes: int, seed: int = 0,
+                  max_steps: int | None = None,
+                  callback: Callable | None = None) -> list[EpisodeStats]:
+        """Collect transitions from all VectorEnv lanes per iteration.
+
+        Episode ``i`` runs with seed ``seed + i``; lanes pick up the
+        next pending episode as theirs finishes, so any ``episodes``
+        count works with any ``num_envs``. Update losses are shared
+        diagnostics: each gradient step's loss is credited to every
+        episode in flight when it happened.
+        """
+        if not self.vec:
+            raise RuntimeError("train_vec requires a VectorEnv")
+        cfg = self.config
+        venv: VectorEnv = self.env
+        n = venv.num_envs
+        horizon = venv.config.tmax if max_steps is None else max_steps
+        if self._featurizers is None:
+            self._featurizers = [self.featurizer] + [
+                copy.deepcopy(self.featurizer) for _ in range(n - 1)
+            ]
+
+        lanes: list[_VecLane | None] = [None] * n
+        next_ep = 0
+
+        def start(slot: int) -> None:
+            nonlocal next_ep
+            if next_ep >= episodes:
+                lanes[slot] = None
+                return
+            ep, next_ep = next_ep, next_ep + 1
+            obs = venv.reset_env(slot, seed=seed + ep)
+            featurizer = self._featurizers[slot]
+            featurizer.reset()
+            state = venv.envs[slot].sim.state
+            lanes[slot] = _VecLane(
+                episode=ep,
+                obs=obs,
+                features=featurizer.update(obs),
+                nstep=NStepAssembler(cfg.n_step, self.gamma),
+                phi=self.shaper.potential(
+                    state.n_workstations_compromised(),
+                    state.n_servers_compromised(),
+                ),
+            )
+
+        was_auto_reset = venv.auto_reset
+        venv.auto_reset = False  # episode boundaries are scheduled here
+        epsilon = self.eps_schedule(self.total_steps)
+        try:
+            for slot in range(n):
+                start(slot)
+            while any(lane is not None for lane in lanes):
+                epsilon = self.eps_schedule(self.total_steps)
+                active = [i for i, lane in enumerate(lanes) if lane is not None]
+                masks = np.stack([
+                    valid_action_mask(self.qnet.action_list, lanes[i].obs)
+                    for i in active
+                ])
+                chosen = self.select_actions_vec(
+                    [lanes[i].features for i in active], masks, epsilon
+                )
+                actions: list = [None] * n
+                for idx, i in enumerate(active):
+                    lanes[i].action_idx = int(chosen[idx])
+                    actions[i] = self.qnet.action_list[lanes[i].action_idx]
+                step = venv.step(
+                    actions, mask=[lane is not None for lane in lanes]
+                )
+
+                for i in active:
+                    lane = lanes[i]
+                    obs, reward = step.observations[i], float(step.rewards[i])
+                    info = step.infos[i]
+                    t = info["t"]
+                    done = bool(step.dones[i]) or t >= horizon
+
+                    phi_next = self.shaper.potential_from_info(info)
+                    shaping = self.shaper.shape(lane.phi, phi_next, done=done)
+                    lane.phi = phi_next
+                    r_train = (
+                        reward + self.shaping_weight * shaping
+                    ) * self.reward_scale
+
+                    lane.env_return += lane.discount * reward
+                    lane.discount *= self.gamma
+                    lane.shaped_return += r_train
+                    next_features = self._featurizers[i].update(obs)
+                    for transition in lane.nstep.push(
+                        lane.features, lane.action_idx, r_train,
+                        next_features, done
+                    ):
+                        self.replay.add(transition)
+                    lane.obs, lane.features = obs, next_features
+                    lane.steps = t
+                    lane.info = info
+                    self.total_steps += 1
+
+                    if (
+                        len(self.replay) >= max(cfg.warmup, cfg.batch_size)
+                        and self.total_steps % cfg.update_every == 0
+                    ):
+                        loss = self.update()
+                        for other in lanes:
+                            if other is not None:
+                                other.losses.append(loss)
+                    if self.total_steps % cfg.target_update == 0:
+                        self.target.copy_from(self.qnet)
+
+                    if done:
+                        stats = lane.stats(epsilon)
+                        self.history.append(stats)
+                        if callback is not None:
+                            callback(stats)
+                        start(i)
+        finally:
+            venv.auto_reset = was_auto_reset
+        return self.history
 
     # ------------------------------------------------------------------
     def update(self) -> float:

@@ -1,0 +1,54 @@
+"""Scenario registry: named, reproducible experiment configurations.
+
+The public construction API of the reproduction lives here (re-exported
+at the top level as ``repro.make`` / ``repro.make_vec`` / ...):
+
+* :class:`ScenarioSpec` — a frozen description of (network preset,
+  attacker profile and qualitative pair, reward variant, horizon);
+* :func:`make` / :func:`make_vec` — build a single environment or a
+  batched :class:`~repro.sim.vec_env.VectorEnv` from a scenario id;
+* :func:`register` / :func:`list_scenarios` / :func:`get_scenario` —
+  extend and discover the catalogue;
+* :data:`BUILTIN_SCENARIOS` — the built-in catalogue covering the
+  tiny/small/paper networks crossed with the Fig 8 attacker configs
+  plus APT2, stealth, scripted, and reward variants.
+"""
+
+from repro.scenarios.spec import (
+    ATTACKER_KINDS,
+    ATTACKER_PROFILES,
+    NETWORK_PRESETS,
+    REWARD_VARIANTS,
+    ScenarioSpec,
+)
+from repro.scenarios.registry import (
+    REGISTRY,
+    ScenarioRegistry,
+    get_scenario,
+    list_scenarios,
+    make,
+    make_vec,
+    register,
+)
+from repro.scenarios.builtin import BUILTIN_SCENARIOS, register_builtin_scenarios
+from repro.scenarios.scripted import BeachheadRushAttacker
+
+register_builtin_scenarios()
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioRegistry",
+    "REGISTRY",
+    "BUILTIN_SCENARIOS",
+    "NETWORK_PRESETS",
+    "REWARD_VARIANTS",
+    "ATTACKER_KINDS",
+    "ATTACKER_PROFILES",
+    "BeachheadRushAttacker",
+    "register",
+    "register_builtin_scenarios",
+    "get_scenario",
+    "list_scenarios",
+    "make",
+    "make_vec",
+]

@@ -1,0 +1,65 @@
+"""Deterministic scripted attacker for registry scenarios.
+
+:class:`~repro.attacker.scripted.ScriptedAttacker` replays a schedule
+that hard-codes node ids, but the engine picks the beachhead node
+randomly at reset — so a registry scenario cannot write the script
+ahead of time. :class:`BeachheadRushAttacker` closes the gap: on its
+first action of each episode it reads the beachhead from the attacker's
+own view (the APT knows which node it controls) and builds the
+:func:`~repro.attacker.scripted.beachhead_rush` schedule from it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacker.scripted import ScriptedAttacker, beachhead_rush
+from repro.sim.apt_actions import APTActionRequest, APTView
+
+__all__ = ["BeachheadRushAttacker"]
+
+
+class BeachheadRushAttacker:
+    """Escalate on the episode's actual beachhead, then rush the PLCs.
+
+    ``n_plcs`` caps how many PLCs are attacked (``None`` = all);
+    ``disrupt`` selects disruption vs firmware-flash-and-destroy.
+    """
+
+    def __init__(self, n_plcs: int | None = None, disrupt: bool = True,
+                 start: int = 1, spacing: int = 4):
+        self.n_plcs = n_plcs
+        self.disrupt = disrupt
+        self.start = start
+        self.spacing = spacing
+        self._inner: ScriptedAttacker | None = None
+
+    @property
+    def phase_name(self) -> str:
+        if self._inner is None:
+            return "script-pending"
+        return self._inner.phase_name
+
+    def reset(self, rng) -> None:
+        self._inner = None
+
+    def act(self, view: APTView) -> list[APTActionRequest]:
+        if self._inner is None:
+            from repro.net.nodes import Condition
+
+            compromised = np.flatnonzero(
+                view.state.conditions[:, Condition.COMPROMISED]
+            )
+            if compromised.size == 0:
+                return []  # evicted before the script was built
+            beachhead = int(compromised[0])
+            n = view.topology.n_plcs if self.n_plcs is None else self.n_plcs
+            script = beachhead_rush(
+                beachhead,
+                target_plcs=list(range(min(n, view.topology.n_plcs))),
+                start=view.t + self.start,
+                spacing=self.spacing,
+                disrupt=self.disrupt,
+            )
+            self._inner = ScriptedAttacker(script)
+        return self._inner.act(view)

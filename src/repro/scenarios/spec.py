@@ -1,0 +1,173 @@
+"""Frozen scenario specifications.
+
+A :class:`ScenarioSpec` names everything needed to reconstruct an
+experiment environment: network preset, attacker profile and
+qualitative (objective, vector) pair, reward variant, horizon, and the
+Fig 6 stealth knob. Specs are immutable and hashable, so a scenario id
+is a complete, reproducible description of an environment — the same
+role RLlib's registered env creators and OBP's named datasets play in
+their pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config import RewardConfig, SimConfig, paper_network, small_network, tiny_network
+
+__all__ = [
+    "ScenarioSpec",
+    "NETWORK_PRESETS",
+    "REWARD_VARIANTS",
+    "ATTACKER_KINDS",
+    "ATTACKER_PROFILES",
+]
+
+#: network preset name -> SimConfig constructor
+NETWORK_PRESETS = {
+    "tiny": tiny_network,
+    "small": small_network,
+    "paper": paper_network,
+}
+
+#: named reward parameterisations (eqs 1-4 with different trade-offs):
+#: ``paper`` is the published objective; ``cost_sensitive`` triples the
+#: IT-availability weight (defenders that over-respond score worse);
+#: ``availability`` doubles the process-outage penalties (PLC uptime
+#: dominates IT cost).
+REWARD_VARIANTS: dict[str, RewardConfig] = {
+    "paper": RewardConfig(),
+    "cost_sensitive": RewardConfig(lambda_it=0.3),
+    "availability": RewardConfig(disrupted_penalty=0.1, destroyed_penalty=0.2),
+}
+
+#: attacker construction strategies
+ATTACKER_KINDS = ("fsm", "scripted")
+
+#: quantitative FSM profiles: ``apt1`` keeps the preset's thresholds
+#: (the nominal Section 3.2 attacker), ``apt2`` applies the aggressive
+#: Section 5 overrides (lateral threshold 1, PLC thresholds 5/10).
+ATTACKER_PROFILES = ("apt1", "apt2")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, reproducible experiment configuration.
+
+    ``objective``/``vector`` fix the FSM attacker's qualitative pair
+    (one of the four Fig 8 configurations); leaving both ``None`` draws
+    the pair uniformly at each episode reset, the paper's training
+    regime. ``horizon`` overrides the preset's ``tmax``;
+    ``cleanup_effectiveness`` overrides the Fig 6 stealth knob.
+    """
+
+    scenario_id: str
+    network: str = "paper"
+    attacker: str = "fsm"
+    profile: str = "apt1"
+    objective: str | None = None
+    vector: str | None = None
+    reward_variant: str = "paper"
+    horizon: int | None = None
+    cleanup_effectiveness: float | None = None
+    description: str = ""
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.scenario_id or not isinstance(self.scenario_id, str):
+            raise ValueError("scenario_id must be a non-empty string")
+        if self.network not in NETWORK_PRESETS:
+            raise ValueError(
+                f"unknown network preset {self.network!r}; "
+                f"choose from {sorted(NETWORK_PRESETS)}"
+            )
+        if self.attacker not in ATTACKER_KINDS:
+            raise ValueError(
+                f"unknown attacker kind {self.attacker!r}; "
+                f"choose from {ATTACKER_KINDS}"
+            )
+        if self.profile not in ATTACKER_PROFILES:
+            raise ValueError(
+                f"unknown attacker profile {self.profile!r}; "
+                f"choose from {ATTACKER_PROFILES}"
+            )
+        if (self.objective is None) != (self.vector is None):
+            raise ValueError(
+                "objective and vector must be fixed together or both "
+                "left None (sampled each reset)"
+            )
+        if self.objective is not None and self.objective not in ("disrupt", "destroy"):
+            raise ValueError(f"unknown objective {self.objective!r}")
+        if self.vector is not None and self.vector not in ("opc", "hmi"):
+            raise ValueError(f"unknown vector {self.vector!r}")
+        if self.reward_variant not in REWARD_VARIANTS:
+            raise ValueError(
+                f"unknown reward variant {self.reward_variant!r}; "
+                f"choose from {sorted(REWARD_VARIANTS)}"
+            )
+        if self.horizon is not None and self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.cleanup_effectiveness is not None and not (
+            0.0 <= self.cleanup_effectiveness <= 1.0
+        ):
+            raise ValueError("cleanup_effectiveness must be in [0, 1]")
+        object.__setattr__(self, "tags", tuple(self.tags))
+
+    # ------------------------------------------------------------------
+    @property
+    def sample_qualitative(self) -> bool:
+        """Whether the FSM (objective, vector) pair is drawn per episode."""
+        return self.objective is None
+
+    def build_config(self) -> SimConfig:
+        """Materialise the :class:`SimConfig` this spec describes."""
+        config = NETWORK_PRESETS[self.network]()
+        apt = config.apt
+        if self.profile == "apt2":
+            apt = replace(
+                apt,
+                lateral_threshold=1,
+                hmi_threshold=1,
+                plc_threshold_destroy=min(5, apt.plc_threshold_destroy),
+                plc_threshold_disrupt=min(10, apt.plc_threshold_disrupt),
+            )
+        if self.objective is not None:
+            apt = replace(apt, objective=self.objective, vector=self.vector)
+        if self.cleanup_effectiveness is not None:
+            apt = replace(apt, cleanup_effectiveness=self.cleanup_effectiveness)
+        config = replace(
+            config, apt=apt, reward=REWARD_VARIANTS[self.reward_variant]
+        )
+        if self.horizon is not None:
+            config = config.with_tmax(self.horizon)
+        return config
+
+    def build_attacker(self, config: SimConfig):
+        """Construct the attacker policy this spec names."""
+        if self.attacker == "scripted":
+            from repro.scenarios.scripted import BeachheadRushAttacker
+
+            return BeachheadRushAttacker()
+        from repro.attacker import FSMAttacker
+
+        return FSMAttacker(config.apt, sample_qualitative=self.sample_qualitative)
+
+    def build_env(self, seed: int | None = None, record_truth: bool = True,
+                  config: SimConfig | None = None):
+        """Construct a ready :class:`~repro.sim.env.InasimEnv`.
+
+        ``config`` overrides :meth:`build_config` when the caller has
+        already derived one (e.g. the CLI capping ``tmax``).
+        """
+        from repro.sim.env import InasimEnv
+
+        if config is None:
+            config = self.build_config()
+        env = InasimEnv(config, self.build_attacker(config), seed=seed,
+                        record_truth=record_truth)
+        env.scenario = self
+        return env
+
+    def with_overrides(self, **overrides) -> "ScenarioSpec":
+        """A copy with ``overrides`` applied (keeps the frozen contract)."""
+        return replace(self, **overrides)

@@ -21,6 +21,7 @@ from repro.sim.orchestrator import (
 from repro.sim.reward import RewardModule
 from repro.sim.state import NetworkState
 from repro.sim.trace import EpisodeTrace, TraceStep, record_episode, verify_determinism
+from repro.sim.vec_env import VecStep, VectorEnv
 
 __all__ = [
     "APT_ACTION_SPECS",
@@ -48,4 +49,6 @@ __all__ = [
     "TraceStep",
     "record_episode",
     "verify_determinism",
+    "VecStep",
+    "VectorEnv",
 ]

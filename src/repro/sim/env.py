@@ -9,12 +9,19 @@ index into :attr:`action_list`.
 
 from __future__ import annotations
 
+import numbers
 from typing import Any, Iterable
+
+import numpy as np
 
 from repro.config import SimConfig
 from repro.sim.engine import Simulation
 from repro.sim.observations import Observation
-from repro.sim.orchestrator import DefenderAction, enumerate_actions
+from repro.sim.orchestrator import (
+    DEFENDER_ACTION_SPECS,
+    DefenderAction,
+    enumerate_actions,
+)
 
 __all__ = ["InasimEnv"]
 
@@ -28,6 +35,23 @@ class InasimEnv:
         self.action_index: dict[DefenderAction, int] = {
             a: i for i, a in enumerate(self.action_list)
         }
+        # index arrays for the vectorized action mask: positions in
+        # action_list that target a node / a PLC, and those targets
+        node_idx, node_tgt, plc_idx, plc_tgt = [], [], [], []
+        for i, action in enumerate(self.action_list):
+            if action.is_noop:
+                continue
+            targets = DEFENDER_ACTION_SPECS[action.atype].targets
+            if targets == "node":
+                node_idx.append(i)
+                node_tgt.append(action.target)
+            elif targets == "plc":
+                plc_idx.append(i)
+                plc_tgt.append(action.target)
+        self._mask_node_idx = np.array(node_idx, dtype=np.intp)
+        self._mask_node_tgt = np.array(node_tgt, dtype=np.intp)
+        self._mask_plc_idx = np.array(plc_idx, dtype=np.intp)
+        self._mask_plc_tgt = np.array(plc_tgt, dtype=np.intp)
 
     # ------------------------------------------------------------------
     @property
@@ -56,13 +80,30 @@ class InasimEnv:
     def _coerce(self, action) -> list[DefenderAction]:
         if isinstance(action, DefenderAction):
             return [action]
-        if isinstance(action, (int,)):
-            return [self.action_list[action]]
+        if isinstance(action, (numbers.Integral, np.integer)):
+            # covers builtin int and numpy integer scalars (np.int64 from
+            # rng.integers / argmax), which the RL stack produces
+            return [self.action_list[int(action)]]
         if action is None:
             return []
         return list(action)
 
     # ------------------------------------------------------------------
+    def action_mask(self) -> np.ndarray:
+        """Boolean validity mask over :attr:`action_list`.
+
+        An action is valid when its target is not occupied by an
+        in-flight defender action (noop is always valid); launching an
+        action on a busy target is rejected by the orchestrator and
+        wastes the decision step.
+        """
+        state = self.sim.state
+        t = state.t
+        mask = np.ones(len(self.action_list), dtype=bool)
+        mask[self._mask_node_idx] = state.node_busy_until[self._mask_node_tgt] <= t
+        mask[self._mask_plc_idx] = state.plc_busy_until[self._mask_plc_tgt] <= t
+        return mask
+
     def sample_action(self, rng) -> int:
         """Uniform random action index (exploration helper)."""
         return int(rng.integers(self.n_actions))

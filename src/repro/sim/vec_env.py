@@ -1,0 +1,189 @@
+"""Lockstep vectorized environment: N independent simulations per step.
+
+The ROADMAP's scale story starts here: every consumer that previously
+stepped one :class:`~repro.sim.env.InasimEnv` at a time (the evaluation
+fan-out, the DQN collector, the CLI) drives a :class:`VectorEnv`
+instead and amortizes per-step Python overhead over ``num_envs``
+simulations.
+
+Semantics follow the Gym ``VectorEnv`` contract:
+
+* :meth:`reset` seeds env ``i`` with ``seed + i`` and returns the list
+  of initial observations;
+* :meth:`step` advances every environment by one hour and returns
+  stacked numpy reward/done batches plus per-env observations and info
+  dicts;
+* with ``auto_reset`` (the default) an environment that finishes its
+  episode is immediately reset with a fresh deterministic seed
+  (``seed + i + num_envs * episode_count``); the terminal observation
+  is preserved in ``info["final_observation"]`` and the returned
+  observation is the first of the next episode;
+* :meth:`action_masks` stacks the per-env action-validity masks into a
+  ``(num_envs, n_actions)`` batch for the RL stack.
+
+Episodes are deterministic given (config, seed): two ``VectorEnv``s
+built from the same scenario and reset with the same seed produce
+identical batched trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.sim.env import InasimEnv
+from repro.sim.observations import Observation
+
+__all__ = ["VectorEnv", "VecStep"]
+
+_UNSET = object()
+
+
+@dataclass
+class VecStep:
+    """One lockstep transition of all environments."""
+
+    observations: list[Observation]
+    rewards: np.ndarray  # (num_envs,) float64
+    dones: np.ndarray  # (num_envs,) bool
+    infos: list[dict[str, Any]]
+
+    def __iter__(self) -> Iterator:
+        """Unpack like a Gym step: obs, rewards, dones, infos."""
+        return iter((self.observations, self.rewards, self.dones, self.infos))
+
+
+class VectorEnv:
+    """Run ``len(envs)`` independent simulations in lockstep.
+
+    All environments must share a topology (same action space); build
+    them from one scenario via :func:`repro.make_vec`.
+    """
+
+    def __init__(self, envs: Sequence[InasimEnv], *, auto_reset: bool = True,
+                 base_seed: int | None = None):
+        envs = list(envs)
+        if not envs:
+            raise ValueError("VectorEnv needs at least one environment")
+        n_actions = envs[0].n_actions
+        for env in envs[1:]:
+            if env.n_actions != n_actions:
+                raise ValueError(
+                    "all environments must share an action space "
+                    f"({env.n_actions} != {n_actions}); build them from "
+                    "one scenario"
+                )
+        self.envs = envs
+        self.num_envs = len(envs)
+        self.auto_reset = auto_reset
+        self._base_seed = base_seed
+        self._episode_counts = [0] * self.num_envs
+        self._last_obs: list[Observation | None] = [None] * self.num_envs
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self):
+        return self.envs[0].config
+
+    @property
+    def topology(self):
+        return self.envs[0].topology
+
+    @property
+    def n_actions(self) -> int:
+        return self.envs[0].n_actions
+
+    @property
+    def action_list(self):
+        return self.envs[0].action_list
+
+    def __len__(self) -> int:
+        return self.num_envs
+
+    # ------------------------------------------------------------------
+    def _seed_for(self, i: int) -> int | None:
+        if self._base_seed is None:
+            return None
+        return self._base_seed + i + self.num_envs * self._episode_counts[i]
+
+    def reset(self, seed: int | None | object = _UNSET) -> list[Observation]:
+        """Reset every environment; env ``i`` gets ``seed + i``."""
+        if seed is not _UNSET:
+            self._base_seed = seed  # type: ignore[assignment]
+        self._episode_counts = [0] * self.num_envs
+        obs = [env.reset(seed=self._seed_for(i))
+               for i, env in enumerate(self.envs)]
+        self._last_obs = list(obs)
+        return obs
+
+    def reset_env(self, i: int, seed: int | None = None) -> Observation:
+        """Reset one lane explicitly (manual episode scheduling)."""
+        obs = self.envs[i].reset(seed=seed)
+        self._last_obs[i] = obs
+        return obs
+
+    # ------------------------------------------------------------------
+    def step(self, actions=None, mask: Sequence[bool] | None = None) -> VecStep:
+        """Advance all (unmasked) environments by one hour.
+
+        ``actions`` may be ``None`` (noop everywhere), a 1-D integer
+        array of length ``num_envs``, or a sequence of per-env actions,
+        each in any form :meth:`InasimEnv.step` accepts. With ``mask``,
+        lanes where ``mask[i]`` is false are skipped and report their
+        last observation, zero reward, and ``done=True``.
+        """
+        actions = self._split_actions(actions)
+        observations: list[Observation] = []
+        rewards = np.zeros(self.num_envs)
+        dones = np.zeros(self.num_envs, dtype=bool)
+        infos: list[dict[str, Any]] = []
+
+        for i, env in enumerate(self.envs):
+            if mask is not None and not mask[i]:
+                observations.append(self._last_obs[i])
+                dones[i] = True
+                infos.append({})
+                continue
+            obs, reward, done, info = env.step(actions[i])
+            if done and self.auto_reset:
+                info = dict(info)
+                info["final_observation"] = obs
+                self._episode_counts[i] += 1
+                obs = env.reset(seed=self._seed_for(i))
+            observations.append(obs)
+            rewards[i] = reward
+            dones[i] = done
+            infos.append(info)
+            self._last_obs[i] = obs
+
+        return VecStep(observations, rewards, dones, infos)
+
+    def _split_actions(self, actions) -> list:
+        if actions is None:
+            return [None] * self.num_envs
+        if isinstance(actions, np.ndarray):
+            if actions.shape != (self.num_envs,):
+                raise ValueError(
+                    f"action array shape {actions.shape} != ({self.num_envs},)"
+                )
+            return list(actions)
+        actions = list(actions)
+        if len(actions) != self.num_envs:
+            raise ValueError(
+                f"expected {self.num_envs} actions, got {len(actions)}"
+            )
+        return actions
+
+    # ------------------------------------------------------------------
+    def action_masks(self) -> np.ndarray:
+        """Stacked validity masks, shape ``(num_envs, n_actions)``."""
+        return np.stack([env.action_mask() for env in self.envs])
+
+    def sample_actions(self, rng) -> np.ndarray:
+        """Uniform random valid action index per environment."""
+        masks = self.action_masks()
+        return np.array(
+            [int(rng.choice(np.flatnonzero(m))) for m in masks], dtype=np.int64
+        )

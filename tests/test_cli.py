@@ -21,7 +21,7 @@ class TestParser:
         commands = set(sub.choices)
         assert commands == {
             "topology", "simulate", "evaluate", "fig6", "fig10",
-            "fit-dbn", "trace", "config",
+            "fit-dbn", "trace", "config", "scenarios",
         }
 
     def test_unknown_preset_rejected(self):
@@ -31,6 +31,44 @@ class TestParser:
     def test_unknown_policy_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--policy", "magic"])
+
+
+class TestScenarios:
+    def test_lists_catalogue(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "inasim-paper-v1" in out
+        assert "tiny-scripted-rush-v1" in out
+
+    def test_tag_filter(self, capsys):
+        assert main(["scenarios", "--tag", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-destroy-opc-v1" in out
+        assert "inasim-tiny-v1" not in out
+
+    def test_unknown_tag_fails(self, capsys):
+        assert main(["scenarios", "--tag", "no-such-tag"]) == 1
+
+    def test_simulate_accepts_scenario(self, capsys):
+        code = main([
+            "simulate", "--scenario", "inasim-tiny-v1", "--policy", "noop",
+            "--episodes", "1", "--max-steps", "10",
+        ])
+        assert code == 0
+        assert "noop" in capsys.readouterr().out
+
+    def test_simulate_num_envs_matches_single(self, capsys):
+        argv = ["simulate", "--scenario", "inasim-tiny-v1", "--policy",
+                "playbook", "--episodes", "2", "--max-steps", "20"]
+        main(argv)
+        single = capsys.readouterr().out.splitlines()[-1]
+        main(argv + ["--num-envs", "2"])
+        vec = capsys.readouterr().out.splitlines()[-1]
+        assert single == vec  # identical metrics row
+
+    def test_unknown_scenario_id_fails(self, capsys):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["simulate", "--scenario", "nope-v1", "--episodes", "1"])
 
 
 class TestTopology:

@@ -151,7 +151,35 @@ class TestActionCoercion:
         _, _, _, info = env.step(DefenderAction(_T.NOOP))
         assert info["launched"] == []
 
+    def test_numpy_integer_action(self, env):
+        """np.int64 indices (rng.integers / argmax output) must coerce
+        like builtin ints -- regression for isinstance(action, (int,))."""
+        env.reset(seed=0)
+        idx = env.action_index[DefenderAction(_T.REBOOT, 0)]
+        for np_idx in (np.int64(idx), np.int32(idx), np.intp(idx)):
+            env.reset(seed=0)
+            _, _, _, info = env.step(np_idx)
+            assert info["launched"] == [DefenderAction(_T.REBOOT, 0)]
+
+    def test_sampled_numpy_action_accepted(self, env):
+        env.reset(seed=0)
+        rng = np.random.default_rng(0)
+        action = rng.integers(env.n_actions)  # np.int64, not int
+        assert isinstance(action, np.integer)
+        env.step(action)  # must not raise
+
     def test_sample_action_in_range(self, env):
         rng = np.random.default_rng(0)
         for _ in range(20):
             assert 0 <= env.sample_action(rng) < env.n_actions
+
+    def test_action_mask_tracks_busy_targets(self, env):
+        env.reset(seed=0)
+        assert env.action_mask().all()
+        idx = env.action_index[DefenderAction(_T.SIMPLE_SCAN, 0)]
+        env.step(idx)  # 2h scan keeps node 0 busy through the next step
+        mask = env.action_mask()
+        assert not mask[idx]
+        assert not mask[env.action_index[DefenderAction(_T.REBOOT, 0)]]
+        assert mask[env.action_index[DefenderAction(_T.NOOP)]]
+        assert mask[env.action_index[DefenderAction(_T.SIMPLE_SCAN, 1)]]

@@ -120,6 +120,7 @@ class TestPretraining:
         assert all(d.expert for d in demos)
         assert all(0 <= d.action < qnet.n_actions for d in demos)
 
+    @pytest.mark.slow
     def test_pretrain_teaches_expert_actions(self, setup, tiny_tables):
         """After margin-heavy pretraining, the greedy action matches the
         demonstrated action on a majority of demo states."""

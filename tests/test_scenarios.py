@@ -1,0 +1,168 @@
+"""Tests for the scenario registry (repro.make / repro.register)."""
+
+import dataclasses
+
+import pytest
+
+import repro
+from repro.config import paper_network
+from repro.scenarios import (
+    BUILTIN_SCENARIOS,
+    REGISTRY,
+    REWARD_VARIANTS,
+    ScenarioSpec,
+)
+
+
+@pytest.fixture()
+def scratch_id():
+    """A scenario id cleaned out of the global registry after the test."""
+    sid = "test-scratch-scenario-v1"
+    yield sid
+    REGISTRY.unregister(sid)
+
+
+class TestSpecValidation:
+    def test_rejects_unknown_network(self):
+        with pytest.raises(ValueError, match="network preset"):
+            ScenarioSpec(scenario_id="x", network="huge")
+
+    def test_rejects_unknown_reward_variant(self):
+        with pytest.raises(ValueError, match="reward variant"):
+            ScenarioSpec(scenario_id="x", reward_variant="free_lunch")
+
+    def test_rejects_half_fixed_qualitative_pair(self):
+        with pytest.raises(ValueError, match="objective and vector"):
+            ScenarioSpec(scenario_id="x", objective="destroy")
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(ValueError, match="attacker profile"):
+            ScenarioSpec(scenario_id="x", profile="apt9")
+
+    def test_tags_normalized_to_tuple(self):
+        spec = ScenarioSpec(scenario_id="x", tags=["a", "b"])
+        assert spec.tags == ("a", "b")
+        assert hash(spec)  # stays hashable
+
+    def test_spec_is_frozen(self):
+        spec = ScenarioSpec(scenario_id="x")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.network = "small"
+
+
+class TestBuildConfig:
+    def test_paper_flagship_matches_preset(self):
+        config = repro.get_scenario("inasim-paper-v1").build_config()
+        assert config == paper_network()
+
+    def test_horizon_overrides_tmax(self):
+        spec = ScenarioSpec(scenario_id="x", network="tiny", horizon=42)
+        assert spec.build_config().tmax == 42
+
+    def test_apt2_profile_tightens_thresholds(self):
+        config = repro.get_scenario("paper-apt2-v1").build_config()
+        assert config.apt.lateral_threshold == 1
+        assert config.apt.plc_threshold_destroy == 5
+
+    def test_reward_variants_applied(self):
+        config = repro.get_scenario("paper-cost-sensitive-v1").build_config()
+        assert config.reward == REWARD_VARIANTS["cost_sensitive"]
+
+    def test_stealth_scenario_sets_cleanup(self):
+        config = repro.get_scenario("paper-stealth-v1").build_config()
+        assert config.apt.cleanup_effectiveness == 0.9
+
+    def test_fig8_pair_fixed(self):
+        config = repro.get_scenario("paper-destroy-hmi-v1").build_config()
+        assert config.apt.objective == "destroy"
+        assert config.apt.vector == "hmi"
+
+
+class TestRegistry:
+    def test_builtin_catalogue_size(self):
+        assert len(repro.list_scenarios()) >= 10
+        assert len(BUILTIN_SCENARIOS) == len(
+            {s.scenario_id for s in BUILTIN_SCENARIOS}
+        )
+
+    def test_round_trip(self, scratch_id):
+        spec = repro.register(
+            scenario_id=scratch_id, network="tiny", tags=("custom",)
+        )
+        assert repro.get_scenario(scratch_id) is spec
+        assert spec in repro.list_scenarios()
+        env = repro.make(scratch_id, seed=0)
+        assert env.scenario is spec
+
+    def test_duplicate_id_rejected(self, scratch_id):
+        repro.register(scenario_id=scratch_id, network="tiny")
+        with pytest.raises(ValueError, match="already registered"):
+            repro.register(scenario_id=scratch_id, network="small")
+
+    def test_overwrite_allowed(self, scratch_id):
+        repro.register(scenario_id=scratch_id, network="tiny")
+        spec = repro.register(
+            scenario_id=scratch_id, network="small", overwrite=True
+        )
+        assert repro.get_scenario(scratch_id).network == "small"
+        assert spec is repro.get_scenario(scratch_id)
+
+    def test_spec_and_fields_exclusive(self):
+        with pytest.raises(TypeError):
+            repro.register(ScenarioSpec(scenario_id="x"), network="tiny")
+
+    def test_unknown_id_suggests_alternatives(self):
+        with pytest.raises(KeyError, match="inasim-paper-v1"):
+            repro.get_scenario("inasim-papr-v1")
+
+    def test_tag_filter(self):
+        fig8 = repro.list_scenarios(tag="fig8")
+        assert len(fig8) == 4
+        assert all("fig8" in s.tags for s in fig8)
+        assert repro.list_scenarios(tag="no-such-tag") == []
+
+
+class TestMake:
+    def test_make_by_id(self):
+        env = repro.make("inasim-tiny-v1", seed=0)
+        obs = env.reset(seed=0)
+        assert obs.t == 0
+        assert env.scenario.scenario_id == "inasim-tiny-v1"
+
+    def test_make_accepts_unregistered_spec(self):
+        spec = ScenarioSpec(scenario_id="adhoc", network="tiny", horizon=30)
+        env = repro.make(spec, seed=0)
+        assert env.config.tmax == 30
+
+    def test_make_overrides(self):
+        env = repro.make("inasim-tiny-v1", seed=0, horizon=33)
+        assert env.config.tmax == 33
+        # the registered spec is untouched
+        assert repro.get_scenario("inasim-tiny-v1").horizon is None
+
+    def test_scripted_scenario_disrupts_plcs(self):
+        env = repro.make("tiny-scripted-rush-v1", seed=3, horizon=120)
+        env.reset(seed=3)
+        done, info = False, {}
+        while not done:
+            _, _, done, info = env.step(None)
+        assert info["n_plcs_disrupted"] > 0
+
+    @pytest.mark.slow
+    def test_make_env_shim_equivalent_to_flagship(self):
+        """Paper-scale: repro.make_env(paper_network()) and
+        repro.make("inasim-paper-v1") step identically."""
+        legacy = repro.make_env(paper_network(), seed=11)
+        named = repro.make("inasim-paper-v1", seed=11)
+        legacy.reset(seed=11)
+        named.reset(seed=11)
+        for _ in range(25):
+            _, r_a, d_a, info_a = legacy.step(None)
+            _, r_b, d_b, info_b = named.step(None)
+            assert (r_a, d_a, info_a["n_compromised"], info_a["apt_phase"]) == (
+                r_b, d_b, info_b["n_compromised"], info_b["apt_phase"]
+            )
+
+    def test_make_vec_requires_positive_n(self):
+        with pytest.raises(ValueError, match="num_envs"):
+            repro.make_vec("inasim-tiny-v1", 0)

@@ -1,0 +1,239 @@
+"""Tests for the vectorized environment and batched evaluation."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.defenders import NoopPolicy, PlaybookPolicy
+from repro.eval import evaluate_policy, evaluate_policy_vec
+from repro.sim.vec_env import VectorEnv
+
+
+def _tiny_vec(num_envs=3, seed=0, horizon=40, **kwargs):
+    return repro.make_vec("inasim-tiny-v1", num_envs, seed=seed,
+                          horizon=horizon, **kwargs)
+
+
+def _rollout(venv, steps, seed):
+    venv.reset(seed=seed)
+    rewards, dones = [], []
+    for _ in range(steps):
+        step = venv.step(None)
+        rewards.append(step.rewards)
+        dones.append(step.dones)
+    return np.stack(rewards), np.stack(dones)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            VectorEnv([])
+
+    def test_rejects_mixed_action_spaces(self):
+        tiny = repro.make("inasim-tiny-v1")
+        small = repro.make("inasim-small-v1")
+        with pytest.raises(ValueError, match="action space"):
+            VectorEnv([tiny, small])
+
+    def test_delegating_properties(self):
+        venv = _tiny_vec(2)
+        assert venv.num_envs == len(venv) == 2
+        assert venv.n_actions == venv.envs[0].n_actions
+        assert venv.topology is venv.envs[0].topology
+        assert venv.config.tmax == 40
+
+
+class TestDeterminism:
+    def test_same_seeds_same_batched_trajectories(self):
+        r1, d1 = _rollout(_tiny_vec(3), steps=40, seed=5)
+        r2, d2 = _rollout(_tiny_vec(3), steps=40, seed=5)
+        np.testing.assert_array_equal(r1, r2)
+        np.testing.assert_array_equal(d1, d2)
+
+    def test_lanes_are_independent_episodes(self):
+        venv = _tiny_vec(2, seed=0)
+        venv.reset(seed=0)
+        single = repro.make("inasim-tiny-v1", seed=0, horizon=40)
+        # lane i is seeded seed + i: lane 1 must match a solo env run
+        # with seed 1, stepped identically
+        single.reset(seed=1)
+        for _ in range(20):
+            step = venv.step(None)
+            _, r, _, _ = single.step(None)
+            assert step.rewards[1] == r
+
+
+class TestStepBatches:
+    def test_shapes(self):
+        venv = _tiny_vec(4)
+        obs = venv.reset(seed=0)
+        assert len(obs) == 4
+        step = venv.step(None)
+        assert step.rewards.shape == (4,)
+        assert step.dones.shape == (4,)
+        assert step.dones.dtype == bool
+        assert len(step.observations) == len(step.infos) == 4
+
+    def test_unpacks_like_gym(self):
+        venv = _tiny_vec(2)
+        venv.reset(seed=0)
+        obs, rewards, dones, infos = venv.step(None)
+        assert len(obs) == 2 and rewards.shape == (2,)
+
+    def test_integer_action_batch(self):
+        venv = _tiny_vec(2)
+        venv.reset(seed=0)
+        step = venv.step(np.array([1, 2]))
+        launched = [info["launched"] for info in step.infos]
+        assert launched[0] == [venv.action_list[1]]
+        assert launched[1] == [venv.action_list[2]]
+
+    def test_wrong_action_count_rejected(self):
+        venv = _tiny_vec(2)
+        venv.reset(seed=0)
+        with pytest.raises(ValueError, match="expected 2 actions"):
+            venv.step([None, None, None])
+
+    def test_mask_skips_lanes(self):
+        venv = _tiny_vec(2)
+        venv.reset(seed=0)
+        before = venv.envs[0].t
+        step = venv.step(None, mask=[False, True])
+        assert venv.envs[0].t == before  # lane 0 untouched
+        assert venv.envs[1].t == before + 1
+        assert step.dones[0] and step.rewards[0] == 0.0
+
+
+class TestAutoReset:
+    def test_auto_reset_on_done(self):
+        venv = _tiny_vec(2, seed=0, horizon=10)
+        venv.reset(seed=0)
+        for _ in range(9):
+            step = venv.step(None)
+            assert not step.dones.any()
+        step = venv.step(None)
+        assert step.dones.all()
+        for i in range(2):
+            assert step.infos[i]["final_observation"].t == 10
+            assert step.observations[i].t == 0  # fresh episode
+        # the next episode advances from hour 0 again
+        step = venv.step(None)
+        assert not step.dones.any()
+        assert all(obs.t == 1 for obs in step.observations)
+
+    def test_auto_reset_seeds_are_fresh_and_deterministic(self):
+        def returns_of(venv):
+            venv.reset(seed=0)
+            out = []
+            for _ in range(25):
+                out.append(venv.step(None).rewards.copy())
+            return np.stack(out)
+
+        a = returns_of(_tiny_vec(2, horizon=10))
+        b = returns_of(_tiny_vec(2, horizon=10))
+        np.testing.assert_array_equal(a, b)
+
+    def test_auto_reset_disabled(self):
+        venv = _tiny_vec(1, seed=0, horizon=10, auto_reset=False)
+        venv.reset(seed=0)
+        for _ in range(10):
+            step = venv.step(None)
+        assert step.dones[0]
+        assert step.observations[0].t == 10  # terminal obs, no reset
+        assert "final_observation" not in step.infos[0]
+
+
+class TestActionMasks:
+    def test_shape_and_noop_valid(self):
+        venv = _tiny_vec(3)
+        venv.reset(seed=0)
+        masks = venv.action_masks()
+        assert masks.shape == (3, venv.n_actions)
+        assert masks.all()  # nothing busy at reset
+
+    def test_busy_target_masked(self):
+        venv = _tiny_vec(2)
+        venv.reset(seed=0)
+        venv.step(np.array([1, 0]))  # env 0 launches a real action
+        masks = venv.action_masks()
+        env_mask = venv.envs[0].action_mask()
+        np.testing.assert_array_equal(masks[0], env_mask)
+        assert not masks[0].all()
+
+    def test_matches_rl_stack_mask(self):
+        from repro.rl.dqn import valid_action_mask
+
+        venv = _tiny_vec(1)
+        obs = venv.reset(seed=0)
+        venv.step(np.array([2]))
+        env = venv.envs[0]
+        obs = venv._last_obs[0]
+        np.testing.assert_array_equal(
+            env.action_mask(), valid_action_mask(env.action_list, obs)
+        )
+
+    def test_sample_actions_are_valid(self):
+        venv = _tiny_vec(2)
+        venv.reset(seed=0)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            actions = venv.sample_actions(rng)
+            masks = venv.action_masks()
+            assert all(masks[i, a] for i, a in enumerate(actions))
+            venv.step(actions)
+
+
+class TestEvaluatePolicyVec:
+    @pytest.mark.parametrize("num_envs", [1, 2, 3])
+    def test_matches_single_env_playbook(self, num_envs):
+        env = repro.make("inasim-tiny-v1", seed=0, horizon=40)
+        agg_s, eps_s = evaluate_policy(env, PlaybookPolicy(), 4, seed=0)
+        venv = _tiny_vec(num_envs, seed=0)
+        agg_v, eps_v = evaluate_policy_vec(venv, PlaybookPolicy(), 4, seed=0)
+        assert eps_s == eps_v
+        assert agg_s.mean("discounted_return") == agg_v.mean("discounted_return")
+
+    def test_matches_single_env_with_max_steps(self):
+        env = repro.make("inasim-tiny-v1", seed=0, horizon=40)
+        _, eps_s = evaluate_policy(env, NoopPolicy(), 3, seed=7, max_steps=15)
+        venv = _tiny_vec(2, seed=0)
+        _, eps_v = evaluate_policy_vec(venv, NoopPolicy(), 3, seed=7,
+                                       max_steps=15)
+        assert eps_s == eps_v
+
+    def test_policy_factory_accepted(self):
+        venv = _tiny_vec(2, seed=0)
+        agg, eps = evaluate_policy_vec(venv, PlaybookPolicy, 2, seed=0,
+                                       max_steps=10)
+        assert len(eps) == 2
+
+    def test_restores_auto_reset_flag(self):
+        venv = _tiny_vec(2, seed=0)
+        assert venv.auto_reset
+        evaluate_policy_vec(venv, NoopPolicy(), 2, seed=0, max_steps=5)
+        assert venv.auto_reset
+
+    def test_rejects_non_policy(self):
+        venv = _tiny_vec(1, seed=0)
+        with pytest.raises(TypeError):
+            evaluate_policy_vec(venv, object(), 1)
+
+
+class TestVecDQNTraining:
+    def test_collects_from_all_lanes(self, tiny_tables):
+        from repro.rl import AttentionQNetwork, QNetConfig
+        from repro.rl.dqn import DQNConfig, DQNTrainer
+        from repro.rl.features import ACSOFeaturizer
+
+        venv = _tiny_vec(2, seed=0, horizon=30)
+        qnet = AttentionQNetwork(QNetConfig(), seed=0)
+        trainer = DQNTrainer(
+            venv, qnet, ACSOFeaturizer(venv.topology, tiny_tables),
+            DQNConfig(warmup=16, batch_size=8, update_every=4, seed=0),
+        )
+        history = trainer.train(episodes=3, seed=0, max_steps=25)
+        assert [s.episode for s in history] == [0, 1, 2]
+        assert all(s.steps == 25 for s in history)
+        assert trainer.total_steps == 75
+        assert all(np.isfinite(s.env_return) for s in history)
+        assert any(s.mean_loss != 0.0 for s in history)
