@@ -24,7 +24,7 @@ import enum
 import numpy as np
 
 from repro.config import APTConfig
-from repro.net.nodes import Condition, NodeType, ServerRole
+from repro.net.nodes import Condition, ServerRole
 from repro.net.topology import L1_OPS, L2_OPS
 from repro.sim.apt_actions import APTActionRequest, APTActionType, APTView
 
@@ -79,6 +79,12 @@ class FSMAttacker:
     configurations of Fig 8; otherwise the config's values are used.
     """
 
+    #: The FSM recomputes its phase and requests from the live state on
+    #: every call, so the engine may skip its turn entirely while the
+    #: labor budget is exhausted (requests would be discarded anyway).
+    #: Time-indexed attackers (scripted replays) must not set this.
+    skip_when_saturated = True
+
     def __init__(self, config: APTConfig, sample_qualitative: bool = True):
         self.config = config
         self.sample_qualitative = sample_qualitative
@@ -87,6 +93,18 @@ class FSMAttacker:
         self.vector = config.vector
         self._sequence = phase_sequence(self.objective, self.vector)
         self.phase = self._sequence[0]
+        self._plc_goal: int | None = None
+        self._sub_policies = {
+            Phase.LATERAL_MOVEMENT_L2: self._lateral_movement_l2,
+            Phase.PROCESS_DISCOVERY: self._process_discovery,
+            Phase.NETWORK_DISCOVERY: self._network_discovery,
+            Phase.OPC_COMPROMISE: self._opc_compromise,
+            Phase.HMI_CAPTURE: self._hmi_capture,
+            Phase.LATERAL_MOVEMENT_L1: self._lateral_movement_l1,
+            Phase.PLC_DISCOVERY: self._plc_discovery,
+            Phase.FIRMWARE_COMPROMISE: self._firmware_compromise,
+            Phase.EXECUTE: self._execute,
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -109,24 +127,24 @@ class FSMAttacker:
             self.vector = self.config.vector
         self._sequence = phase_sequence(self.objective, self.vector)
         self.phase = self._sequence[0]
+        self._plc_goal = None
 
     # ------------------------------------------------------------------
+    def observe(self, view: APTView) -> None:
+        """Refresh the reported phase without taking decisions.
+
+        Called by the engine on labor-saturated steps instead of
+        :meth:`act`, so the ``apt_phase`` diagnostic tracks completed
+        actions even while no new requests can launch. Consumes no
+        randomness.
+        """
+        self.phase = self._current_phase(view)
+
     def act(self, view: APTView) -> list[APTActionRequest]:
         self.phase = self._current_phase(view)
         if self.phase is Phase.DONE:
             return []
-        sub_policy = {
-            Phase.LATERAL_MOVEMENT_L2: self._lateral_movement_l2,
-            Phase.PROCESS_DISCOVERY: self._process_discovery,
-            Phase.NETWORK_DISCOVERY: self._network_discovery,
-            Phase.OPC_COMPROMISE: self._opc_compromise,
-            Phase.HMI_CAPTURE: self._hmi_capture,
-            Phase.LATERAL_MOVEMENT_L1: self._lateral_movement_l1,
-            Phase.PLC_DISCOVERY: self._plc_discovery,
-            Phase.FIRMWARE_COMPROMISE: self._firmware_compromise,
-            Phase.EXECUTE: self._execute,
-        }[self.phase]
-        requests = list(sub_policy(view))
+        requests = list(self._sub_policies[self.phase](view))
         # opportunistic hardening: with leftover labor, keep walking the
         # persistence/stealth ladder (reboot persist -> admin -> cred
         # persist -> cleanup) on every controlled node; cleanup is what
@@ -156,14 +174,14 @@ class FSMAttacker:
         state, know, topo = view.state, view.knowledge, view.topology
         if phase is Phase.LATERAL_MOVEMENT_L2:
             controlled = view.controlled_in_level(2)
-            has_admin = any(
-                state.has_condition(n, Condition.ADMIN) for n in controlled
-            )
-            return len(controlled) >= self.config.lateral_threshold and has_admin
+            if len(controlled) < self.config.lateral_threshold:
+                return False
+            conditions = state.conditions
+            return any(conditions[n, Condition.ADMIN] for n in controlled)
         if phase is Phase.PROCESS_DISCOVERY:
             return know.historian_analysis_started or know.historian_analyzed
         if phase is Phase.NETWORK_DISCOVERY:
-            return set(topo.ops_vlans()) <= know.discovered_vlans
+            return topo.ops_vlan_set <= know.discovered_vlans
         if phase is Phase.OPC_COMPROMISE:
             opc = topo.server(ServerRole.OPC)
             return (
@@ -188,22 +206,26 @@ class FSMAttacker:
         return True  # pragma: no cover
 
     def _effective_plc_threshold(self, view: APTView) -> int:
-        return min(self.plc_threshold, view.topology.n_plcs)
+        # objective (and hence the threshold) is fixed for the episode
+        goal = self._plc_goal
+        if goal is None:
+            goal = self._plc_goal = min(self.plc_threshold, view.topology.n_plcs)
+        return goal
 
     def _controlled_hmis(self, view: APTView) -> list[int]:
-        return [
-            n for n in view.controlled_nodes()
-            if view.topology.nodes[n].ntype is NodeType.HMI
-        ]
+        hmis = view.topology.hmi_id_set
+        return [n for n in view.controlled_nodes() if n in hmis]
 
     # ------------------------------------------------------------------
     # sub-policies (Fig 3 rectangles)
     # ------------------------------------------------------------------
     def _ladder_requests(self, view: APTView, nodes) -> list[APTActionRequest]:
         out = []
+        conditions = view.state.conditions
         for node in nodes:
+            row = conditions[node]
             for cond, atype in _LADDER:
-                if not view.state.has_condition(node, cond):
+                if not row[cond]:
                     out.append(APTActionRequest(atype, node, target_node=node))
                     break
         return out
@@ -217,11 +239,14 @@ class FSMAttacker:
     def _compromise_request(self, view, source_pool, target_pool):
         source = self._pick(source_pool)
         state, know = view.state, view.knowledge
+        conditions = state.conditions
+        node_vlan = state.node_vlan
+        known_vlan = know.known_vlan
         candidates = [
             n for n in target_pool
-            if not state.is_compromised(n)
-            and state.has_condition(n, Condition.SCANNED)
-            and know.known_vlan.get(n) == state.node_vlan[n]
+            if not conditions[n, Condition.COMPROMISED]
+            and conditions[n, Condition.SCANNED]
+            and known_vlan.get(n) == node_vlan[n]
         ]
         target = self._pick(candidates)
         if source is None or target is None:
@@ -238,11 +263,9 @@ class FSMAttacker:
             requests.append(APTActionRequest(_A.SCAN_VLAN, src, target_vlan=L2_OPS))
             return requests
         if len(controlled) < self.config.lateral_threshold:
-            l2_nodes = [
-                n.node_id for n in view.topology.nodes
-                if n.level == 2 and n.ntype is NodeType.WORKSTATION
-            ]
-            req = self._compromise_request(view, controlled, l2_nodes)
+            req = self._compromise_request(
+                view, controlled, view.topology.l2_workstation_ids
+            )
             if req is not None:
                 requests.append(req)
         requests.extend(self._ladder_requests(view, controlled))
@@ -299,8 +322,7 @@ class FSMAttacker:
         if L1_OPS not in know.scanned_vlans:
             src = self._pick(controlled)
             return [APTActionRequest(_A.SCAN_VLAN, src, target_vlan=L1_OPS)]
-        hmis = [n.node_id for n in topo.nodes if n.ntype is NodeType.HMI]
-        req = self._compromise_request(view, controlled, hmis)
+        req = self._compromise_request(view, controlled, topo.hmi_ids)
         return [req] if req is not None else []
 
     def _lateral_movement_l1(self, view: APTView) -> list[APTActionRequest]:
@@ -312,9 +334,8 @@ class FSMAttacker:
         if L1_OPS not in know.scanned_vlans:
             src = self._pick(controlled_hmis)
             return [APTActionRequest(_A.SCAN_VLAN, src, target_vlan=L1_OPS)]
-        hmis = [n.node_id for n in topo.nodes if n.ntype is NodeType.HMI]
         # prefer moving laterally from inside level 1 (fewer alerts)
-        req = self._compromise_request(view, controlled_hmis, hmis)
+        req = self._compromise_request(view, controlled_hmis, topo.hmi_ids)
         if req is not None:
             requests.append(req)
         requests.extend(self._ladder_requests(view, controlled_hmis))

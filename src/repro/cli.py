@@ -75,10 +75,24 @@ def _build_env(args, config: SimConfig, seed: int | None = None):
 
 
 def _build_vec_env(args, config: SimConfig, num_envs: int, seed: int):
-    from repro.sim.vec_env import VectorEnv
+    backend = getattr(args, "backend", "sync")
+    if backend == "sync":
+        from repro.sim.vec_env import VectorEnv
 
-    envs = [_build_env(args, config, seed=seed + i) for i in range(num_envs)]
-    return VectorEnv(envs, base_seed=seed)
+        envs = [_build_env(args, config, seed=seed + i)
+                for i in range(num_envs)]
+        return VectorEnv(envs, base_seed=seed)
+    from repro.sim.vec_backends import ProcessVectorEnv, ShmVectorEnv
+
+    cls = {"process": ProcessVectorEnv, "shm": ShmVectorEnv}[backend]
+    num_workers = getattr(args, "num_workers", None)
+    spec = _resolve_spec(args)
+    if spec is not None:
+        # config already folds in --max-steps; pin it via the horizon
+        return cls.from_spec(spec.with_overrides(horizon=config.tmax),
+                             num_envs, seed=seed, num_workers=num_workers)
+    return cls.from_config(config, num_envs, seed=seed,
+                           num_workers=num_workers)
 
 
 def _make_policy(name: str, config: SimConfig, seed: int,
@@ -160,11 +174,11 @@ def cmd_simulate(args) -> int:
     policy = _make_policy(args.policy, config, args.seed, args.dbn, args.qnet)
     num_envs = max(1, args.num_envs)
     if num_envs > 1:
-        venv = _build_vec_env(args, config, num_envs, args.seed)
-        aggregate, episodes = evaluate_policy_vec(
-            venv, policy, args.episodes, seed=args.seed,
-            max_steps=args.max_steps,
-        )
+        with _build_vec_env(args, config, num_envs, args.seed) as venv:
+            aggregate, episodes = evaluate_policy_vec(
+                venv, policy, args.episodes, seed=args.seed,
+                max_steps=args.max_steps,
+            )
         title = f"{args.episodes} episode(s), {num_envs} envs"
     else:
         env = _build_env(args, config, seed=args.seed)
@@ -330,6 +344,14 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("noop", "playbook", "random", "expert", "acso"))
     p.add_argument("--num-envs", type=int, default=1,
                    help="fan episodes over N vectorized environments")
+    p.add_argument("--backend", choices=("sync", "process", "shm"),
+                   default="sync",
+                   help="vector-env execution backend: in-process lanes "
+                        "(sync), worker processes (process), or worker "
+                        "processes with shared-memory batches (shm)")
+    p.add_argument("--num-workers", type=int, default=None,
+                   help="worker processes for the process/shm backends "
+                        "(default: min(num-envs, cpu count))")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_simulate)
 

@@ -124,7 +124,7 @@ def evaluate_policy_vec(venv, policy, episodes: int, seed: int = 0,
         ep = next_ep
         next_ep += 1
         obs = venv.reset_env(slot, seed=seed + ep)
-        policies[slot].reset(venv.envs[slot])
+        policies[slot].reset(venv.policy_env(slot))
         lanes[slot] = _Lane(ep, obs)
 
     was_auto_reset = venv.auto_reset

@@ -15,6 +15,7 @@ Quarantine action effective.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import networkx as nx
 
@@ -72,10 +73,41 @@ class Topology:
 
     def server(self, role: ServerRole) -> Node | None:
         """The unique server with the given role, if present."""
-        for n in self.nodes:
-            if n.role is role:
-                return n
-        return None
+        cache = self.__dict__.get("_server_by_role")
+        if cache is None:
+            cache = {}
+            for n in self.nodes:
+                cache.setdefault(n.role, n)
+            self._server_by_role = cache
+        return cache.get(role)
+
+    # ------------------------------------------------------------------
+    # cached per-topology invariants (nodes/plcs/vlans are frozen, so
+    # these never go stale; they keep the per-step hot paths off Python
+    # attribute walks over the node list)
+    # ------------------------------------------------------------------
+    @cached_property
+    def node_levels(self) -> list[int]:
+        return [n.level for n in self.nodes]
+
+    @cached_property
+    def hmi_ids(self) -> list[int]:
+        return [n.node_id for n in self.nodes if n.ntype is NodeType.HMI]
+
+    @cached_property
+    def hmi_id_set(self) -> frozenset[int]:
+        return frozenset(self.hmi_ids)
+
+    @cached_property
+    def l2_workstation_ids(self) -> list[int]:
+        return [
+            n.node_id for n in self.nodes
+            if n.level == 2 and n.ntype is NodeType.WORKSTATION
+        ]
+
+    @cached_property
+    def ops_vlan_set(self) -> frozenset[str]:
+        return frozenset(self.ops_vlans())
 
     def nodes_in_vlan(self, vlan: str, node_vlans: list[str]) -> list[int]:
         """Node ids currently assigned to ``vlan``.
@@ -119,12 +151,23 @@ class Topology:
         return True
 
     def alert_factor(self, src_vlan: str, dst_vlan: str, ids: IDSConfig) -> float:
-        """Product of device alert factors along the message path."""
-        factor = 1.0
-        for dev in self.path_devices(src_vlan, dst_vlan):
-            factor *= dev.alert_factor(
-                ids.switch_factor, ids.router_factor, ids.firewall_factor
-            )
+        """Product of device alert factors along the message path.
+
+        Paths between a fixed VLAN pair never change, so factors are
+        memoized per (pair, factor triple) — this keeps graph shortest-
+        path searches out of the attacker-launch hot path.
+        """
+        key = (src_vlan, dst_vlan, ids.switch_factor, ids.router_factor,
+               ids.firewall_factor)
+        cache = self.__dict__.setdefault("_alert_factor_cache", {})
+        factor = cache.get(key)
+        if factor is None:
+            factor = 1.0
+            for dev in self.path_devices(src_vlan, dst_vlan):
+                factor *= dev.alert_factor(
+                    ids.switch_factor, ids.router_factor, ids.firewall_factor
+                )
+            cache[key] = factor
         return factor
 
 

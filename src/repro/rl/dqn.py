@@ -27,7 +27,7 @@ from repro.rl.replay import (
 from repro.rl.schedules import ExponentialDecay, LinearSchedule
 from repro.rl.shaping import PotentialShaper
 from repro.sim.orchestrator import DefenderAction, DEFENDER_ACTION_SPECS
-from repro.sim.vec_env import VectorEnv
+from repro.sim.vec_env import BaseVectorEnv
 
 __all__ = ["DQNConfig", "DQNTrainer", "valid_action_mask"]
 
@@ -137,7 +137,7 @@ class DQNTrainer:
         config: DQNConfig | None = None,
     ):
         self.env = env
-        self.vec = isinstance(env, VectorEnv)
+        self.vec = isinstance(env, BaseVectorEnv)
         self.qnet = qnet.bind_topology(env.topology)
         self.featurizer = featurizer
         self._featurizers: list[ACSOFeaturizer] | None = None
@@ -287,7 +287,7 @@ class DQNTrainer:
         if not self.vec:
             raise RuntimeError("train_vec requires a VectorEnv")
         cfg = self.config
-        venv: VectorEnv = self.env
+        venv: BaseVectorEnv = self.env
         n = venv.num_envs
         horizon = venv.config.tmax if max_steps is None else max_steps
         if self._featurizers is None:
@@ -307,16 +307,12 @@ class DQNTrainer:
             obs = venv.reset_env(slot, seed=seed + ep)
             featurizer = self._featurizers[slot]
             featurizer.reset()
-            state = venv.envs[slot].sim.state
             lanes[slot] = _VecLane(
                 episode=ep,
                 obs=obs,
                 features=featurizer.update(obs),
                 nstep=NStepAssembler(cfg.n_step, self.gamma),
-                phi=self.shaper.potential(
-                    state.n_workstations_compromised(),
-                    state.n_servers_compromised(),
-                ),
+                phi=self.shaper.potential_from_info(venv.reset_infos[slot]),
             )
 
         was_auto_reset = venv.auto_reset

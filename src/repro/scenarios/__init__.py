@@ -32,6 +32,16 @@ from repro.scenarios.registry import (
 )
 from repro.scenarios.builtin import BUILTIN_SCENARIOS, register_builtin_scenarios
 from repro.scenarios.scripted import BeachheadRushAttacker
+from repro.scenarios.serialization import (
+    load_registry,
+    load_spec,
+    save_registry,
+    save_spec,
+    spec_from_dict,
+    spec_from_json,
+    spec_to_dict,
+    spec_to_json,
+)
 
 register_builtin_scenarios()
 
@@ -51,4 +61,12 @@ __all__ = [
     "list_scenarios",
     "make",
     "make_vec",
+    "spec_to_dict",
+    "spec_from_dict",
+    "spec_to_json",
+    "spec_from_json",
+    "save_spec",
+    "load_spec",
+    "save_registry",
+    "load_registry",
 ]

@@ -127,19 +127,43 @@ def make(scenario: str | ScenarioSpec, *, seed: int | None = None,
 
 def make_vec(scenario: str | ScenarioSpec, num_envs: int, *,
              seed: int | None = None, auto_reset: bool = True,
-             record_truth: bool = True, **overrides):
-    """Build a :class:`~repro.sim.vec_env.VectorEnv` of ``num_envs``
-    independent copies of a scenario, seeded ``seed + i`` per lane."""
-    from repro.sim.vec_env import VectorEnv
+             record_truth: bool = True, backend: str = "sync",
+             num_workers: int | None = None, **overrides):
+    """Build a lockstep vector environment of ``num_envs`` independent
+    copies of a scenario, seeded ``seed + i`` per lane.
 
+    ``backend`` selects the execution engine behind the identical
+    lockstep API (trajectories do not depend on it):
+
+    * ``"sync"`` -- every lane stepped in-process
+      (:class:`~repro.sim.vec_env.VectorEnv`);
+    * ``"process"`` -- lanes partitioned over ``num_workers`` worker
+      processes (:class:`~repro.sim.vec_backends.ProcessVectorEnv`);
+    * ``"shm"`` -- the process backend with reward/done/mask batches in
+      shared memory (:class:`~repro.sim.vec_backends.ShmVectorEnv`).
+    """
     if num_envs < 1:
         raise ValueError("num_envs must be >= 1")
     spec = _resolve(scenario, overrides)
-    envs = [
-        spec.build_env(
-            seed=None if seed is None else seed + i,
-            record_truth=record_truth,
+    if backend == "sync":
+        from repro.sim.vec_env import VectorEnv
+
+        envs = [
+            spec.build_env(
+                seed=None if seed is None else seed + i,
+                record_truth=record_truth,
+            )
+            for i in range(num_envs)
+        ]
+        return VectorEnv(envs, auto_reset=auto_reset, base_seed=seed)
+    if backend in ("process", "shm"):
+        from repro.sim.vec_backends import ProcessVectorEnv, ShmVectorEnv
+
+        cls = ProcessVectorEnv if backend == "process" else ShmVectorEnv
+        return cls.from_spec(
+            spec, num_envs, seed=seed, auto_reset=auto_reset,
+            record_truth=record_truth, num_workers=num_workers,
         )
-        for i in range(num_envs)
-    ]
-    return VectorEnv(envs, auto_reset=auto_reset, base_seed=seed)
+    raise ValueError(
+        f"unknown backend {backend!r}; choose from ('sync', 'process', 'shm')"
+    )

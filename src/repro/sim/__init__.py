@@ -21,7 +21,8 @@ from repro.sim.orchestrator import (
 from repro.sim.reward import RewardModule
 from repro.sim.state import NetworkState
 from repro.sim.trace import EpisodeTrace, TraceStep, record_episode, verify_determinism
-from repro.sim.vec_env import VecStep, VectorEnv
+from repro.sim.vec_backends import ProcessVectorEnv, ShmVectorEnv
+from repro.sim.vec_env import BaseVectorEnv, VecStep, VectorEnv
 
 __all__ = [
     "APT_ACTION_SPECS",
@@ -50,5 +51,8 @@ __all__ = [
     "record_episode",
     "verify_determinism",
     "VecStep",
+    "BaseVectorEnv",
     "VectorEnv",
+    "ProcessVectorEnv",
+    "ShmVectorEnv",
 ]

@@ -141,7 +141,11 @@ class APTKnowledge:
 
 @dataclass
 class APTView:
-    """Read-only view handed to attacker policies each decision step."""
+    """Read-only view handed to attacker policies each decision step.
+
+    The underlying state is frozen for the duration of one attacker
+    decision, so the controlled-node queries are memoized per view.
+    """
 
     t: int
     state: NetworkState
@@ -149,18 +153,25 @@ class APTView:
     topology: Topology
     labor_available: int
     in_flight: list[APTActionRequest]
+    _controlled: list[int] | None = field(default=None, init=False, repr=False)
+    _controlled_by_level: dict[int, list[int]] = field(
+        default_factory=dict, init=False, repr=False
+    )
 
     def controlled_nodes(self) -> list[int]:
         """Nodes the APT has command and control on, excluding quarantined
         nodes it cannot currently reach."""
-        comp = np.flatnonzero(self.state.conditions[:, Condition.COMPROMISED])
-        return [int(i) for i in comp if not self.state.is_quarantined(int(i))]
+        if self._controlled is None:
+            self._controlled = self.state.reachable_compromised()
+        return self._controlled
 
     def controlled_in_level(self, level: int) -> list[int]:
-        return [
-            i for i in self.controlled_nodes()
-            if self.topology.nodes[i].level == level
-        ]
+        cached = self._controlled_by_level.get(level)
+        if cached is None:
+            levels = self.topology.node_levels
+            cached = [i for i in self.controlled_nodes() if levels[i] == level]
+            self._controlled_by_level[level] = cached
+        return cached
 
     def in_flight_keys(self) -> set[tuple]:
         return {req.target_key() for req in self.in_flight}

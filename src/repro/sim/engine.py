@@ -71,6 +71,8 @@ class Simulation:
         self.reward_module = RewardModule(config.reward)
         self.actions: list[DefenderAction] = enumerate_actions(self.topology)
         self.record_truth = record_truth
+        self._skip_saturated = bool(getattr(attacker, "skip_when_saturated", False))
+        self._attacker_observe = getattr(attacker, "observe", None)
         self.reset(seed)
 
     # ------------------------------------------------------------------
@@ -85,6 +87,7 @@ class Simulation:
         self.in_flight: list[APTActionRequest] = []
         self._beachhead_rng = self.rngs.child("beachhead")
         self._reintrusion_at: int | None = None
+        self._phase_stale = True
         self._beachhead = self._establish_beachhead()
         self.attacker.reset(self.rngs.child("attacker-policy"))
         return self._observation([], [])
@@ -105,24 +108,18 @@ class Simulation:
 
     def _apt_has_access(self) -> bool:
         """True while the APT controls at least one reachable node."""
-        from repro.net.nodes import Condition
+        return self.state.has_reachable_compromise()
 
-        compromised = np.flatnonzero(
-            self.state.conditions[:, Condition.COMPROMISED]
-        )
-        return any(
-            not self.state.is_quarantined(int(i)) for i in compromised
-        )
-
-    def _maybe_reintrude(self, t1: int) -> None:
+    def _maybe_reintrude(self, t1: int) -> bool:
         """APTs that lose all access mount a new initial intrusion
         (e.g. fresh social engineering) after a re-intrusion delay.
         Without this, a single lucky eviction ends a six-month campaign,
         which contradicts the persistence that defines APTs (Section 3).
+        Returns True when a new beachhead was just established.
         """
         if self._apt_has_access():
             self._reintrusion_at = None
-            return
+            return False
         if self._reintrusion_at is None:
             apt = self.config.apt
             n = max(1, round(apt.reintrusion_hours / 0.9))
@@ -131,6 +128,8 @@ class Simulation:
         elif t1 >= self._reintrusion_at:
             self._beachhead = self._establish_beachhead()
             self._reintrusion_at = None
+            return True
+        return False
 
     # ------------------------------------------------------------------
     def step(self, defender_actions: Iterable[DefenderAction]) -> StepResult:
@@ -145,21 +144,39 @@ class Simulation:
             if self._launch_defender(action, t0):
                 launched.append(action)
 
-        # 2. attacker turn
+        # 2. attacker turn; an attacker that recomputes its decisions
+        # from the live state (skip_when_saturated) is not consulted
+        # while its labor budget is exhausted -- its requests would be
+        # truncated away regardless. Its *reported* phase is a pure
+        # function of (state, knowledge), so while skipping it only
+        # needs a refresh (observe(); draws no randomness) after those
+        # inputs actually changed -- completions, re-intrusion, or the
+        # knowledge updates of a previous act().
         labor_available = max(0, int(self.config.apt.labor_rate) - len(self.in_flight))
-        view = APTView(
-            t0, self.state, self.knowledge, self.topology,
-            labor_available, list(self.in_flight),
-        )
-        requests = list(self.attacker.act(view))[:labor_available]
-        for req in requests:
-            self._launch_apt(req, t0, alerts, t1)
+        if labor_available > 0 or not self._skip_saturated:
+            view = APTView(
+                t0, self.state, self.knowledge, self.topology,
+                labor_available, list(self.in_flight),
+            )
+            requests = list(self.attacker.act(view))[:labor_available]
+            for req in requests:
+                self._launch_apt(req, t0, alerts, t1)
+            self._phase_stale = True  # act() may mutate knowledge after
+        elif self._attacker_observe is not None and self._phase_stale:
+            self._attacker_observe(APTView(
+                t0, self.state, self.knowledge, self.topology,
+                labor_available, list(self.in_flight),
+            ))
+            self._phase_stale = False
 
         # 3. advance clock, apply completions
         self.state.t = t1
         completed_cost = 0.0
         completed_defender: list[DefenderAction] = []
-        for payload in self.queue.pop_due(t1):
+        due = self.queue.pop_due(t1)
+        if due:
+            self._phase_stale = True
+        for payload in due:
             kind = payload[0]
             if kind == "apt":
                 _, req, success = payload
@@ -170,7 +187,8 @@ class Simulation:
                 completed_defender.append(action)
 
         # 4. re-intrusion if the APT lost all access
-        self._maybe_reintrude(t1)
+        if self._maybe_reintrude(t1):
+            self._phase_stale = True
 
         # 5. passive and false alerts for this hour
         alerts.extend(
@@ -180,10 +198,17 @@ class Simulation:
         )
         alerts.extend(self.ids.false_alerts(t1))
 
-        # 5. reward
+        # 5. reward (PLC / compromise tallies computed once, shared with
+        # the info dict below — these reductions are per-step hot path)
+        state = self.state
+        n_compromised = state.n_compromised()
+        n_srv = state.n_servers_compromised()
+        n_destroyed = int(np.count_nonzero(state.plc_destroyed))
+        n_offline = int(np.count_nonzero(state.plc_disrupted | state.plc_destroyed))
+        n_disrupted = n_offline - n_destroyed  # disrupted & not destroyed
         breakdown = self.reward_module.compute(
-            self.state.n_plcs_disrupted(),
-            self.state.n_plcs_destroyed(),
+            n_disrupted,
+            n_destroyed,
             completed_cost,
             t1,
             self.config.tmax,
@@ -196,18 +221,18 @@ class Simulation:
             "t": t1,
             "reward_breakdown": breakdown,
             "it_cost": completed_cost,
-            "n_compromised": self.state.n_compromised(),
-            "n_ws_compromised": self.state.n_workstations_compromised(),
-            "n_srv_compromised": self.state.n_servers_compromised(),
-            "n_plcs_offline": self.state.n_plcs_offline(),
-            "n_plcs_disrupted": self.state.n_plcs_disrupted(),
-            "n_plcs_destroyed": self.state.n_plcs_destroyed(),
+            "n_compromised": n_compromised,
+            "n_ws_compromised": n_compromised - n_srv,
+            "n_srv_compromised": n_srv,
+            "n_plcs_offline": n_offline,
+            "n_plcs_disrupted": n_disrupted,
+            "n_plcs_destroyed": n_destroyed,
             "launched": launched,
             "completed": completed_defender,
             "apt_phase": getattr(self.attacker, "phase_name", None),
         }
         if self.record_truth:
-            info["conditions"] = self.state.conditions.copy()
+            info["conditions"] = state.conditions.copy()
         return StepResult(observation, breakdown.total, done, info)
 
     # ------------------------------------------------------------------
@@ -277,9 +302,7 @@ class Simulation:
     ) -> Observation:
         state = self.state
         t = state.t
-        quarantined = np.array(
-            [state.is_quarantined(n.node_id) for n in self.topology.nodes]
-        )
+        quarantined = state.quarantined.copy()
         return Observation(
             t=t,
             alerts=alerts,

@@ -36,6 +36,16 @@ class IDSModule:
             level: [n.node_id for n in topology.nodes if n.level == level]
             for level in (1, 2)
         }
+        # per-topology invariants for the false-alert channel: level node
+        # pools as arrays (rng.choice would otherwise re-convert each call)
+        self._false_levels = [
+            (level, np.asarray(nodes, dtype=np.int64))
+            for level, nodes in self._nodes_by_level.items()
+            if nodes
+        ]
+        self._false_rates = tuple(config.false_alert_rates)
+        self._n_false_draws = len(self._false_levels) * len(self._false_rates)
+        self._rate_buf = np.empty(topology.n_nodes)
 
     # ------------------------------------------------------------------
     # channel 1: APT action alerts (drawn at launch)
@@ -74,17 +84,21 @@ class IDSModule:
     def passive_alerts(
         self, state: NetworkState, t: int, cleanup_effectiveness: float
     ) -> list[Alert]:
-        alerts = []
-        compromised = np.flatnonzero(state.conditions[:, Condition.COMPROMISED])
+        alerts: list[Alert] = []
+        conditions = state.conditions
+        compromised = state.compromised_ids()
         if compromised.size == 0:
             return alerts
-        rates = np.full(compromised.size, self.config.passive_alert_rate)
-        cleaned = state.conditions[compromised, Condition.CLEANED]
+        rates = self._rate_buf[:compromised.size]
+        rates.fill(self.config.passive_alert_rate)
+        cleaned = conditions[compromised, Condition.CLEANED]
         rates[cleaned] *= 1.0 - cleanup_effectiveness
         draws = self.rng.random(compromised.size) < rates
-        for node_id in compromised[draws]:
-            node_id = int(node_id)
-            severity = 2 if state.has_condition(node_id, Condition.ADMIN) else 1
+        if not draws.any():
+            return alerts
+        admin = conditions[:, Condition.ADMIN]
+        for node_id in compromised[draws].tolist():
+            severity = 2 if admin[node_id] else 1
             alerts.append(Alert(t, severity, node_id, source=AlertSource.PASSIVE))
         return alerts
 
@@ -92,14 +106,19 @@ class IDSModule:
     # channel 3: false alerts
     # ------------------------------------------------------------------
     def false_alerts(self, t: int) -> list[Alert]:
-        alerts = []
-        for level, nodes in self._nodes_by_level.items():
-            if not nodes:
-                continue
-            for severity, rate in enumerate(self.config.false_alert_rates, start=1):
-                if self.rng.random() < rate:
-                    node_id = int(self.rng.choice(nodes))
+        alerts: list[Alert] = []
+        rng = self.rng
+        # one batched uniform draw covers every (level, severity) channel
+        draws = rng.random(self._n_false_draws).tolist()
+        j = 0
+        for level, nodes in self._false_levels:
+            severity = 0
+            for rate in self._false_rates:
+                severity += 1
+                if draws[j] < rate:
+                    node_id = int(rng.choice(nodes))
                     alerts.append(
                         Alert(t, severity, node_id, source=AlertSource.FALSE)
                     )
+                j += 1
         return alerts

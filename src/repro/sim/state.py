@@ -8,6 +8,8 @@ every write.
 
 from __future__ import annotations
 
+from bisect import insort
+
 import numpy as np
 
 from repro.net.nodes import CONDITION_PREREQS, Condition, NodeType
@@ -23,6 +25,10 @@ class NetworkState:
         self.t = 0
         self.conditions = np.zeros((n, len(Condition)), dtype=bool)
         self.node_vlan: list[str] = [node.home_vlan for node in topology.nodes]
+        self._home_vlan: list[str] = list(self.node_vlan)
+        #: boolean mirror of "node is off its home VLAN", kept in sync by
+        #: :meth:`move_node` so hot paths avoid per-node string compares
+        self.quarantined = np.zeros(n, dtype=bool)
         self.plc_firmware = np.zeros(m, dtype=bool)
         self.plc_disrupted = np.zeros(m, dtype=bool)
         self.plc_destroyed = np.zeros(m, dtype=bool)
@@ -32,6 +38,14 @@ class NetworkState:
         self._is_server = np.array(
             [node.ntype is NodeType.SERVER for node in topology.nodes]
         )
+        # incremental compromise bookkeeping: every COMPROMISED write goes
+        # through set_condition/clear_node, so the sorted id list, the
+        # membership set, and the server tally stay exact and O(1) to read
+        self._comp_ids: list[int] = []
+        self._comp_set: set[int] = set()
+        self._comp_arr: np.ndarray | None = None
+        self._n_srv_comp = 0
+        self._quar_set: set[int] = set()
 
     # ------------------------------------------------------------------
     # condition manipulation
@@ -42,6 +56,12 @@ class NetworkState:
         if prereq is not None and not self.conditions[node_id, prereq]:
             return False
         self.conditions[node_id, cond] = True
+        if cond is Condition.COMPROMISED and node_id not in self._comp_set:
+            insort(self._comp_ids, node_id)
+            self._comp_set.add(node_id)
+            self._comp_arr = None
+            if self._is_server[node_id]:
+                self._n_srv_comp += 1
         return True
 
     def has_condition(self, node_id: int, cond: Condition) -> bool:
@@ -50,17 +70,29 @@ class NetworkState:
     def clear_node(self, node_id: int) -> None:
         """Return a node to nominal (all compromise conditions removed)."""
         self.conditions[node_id, :] = False
+        if node_id in self._comp_set:
+            self._comp_set.discard(node_id)
+            self._comp_ids.remove(node_id)
+            self._comp_arr = None
+            if self._is_server[node_id]:
+                self._n_srv_comp -= 1
 
     def is_compromised(self, node_id: int) -> bool:
         return bool(self.conditions[node_id, Condition.COMPROMISED])
 
     def is_quarantined(self, node_id: int) -> bool:
-        return self.node_vlan[node_id] != self.topology.nodes[node_id].home_vlan
+        return bool(self.quarantined[node_id])
 
     def move_node(self, node_id: int, vlan: str) -> None:
         if vlan not in self.topology.vlans:
             raise KeyError(f"unknown VLAN {vlan!r}")
         self.node_vlan[node_id] = vlan
+        off_home = vlan != self._home_vlan[node_id]
+        self.quarantined[node_id] = off_home
+        if off_home:
+            self._quar_set.add(node_id)
+        else:
+            self._quar_set.discard(node_id)
 
     # ------------------------------------------------------------------
     # busy bookkeeping (one defender action per node / PLC at a time)
@@ -77,16 +109,32 @@ class NetworkState:
     def compromised_mask(self) -> np.ndarray:
         return self.conditions[:, Condition.COMPROMISED].copy()
 
+    def compromised_ids(self) -> np.ndarray:
+        """Ascending ids of compromised nodes (cached between writes)."""
+        arr = self._comp_arr
+        if arr is None:
+            arr = self._comp_arr = np.array(self._comp_ids, dtype=np.intp)
+        return arr
+
+    def reachable_compromised(self) -> list[int]:
+        """Ascending compromised node ids the APT can still reach."""
+        if not self._quar_set:
+            return list(self._comp_ids)
+        quarantined = self._quar_set
+        return [i for i in self._comp_ids if i not in quarantined]
+
+    def has_reachable_compromise(self) -> bool:
+        """True while at least one compromised node is unquarantined."""
+        return not self._comp_set <= self._quar_set
+
     def n_compromised(self) -> int:
-        return int(self.conditions[:, Condition.COMPROMISED].sum())
+        return len(self._comp_ids)
 
     def n_workstations_compromised(self) -> int:
-        mask = self.conditions[:, Condition.COMPROMISED] & ~self._is_server
-        return int(mask.sum())
+        return len(self._comp_ids) - self._n_srv_comp
 
     def n_servers_compromised(self) -> int:
-        mask = self.conditions[:, Condition.COMPROMISED] & self._is_server
-        return int(mask.sum())
+        return self._n_srv_comp
 
     def n_plcs_disrupted(self) -> int:
         """Disrupted but not destroyed (destruction subsumes disruption)."""

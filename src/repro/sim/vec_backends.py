@@ -1,0 +1,462 @@
+"""Parallel VectorEnv backends: worker processes and shared memory.
+
+:class:`ProcessVectorEnv` partitions the lanes of a logical vector
+environment across worker processes. Each worker hosts a plain
+:class:`~repro.sim.vec_env.VectorEnv` over its lane slice, constructed
+with ``lane_offset``/``total_envs`` so its per-lane seed schedule is
+bit-identical to the single-process layout -- backend choice never
+changes a trajectory. Workers are built from a serialized payload (a
+:class:`~repro.scenarios.spec.ScenarioSpec` dict via
+:mod:`repro.scenarios.serialization`, or a ``SimConfig`` dict via
+:mod:`repro.config_io`), never from pickled environment objects, so any
+registered scenario -- including user-defined ones -- can be shipped to
+a worker pool.
+
+:class:`ShmVectorEnv` is the same architecture with the numeric batches
+(rewards, dones, action masks) exchanged through
+``multiprocessing.shared_memory`` buffers instead of being pickled
+through the command pipes; observations and info dicts still travel by
+pipe. The saving grows with ``num_envs * n_actions`` (the mask batch
+dominates).
+
+On a single-core host both backends lose to ``sync`` (IPC overhead with
+no parallelism to buy back); they pay off when workers can spread over
+cores. ``repro.make_vec(id, n, backend="process")`` is the front door.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.vec_env import BaseVectorEnv, VecStep, VectorEnv, _UNSET
+
+__all__ = ["ProcessVectorEnv", "ShmVectorEnv"]
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _build_envs(payload: dict, seeds: list[int | None], record_truth: bool):
+    if "spec" in payload:
+        from repro.scenarios.serialization import spec_from_dict
+
+        spec = spec_from_dict(payload["spec"])
+        return [spec.build_env(seed=s, record_truth=record_truth) for s in seeds]
+    import repro
+    from repro.config_io import config_from_dict
+
+    config = config_from_dict(payload["config"])
+    return [repro.make_env(config, seed=s, record_truth=record_truth)
+            for s in seeds]
+
+
+def _attach_shm(shm_spec: dict | None, lane_lo: int, lane_hi: int):
+    """Attach this worker's slices of the shared reward/done/mask buffers."""
+    if shm_spec is None:
+        return None, ()
+    from multiprocessing import shared_memory
+
+    handles = []
+    for name in (shm_spec["rewards"], shm_spec["dones"], shm_spec["masks"]):
+        # Workers (forked or spawned) share the parent's resource
+        # tracker, where attaching re-registers the name as a set
+        # dedup no-op; the parent's close()+unlink() is the single
+        # owner of the segments, so workers only attach and close.
+        handles.append(shared_memory.SharedMemory(name=name))
+    n, a = shm_spec["num_envs"], shm_spec["n_actions"]
+    rewards = np.ndarray((n,), dtype=np.float64, buffer=handles[0].buf)
+    dones = np.ndarray((n,), dtype=bool, buffer=handles[1].buf)
+    masks = np.ndarray((n, a), dtype=bool, buffer=handles[2].buf)
+    views = {
+        "rewards": rewards[lane_lo:lane_hi],
+        "dones": dones[lane_lo:lane_hi],
+        "masks": masks[lane_lo:lane_hi],
+    }
+    return views, tuple(handles)
+
+
+def _worker_main(conn, payload: dict, lane_lo: int, lane_hi: int,
+                 total_envs: int, base_seed: int | None, auto_reset: bool,
+                 record_truth: bool, shm_spec: dict | None) -> None:
+    """Command loop hosting one lane group of the logical vector env."""
+    shm_views, shm_handles = None, ()
+    try:
+        seeds = [
+            None if base_seed is None else base_seed + i
+            for i in range(lane_lo, lane_hi)
+        ]
+        envs = _build_envs(payload, seeds, record_truth)
+        venv = VectorEnv(envs, auto_reset=auto_reset, base_seed=base_seed,
+                         lane_offset=lane_lo, total_envs=total_envs)
+        shm_views, shm_handles = _attach_shm(shm_spec, lane_lo, lane_hi)
+        conn.send(("ready", venv.n_actions, venv.reset_infos))
+    except Exception as exc:  # construction failure: report, bail out
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        conn.close()
+        return
+
+    while True:
+        try:
+            command = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            kind = command[0]
+            if kind == "step":
+                _, actions, mask = command
+                step = venv.step(actions, mask=mask)
+                # auto-resets refresh per-lane reset infos; ship them so
+                # the parent's reset_infos never go stale mid-episode
+                if shm_views is not None:
+                    shm_views["rewards"][:] = step.rewards
+                    shm_views["dones"][:] = step.dones
+                    conn.send(("ok", step.observations, step.infos,
+                               venv.reset_infos))
+                else:
+                    conn.send(("ok", step.observations, step.rewards,
+                               step.dones, step.infos, venv.reset_infos))
+            elif kind == "masks":
+                masks = venv.action_masks()
+                if shm_views is not None:
+                    shm_views["masks"][:] = masks
+                    conn.send(("ok",))
+                else:
+                    conn.send(("ok", masks))
+            elif kind == "reset":
+                _, has_seed, seed = command
+                obs = venv.reset(seed) if has_seed else venv.reset()
+                conn.send(("ok", obs, venv.reset_infos))
+            elif kind == "reset_env":
+                _, local_i, seed = command
+                obs = venv.reset_env(local_i, seed=seed)
+                conn.send(("ok", obs, venv.reset_infos[local_i]))
+            elif kind == "auto_reset":
+                venv.auto_reset = bool(command[1])
+                conn.send(("ok",))
+            elif kind == "close":
+                conn.send(("ok",))
+                break
+            else:
+                conn.send(("error", f"unknown command {kind!r}"))
+        except Exception as exc:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    for shm in shm_handles:
+        shm.close()
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+def _partition(num_envs: int, num_workers: int) -> list[tuple[int, int]]:
+    """Contiguous, near-even lane slices [lo, hi) per worker."""
+    base, extra = divmod(num_envs, num_workers)
+    bounds, lo = [], 0
+    for w in range(num_workers):
+        hi = lo + base + (1 if w < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+class ProcessVectorEnv(BaseVectorEnv):
+    """Lockstep vector env with lanes spread over worker processes.
+
+    ``payload`` describes how workers rebuild their environments:
+    ``{"spec": <ScenarioSpec dict>}`` or ``{"config": <SimConfig
+    dict>}`` (the latter uses the default FSM attacker, matching
+    ``repro.make_env``). Prefer the :meth:`from_spec` /
+    :meth:`from_config` constructors.
+
+    The instance is also a context manager; :meth:`close` terminates
+    the workers and is safe to call more than once.
+    """
+
+    _uses_shm = False
+
+    def __init__(self, payload: dict, num_envs: int, *, seed: int | None = None,
+                 auto_reset: bool = True, record_truth: bool = True,
+                 num_workers: int | None = None,
+                 start_method: str | None = None):
+        if num_envs < 1:
+            raise ValueError("num_envs must be >= 1")
+        if not ("spec" in payload or "config" in payload):
+            raise ValueError("payload needs a 'spec' or 'config' entry")
+        self.num_envs = num_envs
+        self._auto_reset = auto_reset
+        self._closed = False
+        self._procs: list = []
+        self._conns: list = []
+        self._template = _build_envs(payload, [None], record_truth)[0]
+
+        if num_workers is None:
+            num_workers = min(num_envs, os.cpu_count() or 1)
+        num_workers = max(1, min(num_workers, num_envs))
+        self._bounds = _partition(num_envs, num_workers)
+
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        ctx = mp.get_context(start_method)
+
+        shm_spec = self._setup_shm()
+        try:
+            for lo, hi in self._bounds:
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, payload, lo, hi, num_envs, seed,
+                          auto_reset, record_truth, shm_spec),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+            self.reset_infos = []
+            for conn in self._conns:
+                _, value, reset_infos = self._recv(conn)
+                if value != self._template.n_actions:
+                    raise RuntimeError(
+                        "worker action space mismatch: "
+                        f"{value} != {self._template.n_actions}"
+                    )
+                self.reset_infos.extend(reset_infos)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec, num_envs: int, **kwargs) -> "ProcessVectorEnv":
+        from repro.scenarios.serialization import spec_to_dict
+
+        return cls({"spec": spec_to_dict(spec)}, num_envs, **kwargs)
+
+    @classmethod
+    def from_config(cls, config, num_envs: int, **kwargs) -> "ProcessVectorEnv":
+        from repro.config_io import config_to_dict
+
+        return cls({"config": config_to_dict(config)}, num_envs, **kwargs)
+
+    # -- shm hooks (overridden by ShmVectorEnv) ------------------------
+    def _setup_shm(self) -> dict | None:
+        return None
+
+    def _teardown_shm(self) -> None:
+        pass
+
+    # -- metadata ------------------------------------------------------
+    @property
+    def config(self):
+        return self._template.config
+
+    @property
+    def topology(self):
+        return self._template.topology
+
+    @property
+    def n_actions(self) -> int:
+        return self._template.n_actions
+
+    @property
+    def action_list(self):
+        return self._template.action_list
+
+    def policy_env(self, i: int):
+        return self._template
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._bounds)
+
+    @property
+    def auto_reset(self) -> bool:
+        return self._auto_reset
+
+    @auto_reset.setter
+    def auto_reset(self, value: bool) -> None:
+        value = bool(value)
+        self._auto_reset = value
+        for conn in self._conns:
+            conn.send(("auto_reset", value))
+        for conn in self._conns:
+            self._recv(conn)
+
+    # -- plumbing ------------------------------------------------------
+    def _recv(self, conn):
+        try:
+            reply = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise RuntimeError(
+                "a VectorEnv worker process died unexpectedly"
+            ) from exc
+        if reply[0] == "error":
+            raise RuntimeError(f"VectorEnv worker failed: {reply[1]}")
+        return reply
+
+    def _worker_of(self, lane: int) -> tuple[int, int]:
+        """(worker index, local lane index) owning a global lane."""
+        for w, (lo, hi) in enumerate(self._bounds):
+            if lo <= lane < hi:
+                return w, lane - lo
+        raise IndexError(f"lane {lane} out of range for {self.num_envs} envs")
+
+    # -- lockstep interface --------------------------------------------
+    def reset(self, seed=_UNSET) -> list:
+        has_seed = seed is not _UNSET
+        for conn in self._conns:
+            conn.send(("reset", has_seed, seed if has_seed else None))
+        observations: list = []
+        infos: list = []
+        for conn in self._conns:
+            _, obs, reset_infos = self._recv(conn)
+            observations.extend(obs)
+            infos.extend(reset_infos)
+        self.reset_infos = infos
+        return observations
+
+    def reset_env(self, i: int, seed: int | None = None):
+        w, local = self._worker_of(i)
+        self._conns[w].send(("reset_env", local, seed))
+        _, obs, info = self._recv(self._conns[w])
+        self.reset_infos[i] = info
+        return obs
+
+    def step(self, actions=None, mask: Sequence[bool] | None = None) -> VecStep:
+        actions = self._split_actions(actions)
+        if mask is not None:
+            mask = list(mask)
+            if len(mask) != self.num_envs:
+                raise ValueError(
+                    f"expected {self.num_envs} mask entries, got {len(mask)}"
+                )
+        for conn, (lo, hi) in zip(self._conns, self._bounds):
+            conn.send(("step", actions[lo:hi],
+                       None if mask is None else mask[lo:hi]))
+        return self._collect_step()
+
+    def _collect_step(self) -> VecStep:
+        observations: list = []
+        infos: list = []
+        rewards = np.empty(self.num_envs)
+        dones = np.empty(self.num_envs, dtype=bool)
+        for conn, (lo, hi) in zip(self._conns, self._bounds):
+            _, obs, rew, done, info, reset_infos = self._recv(conn)
+            observations.extend(obs)
+            infos.extend(info)
+            rewards[lo:hi] = rew
+            dones[lo:hi] = done
+            self.reset_infos[lo:hi] = reset_infos
+        return VecStep(observations, rewards, dones, infos)
+
+    def action_masks(self) -> np.ndarray:
+        for conn in self._conns:
+            conn.send(("masks",))
+        rows = []
+        for conn in self._conns:
+            _, masks = self._recv(conn)
+            rows.append(masks)
+        return np.concatenate(rows, axis=0)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                if conn.poll(1.0):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._teardown_shm()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class ShmVectorEnv(ProcessVectorEnv):
+    """Process backend exchanging numeric batches via shared memory.
+
+    Rewards, dones, and action-mask batches live in three
+    ``multiprocessing.shared_memory`` segments written in place by the
+    workers; only observations and info dicts are pickled through the
+    pipes. The pipe acknowledgement doubles as the write barrier, and
+    the parent copies batches out of the buffers before returning them,
+    so callers may hold onto results across steps.
+    """
+
+    _uses_shm = True
+
+    def _setup_shm(self) -> dict:
+        from multiprocessing import shared_memory
+
+        n, a = self.num_envs, self._template.n_actions
+        self._shm = {
+            "rewards": shared_memory.SharedMemory(create=True, size=max(1, n * 8)),
+            "dones": shared_memory.SharedMemory(create=True, size=max(1, n)),
+            "masks": shared_memory.SharedMemory(create=True, size=max(1, n * a)),
+        }
+        self._shm_rewards = np.ndarray((n,), dtype=np.float64,
+                                       buffer=self._shm["rewards"].buf)
+        self._shm_dones = np.ndarray((n,), dtype=bool,
+                                     buffer=self._shm["dones"].buf)
+        self._shm_masks = np.ndarray((n, a), dtype=bool,
+                                     buffer=self._shm["masks"].buf)
+        return {
+            "rewards": self._shm["rewards"].name,
+            "dones": self._shm["dones"].name,
+            "masks": self._shm["masks"].name,
+            "num_envs": n,
+            "n_actions": a,
+        }
+
+    def _teardown_shm(self) -> None:
+        shm = getattr(self, "_shm", None)
+        if not shm:
+            return
+        self._shm = {}
+        for segment in shm.values():
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    def _collect_step(self) -> VecStep:
+        observations: list = []
+        infos: list = []
+        for conn, (lo, hi) in zip(self._conns, self._bounds):
+            _, obs, info, reset_infos = self._recv(conn)
+            observations.extend(obs)
+            infos.extend(info)
+            self.reset_infos[lo:hi] = reset_infos
+        # the acks above are the write barrier; copy out of the buffers
+        return VecStep(observations, self._shm_rewards.copy(),
+                       self._shm_dones.copy(), infos)
+
+    def action_masks(self) -> np.ndarray:
+        for conn in self._conns:
+            conn.send(("masks",))
+        for conn in self._conns:
+            self._recv(conn)
+        return self._shm_masks.copy()

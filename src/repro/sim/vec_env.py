@@ -1,10 +1,20 @@
-"""Lockstep vectorized environment: N independent simulations per step.
+"""Lockstep vectorized environments: N independent simulations per step.
 
 The ROADMAP's scale story starts here: every consumer that previously
 stepped one :class:`~repro.sim.env.InasimEnv` at a time (the evaluation
-fan-out, the DQN collector, the CLI) drives a :class:`VectorEnv`
+fan-out, the DQN collector, the CLI) drives a vector environment
 instead and amortizes per-step Python overhead over ``num_envs``
 simulations.
+
+Three backends implement one contract (:class:`BaseVectorEnv`):
+
+* ``sync`` -- :class:`VectorEnv`, every lane stepped in-process (this
+  module);
+* ``process`` -- :class:`~repro.sim.vec_backends.ProcessVectorEnv`,
+  lanes partitioned across worker processes talking over pipes;
+* ``shm`` -- :class:`~repro.sim.vec_backends.ShmVectorEnv`, the process
+  backend with reward/done/action-mask batches exchanged through
+  ``multiprocessing.shared_memory`` instead of pickle.
 
 Semantics follow the Gym ``VectorEnv`` contract:
 
@@ -21,22 +31,23 @@ Semantics follow the Gym ``VectorEnv`` contract:
 * :meth:`action_masks` stacks the per-env action-validity masks into a
   ``(num_envs, n_actions)`` batch for the RL stack.
 
-Episodes are deterministic given (config, seed): two ``VectorEnv``s
-built from the same scenario and reset with the same seed produce
-identical batched trajectories.
+Episodes are deterministic given (config, seed): two vector envs built
+from the same scenario and reset with the same seed produce identical
+batched trajectories **regardless of backend** -- the parity tests in
+``tests/test_vec_backends.py`` pin this down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
 from repro.sim.env import InasimEnv
 from repro.sim.observations import Observation
 
-__all__ = ["VectorEnv", "VecStep"]
+__all__ = ["BaseVectorEnv", "VectorEnv", "VecStep"]
 
 _UNSET = object()
 
@@ -55,15 +66,130 @@ class VecStep:
         return iter((self.observations, self.rewards, self.dones, self.infos))
 
 
-class VectorEnv:
-    """Run ``len(envs)`` independent simulations in lockstep.
+def _reset_info(env: InasimEnv) -> dict[str, Any]:
+    """Ground-truth tallies of a freshly reset lane (shaping bootstrap)."""
+    state = env.sim.state
+    return {
+        "t": state.t,
+        "n_compromised": state.n_compromised(),
+        "n_ws_compromised": state.n_workstations_compromised(),
+        "n_srv_compromised": state.n_servers_compromised(),
+    }
+
+
+class BaseVectorEnv:
+    """The lockstep vector-environment contract all backends satisfy.
+
+    Subclasses implement :meth:`reset`, :meth:`reset_env`, :meth:`step`,
+    :meth:`action_masks`, and :meth:`close`, and expose ``num_envs``,
+    ``config``, ``topology``, ``n_actions``, ``action_list``,
+    ``auto_reset``, and ``reset_infos`` (per-lane ground-truth tallies
+    refreshed by every reset).
+    """
+
+    num_envs: int
+    reset_infos: list[dict[str, Any]]
+
+    # -- construction-time metadata -----------------------------------
+    @property
+    def config(self):
+        raise NotImplementedError
+
+    @property
+    def topology(self):
+        raise NotImplementedError
+
+    @property
+    def n_actions(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def action_list(self):
+        raise NotImplementedError
+
+    def policy_env(self, i: int):
+        """The environment handed to ``DefenderPolicy.reset`` for lane
+        ``i`` (policies read static structure: topology, action list)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return self.num_envs
+
+    # -- lockstep interface -------------------------------------------
+    def reset(self, seed=_UNSET) -> list[Observation]:
+        raise NotImplementedError
+
+    def reset_env(self, i: int, seed: int | None = None) -> Observation:
+        raise NotImplementedError
+
+    def step(self, actions=None, mask: Sequence[bool] | None = None) -> VecStep:
+        raise NotImplementedError
+
+    def action_masks(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def sample_actions(self, rng) -> np.ndarray:
+        """Uniform random valid action index per environment.
+
+        One batched draw over the ``(num_envs, n_actions)`` mask: lane
+        ``i`` takes the ``floor(u_i * k_i)``-th of its ``k_i`` valid
+        actions, located with a cumulative-sum scan instead of a
+        per-row ``rng.choice`` loop.
+        """
+        masks = self.action_masks()
+        counts = masks.sum(axis=1)
+        if not counts.all():
+            raise ValueError("an environment has no valid action to sample")
+        picks = (rng.random(masks.shape[0]) * counts).astype(np.int64)
+        np.minimum(picks, counts - 1, out=picks)  # guard u == 1.0 edge
+        cumulative = np.cumsum(masks, axis=1)
+        return np.argmax(cumulative > picks[:, None], axis=1).astype(np.int64)
+
+    # -- lifecycle ----------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (workers, shared buffers)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- shared helpers -----------------------------------------------
+    def _split_actions(self, actions) -> list:
+        if actions is None:
+            return [None] * self.num_envs
+        if isinstance(actions, np.ndarray):
+            if actions.shape != (self.num_envs,):
+                raise ValueError(
+                    f"action array shape {actions.shape} != ({self.num_envs},)"
+                )
+            return list(actions)
+        actions = list(actions)
+        if len(actions) != self.num_envs:
+            raise ValueError(
+                f"expected {self.num_envs} actions, got {len(actions)}"
+            )
+        return actions
+
+
+class VectorEnv(BaseVectorEnv):
+    """Run ``len(envs)`` independent simulations in lockstep, in-process.
 
     All environments must share a topology (same action space); build
     them from one scenario via :func:`repro.make_vec`.
+
+    ``lane_offset`` / ``total_envs`` place this instance inside a larger
+    logical vector environment: lane ``i`` here is global lane
+    ``lane_offset + i`` of ``total_envs``, and the auto-reset reseeding
+    schedule uses the *global* geometry. The parallel backends use this
+    to run worker-local ``VectorEnv`` groups whose per-lane seed
+    schedules are bit-identical to the single-process layout.
     """
 
     def __init__(self, envs: Sequence[InasimEnv], *, auto_reset: bool = True,
-                 base_seed: int | None = None):
+                 base_seed: int | None = None, lane_offset: int = 0,
+                 total_envs: int | None = None):
         envs = list(envs)
         if not envs:
             raise ValueError("VectorEnv needs at least one environment")
@@ -79,8 +205,11 @@ class VectorEnv:
         self.num_envs = len(envs)
         self.auto_reset = auto_reset
         self._base_seed = base_seed
+        self._lane_offset = lane_offset
+        self._total_envs = total_envs if total_envs is not None else len(envs)
         self._episode_counts = [0] * self.num_envs
         self._last_obs: list[Observation | None] = [None] * self.num_envs
+        self.reset_infos = [_reset_info(env) for env in envs]
 
     # ------------------------------------------------------------------
     @property
@@ -99,14 +228,15 @@ class VectorEnv:
     def action_list(self):
         return self.envs[0].action_list
 
-    def __len__(self) -> int:
-        return self.num_envs
+    def policy_env(self, i: int):
+        return self.envs[i]
 
     # ------------------------------------------------------------------
     def _seed_for(self, i: int) -> int | None:
         if self._base_seed is None:
             return None
-        return self._base_seed + i + self.num_envs * self._episode_counts[i]
+        return (self._base_seed + self._lane_offset + i
+                + self._total_envs * self._episode_counts[i])
 
     def reset(self, seed: int | None | object = _UNSET) -> list[Observation]:
         """Reset every environment; env ``i`` gets ``seed + i``."""
@@ -116,12 +246,24 @@ class VectorEnv:
         obs = [env.reset(seed=self._seed_for(i))
                for i, env in enumerate(self.envs)]
         self._last_obs = list(obs)
+        self.reset_infos = [_reset_info(env) for env in self.envs]
         return obs
 
     def reset_env(self, i: int, seed: int | None = None) -> Observation:
-        """Reset one lane explicitly (manual episode scheduling)."""
+        """Reset one lane explicitly (manual episode scheduling).
+
+        The lane's episode count advances exactly as on an auto-reset,
+        so the ``seed + i + num_envs * episode_count`` schedule stays
+        collision-free afterwards; with ``seed=None`` the lane draws its
+        seed from that schedule (or a nondeterministic reset when the
+        vector env was never seeded).
+        """
+        self._episode_counts[i] += 1
+        if seed is None:
+            seed = self._seed_for(i)
         obs = self.envs[i].reset(seed=seed)
         self._last_obs[i] = obs
+        self.reset_infos[i] = _reset_info(self.envs[i])
         return obs
 
     # ------------------------------------------------------------------
@@ -152,6 +294,7 @@ class VectorEnv:
                 info["final_observation"] = obs
                 self._episode_counts[i] += 1
                 obs = env.reset(seed=self._seed_for(i))
+                self.reset_infos[i] = _reset_info(env)
             observations.append(obs)
             rewards[i] = reward
             dones[i] = done
@@ -160,30 +303,7 @@ class VectorEnv:
 
         return VecStep(observations, rewards, dones, infos)
 
-    def _split_actions(self, actions) -> list:
-        if actions is None:
-            return [None] * self.num_envs
-        if isinstance(actions, np.ndarray):
-            if actions.shape != (self.num_envs,):
-                raise ValueError(
-                    f"action array shape {actions.shape} != ({self.num_envs},)"
-                )
-            return list(actions)
-        actions = list(actions)
-        if len(actions) != self.num_envs:
-            raise ValueError(
-                f"expected {self.num_envs} actions, got {len(actions)}"
-            )
-        return actions
-
     # ------------------------------------------------------------------
     def action_masks(self) -> np.ndarray:
         """Stacked validity masks, shape ``(num_envs, n_actions)``."""
         return np.stack([env.action_mask() for env in self.envs])
-
-    def sample_actions(self, rng) -> np.ndarray:
-        """Uniform random valid action index per environment."""
-        masks = self.action_masks()
-        return np.array(
-            [int(rng.choice(np.flatnonzero(m))) for m in masks], dtype=np.int64
-        )

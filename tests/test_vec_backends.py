@@ -1,0 +1,335 @@
+"""Backend parity, scenario serialization, and vector-env fixes.
+
+The core guarantee of the backend abstraction: the same scenario and
+seed produce bit-identical observation/reward/done trajectories on
+every backend (``sync`` / ``process`` / ``shm``). Plus round-trip tests
+for ScenarioSpec JSON (the worker shipping format) and regression tests
+for the vectorized ``sample_actions`` and the ``reset_env`` episode
+accounting.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.scenarios import (
+    ScenarioSpec,
+    load_registry,
+    load_spec,
+    save_registry,
+    save_spec,
+    spec_from_dict,
+    spec_from_json,
+    spec_to_dict,
+    spec_to_json,
+)
+from repro.scenarios.registry import REGISTRY
+from repro.sim.vec_backends import ProcessVectorEnv, ShmVectorEnv
+from repro.sim.vec_env import VectorEnv
+
+
+def _obs_fingerprint(obs):
+    return (
+        obs.t,
+        tuple((a.t, a.severity, a.node_id, a.source) for a in obs.alerts),
+        tuple((s.t, s.node_id, s.detected) for s in obs.scan_results),
+        obs.plc_disrupted.tolist(),
+        obs.plc_destroyed.tolist(),
+        obs.node_busy.tolist(),
+        obs.quarantined.tolist(),
+    )
+
+
+def _rollout(venv, steps, seed, action_seed=7):
+    """Seeded rollout under random valid actions; full fingerprints."""
+    rng = np.random.default_rng(action_seed)
+    observations = venv.reset(seed=seed)
+    trace = [tuple(_obs_fingerprint(o) for o in observations)]
+    rewards, dones = [], []
+    for _ in range(steps):
+        actions = venv.sample_actions(rng)
+        step = venv.step(actions)
+        trace.append(tuple(_obs_fingerprint(o) for o in step.observations))
+        rewards.append(step.rewards.copy())
+        dones.append(step.dones.copy())
+    return trace, np.stack(rewards), np.stack(dones)
+
+
+class TestBackendParity:
+    def test_process_matches_sync(self):
+        """Same scenario + seed => identical trajectories, pipes or not."""
+        sync = repro.make_vec("inasim-tiny-v1", 3, seed=0, horizon=15)
+        trace_s, rew_s, done_s = _rollout(sync, 25, seed=4)
+        with repro.make_vec("inasim-tiny-v1", 3, seed=0, horizon=15,
+                            backend="process", num_workers=2) as venv:
+            trace_p, rew_p, done_p = _rollout(venv, 25, seed=4)
+        assert trace_s == trace_p
+        np.testing.assert_array_equal(rew_s, rew_p)
+        np.testing.assert_array_equal(done_s, done_p)
+
+    @pytest.mark.slow
+    def test_shm_matches_sync(self):
+        sync = repro.make_vec("inasim-tiny-v1", 4, seed=0, horizon=15)
+        trace_s, rew_s, done_s = _rollout(sync, 25, seed=1)
+        with repro.make_vec("inasim-tiny-v1", 4, seed=0, horizon=15,
+                            backend="shm", num_workers=2) as venv:
+            trace_h, rew_h, done_h = _rollout(venv, 25, seed=1)
+        assert trace_s == trace_h
+        np.testing.assert_array_equal(rew_s, rew_h)
+        np.testing.assert_array_equal(done_s, done_h)
+
+    @pytest.mark.slow
+    def test_parity_spans_auto_reset_boundaries(self):
+        """The seed+i+N*episode schedule survives worker partitioning."""
+        sync = repro.make_vec("inasim-tiny-v1", 5, seed=0, horizon=8)
+        _, rew_s, done_s = _rollout(sync, 30, seed=2)
+        assert done_s.any()  # episodes rolled over mid-run
+        with repro.make_vec("inasim-tiny-v1", 5, seed=0, horizon=8,
+                            backend="process", num_workers=3) as venv:
+            _, rew_p, done_p = _rollout(venv, 30, seed=2)
+        np.testing.assert_array_equal(rew_s, rew_p)
+        np.testing.assert_array_equal(done_s, done_p)
+
+    def test_action_masks_match(self):
+        sync = repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=20)
+        sync.reset(seed=0)
+        with repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=20,
+                            backend="process", num_workers=1) as venv:
+            venv.reset(seed=0)
+            for _ in range(5):
+                np.testing.assert_array_equal(
+                    sync.action_masks(), venv.action_masks()
+                )
+                sync.step(np.array([1, 2]))
+                venv.step(np.array([1, 2]))
+
+    def test_custom_registered_scenario_ships_to_workers(self):
+        spec = ScenarioSpec(
+            scenario_id="test-worker-ship", network="tiny",
+            reward_variant="availability", horizon=12, tags=("test",),
+        )
+        repro.register(spec, overwrite=True)
+        try:
+            sync = repro.make_vec("test-worker-ship", 2, seed=0)
+            _, rew_s, _ = _rollout(sync, 12, seed=0)
+            with repro.make_vec("test-worker-ship", 2, seed=0,
+                                backend="process",
+                                num_workers=2) as venv:
+                assert venv.config.tmax == 12
+                _, rew_p, _ = _rollout(venv, 12, seed=0)
+            np.testing.assert_array_equal(rew_s, rew_p)
+        finally:
+            REGISTRY.unregister("test-worker-ship")
+
+
+class TestBackendLifecycle:
+    def test_metadata_and_policy_env(self):
+        with repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=10,
+                            backend="process", num_workers=1) as venv:
+            sync = repro.make_vec("inasim-tiny-v1", 1, seed=0, horizon=10)
+            assert venv.n_actions == sync.n_actions
+            assert venv.action_list == sync.action_list
+            assert venv.config.tmax == 10
+            assert venv.topology.n_nodes == sync.topology.n_nodes
+            assert venv.policy_env(0).n_actions == venv.n_actions
+            assert len(venv) == 2
+
+    def test_close_is_idempotent_and_kills_workers(self):
+        venv = repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=10,
+                              backend="process", num_workers=2)
+        venv.reset(seed=0)
+        venv.step(None)
+        procs = list(venv._procs)
+        venv.close()
+        venv.close()  # second close is a no-op
+        assert all(not p.is_alive() for p in procs)
+        with pytest.raises(Exception):
+            venv.step(None)
+
+    def test_auto_reset_toggle_reaches_workers(self):
+        with repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=5,
+                            backend="process", num_workers=1) as venv:
+            venv.auto_reset = False
+            venv.reset(seed=0)
+            step = None
+            for _ in range(5):
+                step = venv.step(None)
+            assert step.dones.all()
+            # terminal observation survives: no auto reset happened
+            assert all(obs.t == 5 for obs in step.observations)
+            assert all("final_observation" not in info for info in step.infos)
+
+    def test_reset_infos_populated(self):
+        with repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=10,
+                            backend="process", num_workers=2) as venv:
+            # populated at construction, before any explicit reset
+            assert len(venv.reset_infos) == 2
+            venv.reset(seed=0)
+            for info in venv.reset_infos:
+                # exactly the beachhead workstation is compromised
+                assert info["n_compromised"] == 1
+                assert info["n_ws_compromised"] == 1
+                assert info["n_srv_compromised"] == 0
+
+    def test_reset_infos_track_auto_resets(self):
+        """Auto-resets inside workers refresh the parent's reset_infos."""
+        sync = repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=4)
+        with repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=4,
+                            backend="process", num_workers=2) as venv:
+            sync.reset(seed=0)
+            venv.reset(seed=0)
+            for _ in range(4):
+                step_s = sync.step(None)
+                step_p = venv.step(None)
+            assert step_s.dones.all() and step_p.dones.all()
+            assert venv.reset_infos == sync.reset_infos
+            for info in venv.reset_infos:
+                assert info["n_compromised"] == 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            repro.make_vec("inasim-tiny-v1", 2, backend="threads")
+
+    def test_payload_requires_spec_or_config(self):
+        with pytest.raises(ValueError, match="spec.*config"):
+            ProcessVectorEnv({}, 2)
+
+
+class TestSampleActionsVectorized:
+    def test_samples_are_valid(self):
+        venv = repro.make_vec("inasim-tiny-v1", 3, seed=0, horizon=30)
+        venv.reset(seed=0)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            actions = venv.sample_actions(rng)
+            masks = venv.action_masks()
+            assert actions.shape == (3,)
+            assert actions.dtype == np.int64
+            assert all(masks[i, a] for i, a in enumerate(actions))
+            venv.step(actions)
+
+    def test_uniform_over_valid_actions(self):
+        """Every valid action is reachable; invalid ones never drawn."""
+        venv = repro.make_vec("inasim-tiny-v1", 1, seed=0, horizon=30)
+        venv.reset(seed=0)
+        venv.step(np.array([1]))  # occupy a target -> mask out actions
+        mask = venv.action_masks()[0]
+        assert not mask.all()
+        rng = np.random.default_rng(3)
+        seen = set()
+        for _ in range(400):
+            seen.add(int(venv.sample_actions(rng)[0]))
+        assert seen == set(np.flatnonzero(mask).tolist())
+
+    def test_deterministic_given_rng(self):
+        venv = repro.make_vec("inasim-tiny-v1", 4, seed=0, horizon=30)
+        venv.reset(seed=0)
+        a = venv.sample_actions(np.random.default_rng(11))
+        b = venv.sample_actions(np.random.default_rng(11))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestResetEnvEpisodeAccounting:
+    def test_reset_env_advances_episode_count(self):
+        venv = repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=10)
+        venv.reset(seed=0)
+        assert venv._episode_counts == [0, 0]
+        venv.reset_env(0)
+        assert venv._episode_counts == [1, 0]
+
+    def test_manual_reset_follows_reseed_schedule(self):
+        """reset_env(i) draws seed + i + num_envs * episode_count."""
+        venv = repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=40)
+        venv.reset(seed=0)
+        obs = venv.reset_env(1)  # episode 1 on lane 1 -> seed 0 + 1 + 2*1
+        solo = repro.make("inasim-tiny-v1", seed=3, horizon=40)
+        solo.reset(seed=3)
+        for _ in range(15):
+            step = venv.step(None)
+            _, r, _, _ = solo.step(None)
+            assert step.rewards[1] == r
+
+    def test_no_seed_collision_with_auto_reset(self):
+        """A manual reset no longer replays the next auto-reset seed."""
+        venv = repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=5)
+        venv.reset(seed=0)
+        venv.reset_env(0)  # consumes episode 1 of lane 0
+        for _ in range(5):
+            step = venv.step(None)
+        # lane 0's auto reset must now use episode count 2, not replay 1
+        assert venv._episode_counts[0] == 2
+
+
+class TestScenarioSpecSerialization:
+    @pytest.mark.parametrize("scenario_id", [
+        "inasim-tiny-v1", "inasim-paper-v1", "paper-apt2-v1",
+    ])
+    def test_builtin_round_trip(self, scenario_id):
+        spec = repro.get_scenario(scenario_id)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+        assert spec_from_json(spec_to_json(spec)) == spec
+
+    def test_round_trip_preserves_every_field(self):
+        spec = ScenarioSpec(
+            scenario_id="rt-full", network="small", attacker="scripted",
+            reward_variant="cost_sensitive", horizon=77,
+            cleanup_effectiveness=0.25, description="round trip",
+            tags=("a", "b"),
+        )
+        restored = spec_from_json(spec_to_json(spec))
+        assert restored == spec
+        assert restored.tags == ("a", "b")
+
+    def test_dict_is_json_native(self):
+        data = spec_to_dict(repro.get_scenario("inasim-paper-v1"))
+        assert json.loads(json.dumps(data)) == data
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown ScenarioSpec"):
+            spec_from_dict({"scenario_id": "x", "flux_capacitor": 1})
+
+    def test_invalid_values_still_validated(self):
+        with pytest.raises(ValueError, match="network"):
+            spec_from_dict({"scenario_id": "x", "network": "mega"})
+
+    def test_file_round_trip(self, tmp_path):
+        spec = repro.get_scenario("inasim-small-v1")
+        path = tmp_path / "spec.json"
+        save_spec(spec, path)
+        assert load_spec(path) == spec
+
+    def test_registry_round_trip_with_custom_scenario(self, tmp_path):
+        custom = ScenarioSpec(
+            scenario_id="test-registry-io", network="tiny",
+            horizon=9, tags=("custom",),
+        )
+        repro.register(custom, overwrite=True)
+        path = tmp_path / "registry.json"
+        try:
+            save_registry(path)
+            specs = load_registry(path, register=False)
+            by_id = {s.scenario_id: s for s in specs}
+            assert by_id["test-registry-io"] == custom
+            assert len(specs) == len(REGISTRY)
+        finally:
+            REGISTRY.unregister("test-registry-io")
+        # loading with register=True restores the custom entry
+        load_registry(path, register=True, overwrite=True)
+        try:
+            assert repro.get_scenario("test-registry-io") == custom
+        finally:
+            REGISTRY.unregister("test-registry-io")
+
+    def test_restored_spec_builds_identical_env(self):
+        spec = repro.get_scenario("inasim-tiny-v1").with_overrides(horizon=20)
+        clone = spec_from_json(spec_to_json(spec))
+        env_a = spec.build_env(seed=5)
+        env_b = clone.build_env(seed=5)
+        env_a.reset(seed=5)
+        env_b.reset(seed=5)
+        for _ in range(20):
+            _, ra, _, _ = env_a.step(None)
+            _, rb, _, _ = env_b.step(None)
+            assert ra == rb
