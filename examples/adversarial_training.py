@@ -41,6 +41,9 @@ def main() -> None:
     parser.add_argument("--selfplay", action="store_true",
                         help="also run one defender/attacker self-play "
                              "round with a learned ACSO (slower)")
+    parser.add_argument("--backend", default="sync",
+                        choices=("sync", "process", "shm", "auto"),
+                        help="vector-env backend for the self-play oracles")
     args = parser.parse_args()
 
     # a faster clock makes six-month campaigns observable in short runs
@@ -131,7 +134,7 @@ def run_selfplay_round(config, args) -> None:
             rounds=1, train_episodes=2, train_max_steps=args.max_steps,
             cem_iterations=2, cem_population=4, fitness_episodes=1,
             eval_episodes=1, eval_max_steps=args.max_steps,
-            seed=args.seed,
+            seed=args.seed, backend=args.backend, run_name="example",
         ),
     )
     for record in loop.run():
@@ -139,6 +142,9 @@ def run_selfplay_round(config, args) -> None:
               f"{record.population_utility:.1f}, best-response utility "
               f"{record.best_response_utility:.1f}, exploitability "
               f"{record.exploitability:.1f}")
+        print(f"  emitted scenario: {record.best_response_id} "
+              f"(repro.make(id) verified: "
+              f"{record.verified_utility == record.best_response_utility})")
     print(f"  population size after expansion: {len(loop.population)}")
 
 

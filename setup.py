@@ -24,7 +24,7 @@ setup(
     python_requires=">=3.10",
     install_requires=["numpy>=1.22"],
     extras_require={
-        "tests": ["pytest>=7"],
+        "tests": ["pytest>=7", "pytest-cov>=4"],
         "benchmarks": ["pytest>=7", "pytest-benchmark>=4"],
     },
     entry_points={

@@ -38,6 +38,7 @@ from repro.scenarios import (
     list_scenarios,
     make,
     make_vec,
+    make_vec_from_specs,
     register,
 )
 
@@ -52,6 +53,7 @@ __all__ = [
     "tiny_network",
     "make",
     "make_vec",
+    "make_vec_from_specs",
     "make_env",
     "register",
     "get_scenario",

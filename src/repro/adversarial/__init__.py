@@ -22,32 +22,47 @@ top of the INASIM substrate:
   arbitrary attacker sets.
 """
 
-from repro.adversarial.space import AttackerParameterSpace, ParameterSpec
+from repro.adversarial.space import (
+    AttackerParameterSpace,
+    ParameterSpec,
+    as_base_spec,
+    scenario_for_attacker,
+)
 from repro.adversarial.best_response import (
     BestResponseResult,
     CrossEntropySearch,
     attack_utility,
+    evaluate_attackers_vec,
     make_defender_fitness,
+    make_defender_fitness_vec,
 )
 from repro.adversarial.selfplay import (
     AttackerPopulation,
     SelfPlayConfig,
     SelfPlayLoop,
     SelfPlayRound,
+    load_population,
+    save_population,
 )
 from repro.adversarial.matrix import format_matrix, robustness_matrix
 
 __all__ = [
     "AttackerParameterSpace",
     "ParameterSpec",
+    "as_base_spec",
+    "scenario_for_attacker",
     "BestResponseResult",
     "CrossEntropySearch",
     "attack_utility",
+    "evaluate_attackers_vec",
     "make_defender_fitness",
+    "make_defender_fitness_vec",
     "AttackerPopulation",
     "SelfPlayConfig",
     "SelfPlayLoop",
     "SelfPlayRound",
+    "save_population",
+    "load_population",
     "format_matrix",
     "robustness_matrix",
 ]

@@ -11,24 +11,37 @@ The optimizer is deliberately simple and derivative-free (the fitness
 is a stochastic episode rollout): maintain a Gaussian over the unit
 box, sample candidates, evaluate, refit to the elite fraction, repeat.
 A noise floor on the standard deviation prevents premature collapse.
+
+Candidate evaluation has two engines sharing one definition of
+fitness: :func:`make_defender_fitness` scores one candidate at a time
+through ``repro.make``, and :func:`make_defender_fitness_vec` fans a
+whole CEM generation over the lanes of a vector environment
+(``repro.make_vec_from_specs``; any backend), one candidate per lane.
+For deterministic defenders the two are numerically identical — the
+batch is a wall-clock optimization, not a different experiment.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
 import repro
-from repro.adversarial.space import AttackerParameterSpace
-from repro.attacker import FSMAttacker
-from repro.config import APTConfig, SimConfig
-from repro.eval.runner import evaluate_policy
+from repro.adversarial.space import (
+    AttackerParameterSpace,
+    as_base_spec,
+    scenario_for_attacker,
+)
+from repro.config import APTConfig
+from repro.eval.runner import evaluate_policy, evaluate_policy_per_lane
 
 __all__ = [
     "attack_utility",
     "make_defender_fitness",
+    "make_defender_fitness_vec",
+    "evaluate_attackers_vec",
     "CrossEntropySearch",
     "BestResponseResult",
 ]
@@ -46,7 +59,7 @@ def attack_utility(aggregate) -> float:
 
 
 def make_defender_fitness(
-    config: SimConfig,
+    scenario,
     defender,
     episodes: int = 2,
     seed: int = 0,
@@ -54,22 +67,80 @@ def make_defender_fitness(
 ) -> Callable[[APTConfig], float]:
     """Build a fitness function: APTConfig -> attacker utility.
 
-    Each call builds a fresh environment with the candidate attacker
-    (quantitative parameters flow through ``SimConfig.apt`` so the
-    engine's labor budget and stealth model see them too) and runs
+    ``scenario`` is a registered id, a :class:`ScenarioSpec`, or a
+    preset-derived :class:`~repro.config.SimConfig`. Each call bridges
+    the candidate attacker onto that base
+    (:func:`~repro.adversarial.space.scenario_for_attacker`), builds
+    the environment through ``repro.make`` — so the candidate is a
+    named, reconstructible scenario, not an ad-hoc wiring — and runs
     ``episodes`` seeded evaluations of the fixed defender.
     """
+    base = as_base_spec(scenario)
 
     def fitness(apt: APTConfig) -> float:
-        env = repro.make_env(
-            config.with_apt(apt),
-            attacker=FSMAttacker(apt, sample_qualitative=False),
-        )
+        spec = scenario_for_attacker(base, apt, f"{base.scenario_id}#candidate")
+        env = repro.make(spec)
         aggregate, _ = evaluate_policy(env, defender, episodes, seed=seed,
                                        max_steps=max_steps)
         return attack_utility(aggregate)
 
     return fitness
+
+
+def evaluate_attackers_vec(
+    scenario,
+    attackers: Sequence[APTConfig],
+    defender,
+    episodes: int = 2,
+    seed: int = 0,
+    max_steps: int | None = None,
+    backend: str = "sync",
+    num_workers: int | None = None,
+):
+    """Score a batch of attacker configs in one vectorized pass.
+
+    Lane ``i`` runs ``attackers[i]`` bridged onto ``scenario``; every
+    lane evaluates ``episodes`` seeded episodes of ``defender``
+    (:func:`~repro.eval.runner.evaluate_policy_per_lane`). Returns the
+    per-attacker ``(aggregate, per-episode metrics)`` list.
+    """
+    base = as_base_spec(scenario)
+    specs = [
+        scenario_for_attacker(base, apt, f"{base.scenario_id}#candidate-{i}")
+        for i, apt in enumerate(attackers)
+    ]
+    venv = repro.make_vec_from_specs(specs, seed=seed, backend=backend,
+                                     num_workers=num_workers)
+    with venv:
+        return evaluate_policy_per_lane(venv, defender, episodes, seed=seed,
+                                        max_steps=max_steps)
+
+
+def make_defender_fitness_vec(
+    scenario,
+    defender,
+    episodes: int = 2,
+    seed: int = 0,
+    max_steps: int | None = None,
+    backend: str = "sync",
+    num_workers: int | None = None,
+) -> Callable[[Sequence[APTConfig]], np.ndarray]:
+    """Batched :func:`make_defender_fitness`: list[APTConfig] -> utilities.
+
+    Feed it to :class:`CrossEntropySearch` as ``batch_fitness_fn`` and
+    every CEM generation is evaluated as one fan-out over a vector
+    environment (one candidate per lane, any backend) instead of
+    sequential episode loops.
+    """
+
+    def batch_fitness(attackers: Sequence[APTConfig]) -> np.ndarray:
+        per_lane = evaluate_attackers_vec(
+            scenario, attackers, defender, episodes=episodes, seed=seed,
+            max_steps=max_steps, backend=backend, num_workers=num_workers,
+        )
+        return np.array([attack_utility(agg) for agg, _ in per_lane])
+
+    return batch_fitness
 
 
 @dataclass
@@ -89,30 +160,50 @@ class CrossEntropySearch:
     ``fitness_fn`` maps an :class:`APTConfig` to a scalar payoff to
     *maximize*; use :func:`make_defender_fitness` for the standard
     fixed-defender exploitability probe, or inject a synthetic function
-    for testing.
+    for testing. Alternatively pass ``batch_fitness_fn`` (e.g. from
+    :func:`make_defender_fitness_vec`) to score each generation's
+    candidates in one vectorized call.
     """
 
     def __init__(
         self,
         space: AttackerParameterSpace,
-        fitness_fn: Callable[[APTConfig], float],
+        fitness_fn: Callable[[APTConfig], float] | None = None,
         population: int = 12,
         elite_frac: float = 0.25,
         init_std: float = 0.3,
         min_std: float = 0.05,
         seed: int = 0,
+        batch_fitness_fn: Callable[[Sequence[APTConfig]], np.ndarray] | None = None,
     ):
         if population < 2:
             raise ValueError("population must be >= 2")
         if not 0.0 < elite_frac <= 1.0:
             raise ValueError("elite_frac must be in (0, 1]")
+        if (fitness_fn is None) == (batch_fitness_fn is None):
+            raise ValueError(
+                "pass exactly one of fitness_fn / batch_fitness_fn"
+            )
         self.space = space
         self.fitness_fn = fitness_fn
+        self.batch_fitness_fn = batch_fitness_fn
         self.population = population
         self.n_elite = max(1, int(round(elite_frac * population)))
         self.init_std = init_std
         self.min_std = min_std
         self.rng = np.random.default_rng(seed)
+
+    def _evaluate(self, candidates: np.ndarray) -> np.ndarray:
+        configs = [self.space.decode(c) for c in candidates]
+        if self.batch_fitness_fn is not None:
+            fits = np.asarray(self.batch_fitness_fn(configs), dtype=float)
+            if fits.shape != (len(configs),):
+                raise ValueError(
+                    f"batch fitness returned shape {fits.shape}, expected "
+                    f"({len(configs)},)"
+                )
+            return fits
+        return np.array([self.fitness_fn(config) for config in configs])
 
     def run(self, iterations: int = 5,
             init_mean: np.ndarray | None = None) -> BestResponseResult:
@@ -129,9 +220,7 @@ class CrossEntropySearch:
             candidates = self.space.clip(
                 mean + std * self.rng.standard_normal((self.population, dim))
             )
-            fits = np.array(
-                [self.fitness_fn(self.space.decode(c)) for c in candidates]
-            )
+            fits = self._evaluate(candidates)
             evaluations += self.population
             order = np.argsort(fits)[::-1]
             elite = candidates[order[: self.n_elite]]

@@ -1,16 +1,18 @@
 """Defender x attacker robustness matrices.
 
 Generalizes the paper's Fig 10 (four defenders x two attackers) to
-arbitrary defender and attacker sets. Each cell evaluates one defender
-against one attacker configuration over seeded episodes and reports the
-paper's aggregate metrics.
+arbitrary defender and attacker sets. Each cell bridges one attacker
+configuration onto the base scenario
+(:func:`~repro.adversarial.space.scenario_for_attacker`), builds the
+environment through ``repro.make``, and evaluates one defender over
+seeded episodes, reporting the paper's aggregate metrics.
 """
 
 from __future__ import annotations
 
 import repro
-from repro.attacker import FSMAttacker
-from repro.config import APTConfig, SimConfig
+from repro.adversarial.space import as_base_spec, scenario_for_attacker
+from repro.config import APTConfig
 from repro.eval.metrics import AggregateResult
 from repro.eval.runner import evaluate_policy
 
@@ -18,7 +20,7 @@ __all__ = ["robustness_matrix", "format_matrix"]
 
 
 def robustness_matrix(
-    config: SimConfig,
+    scenario,
     defenders: dict[str, object],
     attackers: dict[str, APTConfig],
     episodes: int = 10,
@@ -28,20 +30,25 @@ def robustness_matrix(
 ) -> dict[str, dict[str, AggregateResult]]:
     """Evaluate every defender against every attacker.
 
-    Returns ``matrix[defender_name][attacker_name]``. Episodes are
-    seeded identically across cells so differences are attributable to
-    the policies, not the draw.
+    ``scenario`` is a registered id, a :class:`ScenarioSpec`, or a
+    preset-derived :class:`~repro.config.SimConfig`. Returns
+    ``matrix[defender_name][attacker_name]``. Episodes are seeded
+    identically across cells so differences are attributable to the
+    policies, not the draw.
     """
+    base = as_base_spec(scenario)
+    cells = {
+        attacker_name: scenario_for_attacker(
+            base, apt, f"{base.scenario_id}#vs-{attacker_name}",
+            sample_qualitative=sample_qualitative,
+        )
+        for attacker_name, apt in attackers.items()
+    }
     matrix: dict[str, dict[str, AggregateResult]] = {}
     for defender_name, defender in defenders.items():
         row: dict[str, AggregateResult] = {}
-        for attacker_name, apt in attackers.items():
-            env = repro.make_env(
-                config.with_apt(apt),
-                attacker=FSMAttacker(
-                    apt, sample_qualitative=sample_qualitative
-                ),
-            )
+        for attacker_name, spec in cells.items():
+            env = repro.make(spec)
             aggregate, _ = evaluate_policy(
                 env, defender, episodes, seed=seed, max_steps=max_steps
             )

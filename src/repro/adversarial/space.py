@@ -15,9 +15,14 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.config import APTConfig
+from repro.config import APTConfig, SimConfig
 
-__all__ = ["ParameterSpec", "AttackerParameterSpace"]
+__all__ = [
+    "ParameterSpec",
+    "AttackerParameterSpace",
+    "as_base_spec",
+    "scenario_for_attacker",
+]
 
 
 @dataclass(frozen=True)
@@ -115,3 +120,73 @@ class AttackerParameterSpace:
 
     def clip(self, vector: np.ndarray) -> np.ndarray:
         return np.clip(np.asarray(vector, dtype=float), 0.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# the attacker space -> scenario registry bridge
+# ----------------------------------------------------------------------
+def as_base_spec(scenario, scenario_id: str = "adversarial-base"):
+    """Resolve an adversarial base to a :class:`ScenarioSpec`.
+
+    Accepts a registered scenario id, a (possibly unregistered) spec,
+    or — for backwards compatibility — a preset-derived
+    :class:`~repro.config.SimConfig`, which is bridged through
+    :func:`~repro.scenarios.spec.spec_for_config`. Everything the
+    adversarial loops construct then resolves through ``repro.make``.
+    """
+    from repro.scenarios.registry import get_scenario
+    from repro.scenarios.spec import ScenarioSpec, spec_for_config
+
+    if isinstance(scenario, str):
+        return get_scenario(scenario)
+    if isinstance(scenario, ScenarioSpec):
+        return scenario
+    if isinstance(scenario, SimConfig):
+        return spec_for_config(scenario, scenario_id)
+    raise TypeError(
+        "expected a scenario id, ScenarioSpec, or preset-derived SimConfig, "
+        f"got {type(scenario).__name__}"
+    )
+
+
+def scenario_for_attacker(
+    base,
+    apt: APTConfig,
+    scenario_id: str,
+    *,
+    sample_qualitative: bool = False,
+    description: str = "",
+    tags: tuple = (),
+):
+    """A :class:`ScenarioSpec` running attacker ``apt`` on ``base``.
+
+    The unit-box decode of :class:`AttackerParameterSpace` lands on an
+    :class:`~repro.config.APTConfig`; this is the other half of the
+    bridge — the same behaviour as a named, frozen, registrable
+    scenario: the network, reward variant, and horizon come from
+    ``base``, the qualitative pair and stealth knob ride in the spec's
+    own fields, and every other deviation rides ``apt_overrides``, so
+    ``repro.make(spec)`` rebuilds the exact environment the search
+    evaluated. With ``sample_qualitative`` the (objective, vector) pair
+    is left to the per-episode draw instead of pinned from ``apt``.
+    """
+    base = as_base_spec(base)
+    draft = replace(
+        base,
+        scenario_id=scenario_id,
+        attacker="fsm",
+        objective=None if sample_qualitative else apt.objective,
+        vector=None if sample_qualitative else apt.vector,
+        cleanup_effectiveness=apt.cleanup_effectiveness,
+        apt_overrides=(),
+        description=description,
+        tags=tuple(tags),
+    )
+    from repro.attacker.profiles import apt_diff
+
+    overrides = apt_diff(apt, draft.build_config().apt)
+    # the sampled-pair case redraws (objective, vector) every episode;
+    # the fixed case already pinned them through the spec fields
+    overrides.pop("objective", None)
+    overrides.pop("vector", None)
+    return replace(draft, apt_overrides=overrides)

@@ -1,7 +1,7 @@
 """APT attacker agents: the stochastic finite-state-machine policy."""
 
 from repro.attacker.fsm import FSMAttacker, Phase
-from repro.attacker.profiles import apt1, apt2, with_cleanup_effectiveness
+from repro.attacker.profiles import apt1, apt2, apt_diff, with_cleanup_effectiveness
 from repro.attacker.scripted import ScriptedAttacker, ScriptedStep, beachhead_rush
 
 __all__ = [
@@ -9,6 +9,7 @@ __all__ = [
     "Phase",
     "apt1",
     "apt2",
+    "apt_diff",
     "with_cleanup_effectiveness",
     "ScriptedAttacker",
     "ScriptedStep",

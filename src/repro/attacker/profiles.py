@@ -11,11 +11,11 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import fields, replace
 
 from repro.config import APTConfig
 
-__all__ = ["apt1", "apt2", "with_cleanup_effectiveness"]
+__all__ = ["apt1", "apt2", "with_cleanup_effectiveness", "apt_diff"]
 
 
 def apt1(**overrides) -> APTConfig:
@@ -38,3 +38,21 @@ def apt2(**overrides) -> APTConfig:
 def with_cleanup_effectiveness(config: APTConfig, effectiveness: float) -> APTConfig:
     """Return a copy of ``config`` with a different cleanup effectiveness."""
     return replace(config, cleanup_effectiveness=effectiveness)
+
+
+def apt_diff(apt: APTConfig, base: APTConfig | None = None) -> dict:
+    """Fields of ``apt`` that differ from ``base`` (default profile).
+
+    The values are JSON-native (int/float/str), so the diff can ride in
+    a :class:`~repro.scenarios.spec.ScenarioSpec`'s ``apt_overrides``
+    and ``replace(base, **diff)`` reconstructs ``apt`` exactly — the
+    bridge that lets discovered attacker behaviours (e.g. self-play
+    best responses) become named, registered scenarios.
+    """
+    if base is None:
+        base = APTConfig()
+    return {
+        f.name: getattr(apt, f.name)
+        for f in fields(APTConfig)
+        if getattr(apt, f.name) != getattr(base, f.name)
+    }

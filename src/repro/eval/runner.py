@@ -5,6 +5,12 @@ a time; :func:`evaluate_policy_vec` fans the same seeded episodes out
 over a :class:`~repro.sim.vec_env.VectorEnv` and produces identical
 metrics for deterministic policies (episode ``i`` always runs with
 seed ``seed + i`` against a freshly reset policy).
+:func:`evaluate_policy_per_lane` is the heterogeneous sibling: every
+lane — typically one attacker variant each, built with
+``repro.make_vec_from_specs`` — runs its *own* ``episodes`` seeded
+episodes, so one lockstep pass scores a whole population or candidate
+batch and each lane's aggregate equals the single-env
+:func:`evaluate_policy` result for deterministic policies.
 """
 
 from __future__ import annotations
@@ -13,7 +19,12 @@ import copy
 
 from repro.eval.metrics import EpisodeMetrics, aggregate
 
-__all__ = ["run_episode", "evaluate_policy", "evaluate_policy_vec"]
+__all__ = [
+    "run_episode",
+    "evaluate_policy",
+    "evaluate_policy_vec",
+    "evaluate_policy_per_lane",
+]
 
 
 def run_episode(env, policy, seed: int | None = None,
@@ -87,6 +98,91 @@ class _Lane:
         )
 
 
+def _policy_factory(policy):
+    from repro.defenders.base import DefenderPolicy
+
+    if isinstance(policy, DefenderPolicy):
+        return lambda: copy.deepcopy(policy)
+    if callable(policy):
+        return policy
+    raise TypeError("policy must be a DefenderPolicy or a factory")
+
+
+def evaluate_policy_per_lane(venv, policy, episodes: int, seed: int = 0,
+                             max_steps: int | None = None):
+    """Run ``episodes`` seeded episodes on *every* lane of ``venv``.
+
+    Unlike :func:`evaluate_policy_vec` (which fans one environment's
+    episode budget over homogeneous lanes), every lane here is its own
+    evaluation subject: lane ``i`` runs episodes seeded ``seed + e``
+    against a fresh clone of ``policy``, honouring its own
+    ``lane_config(i)`` horizon and discount. Returns a list of
+    ``(aggregate, per-episode metrics)`` pairs, one per lane; for
+    deterministic policies each pair equals what
+    :func:`evaluate_policy` returns on that lane's environment. This is
+    the batched engine behind the adversarial loops: attacker
+    populations and CEM candidate batches are scored in one lockstep
+    pass instead of sequential episode loops.
+    """
+    make_policy = _policy_factory(policy)
+    n = venv.num_envs
+    gammas, horizons = [], []
+    for i in range(n):
+        config = venv.lane_config(i)
+        gammas.append(config.reward.gamma)
+        horizons.append(config.tmax if max_steps is None
+                        else min(max_steps, config.tmax))
+
+    results: list[list[EpisodeMetrics | None]] = [
+        [None] * episodes for _ in range(n)
+    ]
+    policies = [make_policy() for _ in range(n)]
+    lanes: list[_Lane | None] = [None] * n
+    next_ep = [0] * n
+
+    def start(slot: int) -> None:
+        ep = next_ep[slot]
+        if ep >= episodes:
+            lanes[slot] = None
+            return
+        next_ep[slot] = ep + 1
+        obs = venv.reset_env(slot, seed=seed + ep)
+        policies[slot].reset(venv.policy_env(slot))
+        lanes[slot] = _Lane(ep, obs)
+
+    was_auto_reset = venv.auto_reset
+    venv.auto_reset = False  # episode boundaries are scheduled here
+    try:
+        for slot in range(n):
+            start(slot)
+        while any(lane is not None for lane in lanes):
+            active = [lane is not None for lane in lanes]
+            actions = [
+                policies[i].act(lane.obs) if (lane := lanes[i]) else None
+                for i in range(n)
+            ]
+            step = venv.step(actions, mask=active)
+            for i, lane in enumerate(lanes):
+                if lane is None:
+                    continue
+                lane.obs = step.observations[i]
+                info = step.infos[i]
+                lane.t = info["t"]
+                lane.discounted += lane.discount * step.rewards[i]
+                lane.discount *= gammas[i]
+                lane.cost += info["it_cost"]
+                lane.compromised += info["n_compromised"]
+                lane.info = info
+                if step.dones[i] or lane.t >= horizons[i]:
+                    results[i][lane.ep] = lane.metrics(seed + lane.ep)
+                    start(i)
+    finally:
+        venv.auto_reset = was_auto_reset
+
+    assert all(r is not None for row in results for r in row)
+    return [(aggregate(row), row) for row in results]
+
+
 def evaluate_policy_vec(venv, policy, episodes: int, seed: int = 0,
                         max_steps: int | None = None):
     """Batched :func:`evaluate_policy`: fan episodes over a VectorEnv.
@@ -97,15 +193,7 @@ def evaluate_policy_vec(venv, policy, episodes: int, seed: int = 0,
     result matches the single-env path exactly. Lanes are stepped in
     lockstep; each picks up the next pending episode as it finishes.
     """
-    from repro.defenders.base import DefenderPolicy
-
-    if isinstance(policy, DefenderPolicy):
-        make_policy = lambda: copy.deepcopy(policy)  # noqa: E731
-    elif callable(policy):
-        make_policy = policy
-    else:
-        raise TypeError("policy must be a DefenderPolicy or a factory")
-
+    make_policy = _policy_factory(policy)
     n = venv.num_envs
     gamma = venv.config.reward.gamma
     tmax = venv.config.tmax

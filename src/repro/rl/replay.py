@@ -37,9 +37,15 @@ class SumTree:
         if priority < 0:
             raise ValueError("priority must be non-negative")
         i = index + self.capacity
-        delta = priority - self.tree[i]
+        # write the leaf exactly, then recompute each ancestor as the
+        # sum of its children: propagating the delta instead leaves
+        # floating-point residue in internal nodes after overwrites
+        # (e.g. a tree of all-zero leaves with total ~1e-14), which
+        # lets find() land on a zero-mass leaf
+        self.tree[i] = priority
+        i //= 2
         while i >= 1:
-            self.tree[i] += delta
+            self.tree[i] = self.tree[2 * i] + self.tree[2 * i + 1]
             i //= 2
 
     def get(self, index: int) -> float:

@@ -20,6 +20,7 @@ from repro.scenarios.spec import (
     NETWORK_PRESETS,
     REWARD_VARIANTS,
     ScenarioSpec,
+    spec_for_config,
 )
 from repro.scenarios.registry import (
     REGISTRY,
@@ -28,6 +29,7 @@ from repro.scenarios.registry import (
     list_scenarios,
     make,
     make_vec,
+    make_vec_from_specs,
     register,
 )
 from repro.scenarios.builtin import BUILTIN_SCENARIOS, register_builtin_scenarios
@@ -61,6 +63,8 @@ __all__ = [
     "list_scenarios",
     "make",
     "make_vec",
+    "make_vec_from_specs",
+    "spec_for_config",
     "spec_to_dict",
     "spec_from_dict",
     "spec_to_json",

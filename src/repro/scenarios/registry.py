@@ -21,6 +21,7 @@ __all__ = [
     "list_scenarios",
     "make",
     "make_vec",
+    "make_vec_from_specs",
 ]
 
 
@@ -140,11 +141,16 @@ def make_vec(scenario: str | ScenarioSpec, num_envs: int, *,
     * ``"process"`` -- lanes partitioned over ``num_workers`` worker
       processes (:class:`~repro.sim.vec_backends.ProcessVectorEnv`);
     * ``"shm"`` -- the process backend with reward/done/mask batches in
-      shared memory (:class:`~repro.sim.vec_backends.ShmVectorEnv`).
+      shared memory (:class:`~repro.sim.vec_backends.ShmVectorEnv`);
+    * ``"auto"`` -- pick sync or process from ``os.cpu_count()`` and the
+      batch width (:func:`~repro.sim.vec_backends.resolve_backend`).
     """
     if num_envs < 1:
         raise ValueError("num_envs must be >= 1")
     spec = _resolve(scenario, overrides)
+    from repro.sim.vec_backends import normalize_backend
+
+    backend = normalize_backend(backend, num_envs, num_workers)
     if backend == "sync":
         from repro.sim.vec_env import VectorEnv
 
@@ -156,14 +162,50 @@ def make_vec(scenario: str | ScenarioSpec, num_envs: int, *,
             for i in range(num_envs)
         ]
         return VectorEnv(envs, auto_reset=auto_reset, base_seed=seed)
-    if backend in ("process", "shm"):
-        from repro.sim.vec_backends import ProcessVectorEnv, ShmVectorEnv
+    from repro.sim.vec_backends import ProcessVectorEnv, ShmVectorEnv
 
-        cls = ProcessVectorEnv if backend == "process" else ShmVectorEnv
-        return cls.from_spec(
-            spec, num_envs, seed=seed, auto_reset=auto_reset,
-            record_truth=record_truth, num_workers=num_workers,
-        )
-    raise ValueError(
-        f"unknown backend {backend!r}; choose from ('sync', 'process', 'shm')"
+    cls = ProcessVectorEnv if backend == "process" else ShmVectorEnv
+    return cls.from_spec(
+        spec, num_envs, seed=seed, auto_reset=auto_reset,
+        record_truth=record_truth, num_workers=num_workers,
+    )
+
+
+def make_vec_from_specs(specs, *, seed: int | None = None,
+                        auto_reset: bool = True, record_truth: bool = True,
+                        backend: str = "sync",
+                        num_workers: int | None = None):
+    """Build a lockstep vector env whose lane ``i`` runs ``specs[i]``.
+
+    The heterogeneous sibling of :func:`make_vec`: each entry is a
+    registered scenario id or a (possibly unregistered)
+    :class:`~repro.scenarios.spec.ScenarioSpec`, and all entries must
+    share a topology (same action space). The adversarial loops use
+    this to fan an attacker population or a CEM candidate batch over
+    one vector environment; lane seeding and backends behave exactly
+    as in :func:`make_vec`.
+    """
+    resolved = [_resolve(s, {}) for s in specs]
+    if not resolved:
+        raise ValueError("make_vec_from_specs needs at least one spec")
+    from repro.sim.vec_backends import normalize_backend
+
+    backend = normalize_backend(backend, len(resolved), num_workers)
+    if backend == "sync":
+        from repro.sim.vec_env import VectorEnv
+
+        envs = [
+            spec.build_env(
+                seed=None if seed is None else seed + i,
+                record_truth=record_truth,
+            )
+            for i, spec in enumerate(resolved)
+        ]
+        return VectorEnv(envs, auto_reset=auto_reset, base_seed=seed)
+    from repro.sim.vec_backends import ProcessVectorEnv, ShmVectorEnv
+
+    cls = ProcessVectorEnv if backend == "process" else ShmVectorEnv
+    return cls.from_specs(
+        resolved, seed=seed, auto_reset=auto_reset,
+        record_truth=record_truth, num_workers=num_workers,
     )

@@ -32,6 +32,9 @@ def spec_to_dict(spec: ScenarioSpec) -> dict:
     """ScenarioSpec -> plain dict (JSON-compatible types only)."""
     data = dataclasses.asdict(spec)
     data["tags"] = list(data["tags"])
+    # stored as a sorted tuple of pairs for hashability; a JSON object
+    # is the natural wire form (values are int/float/str already)
+    data["apt_overrides"] = dict(data["apt_overrides"])
     return data
 
 
@@ -44,6 +47,9 @@ def spec_from_dict(data: dict) -> ScenarioSpec:
     kwargs = dict(data)
     if "tags" in kwargs:
         kwargs["tags"] = tuple(kwargs["tags"])
+    if "apt_overrides" in kwargs and not isinstance(kwargs["apt_overrides"], dict):
+        # accept the pair-tuple storage form as well as the JSON object
+        kwargs["apt_overrides"] = dict(kwargs["apt_overrides"])
     return ScenarioSpec(**kwargs)
 
 

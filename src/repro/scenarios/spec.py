@@ -11,9 +11,16 @@ their pipelines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
-from repro.config import RewardConfig, SimConfig, paper_network, small_network, tiny_network
+from repro.config import (
+    APTConfig,
+    RewardConfig,
+    SimConfig,
+    paper_network,
+    small_network,
+    tiny_network,
+)
 
 __all__ = [
     "ScenarioSpec",
@@ -21,6 +28,7 @@ __all__ = [
     "REWARD_VARIANTS",
     "ATTACKER_KINDS",
     "ATTACKER_PROFILES",
+    "spec_for_config",
 ]
 
 #: network preset name -> SimConfig constructor
@@ -59,6 +67,14 @@ class ScenarioSpec:
     the pair uniformly at each episode reset, the paper's training
     regime. ``horizon`` overrides the preset's ``tmax``;
     ``cleanup_effectiveness`` overrides the Fig 6 stealth knob.
+
+    ``apt_overrides`` replaces arbitrary quantitative
+    :class:`~repro.config.APTConfig` fields (thresholds, labor rate,
+    time scale, ...) *after* the profile/objective/stealth steps — the
+    bridge that lets attacker behaviours discovered by search (e.g.
+    self-play best responses) become named, reproducible scenarios.
+    Accepts a mapping at construction; stored as a sorted tuple of
+    ``(name, value)`` pairs so specs stay hashable.
     """
 
     scenario_id: str
@@ -70,6 +86,7 @@ class ScenarioSpec:
     reward_variant: str = "paper"
     horizon: int | None = None
     cleanup_effectiveness: float | None = None
+    apt_overrides: tuple[tuple[str, object], ...] = ()
     description: str = ""
     tags: tuple[str, ...] = ()
 
@@ -111,6 +128,25 @@ class ScenarioSpec:
             0.0 <= self.cleanup_effectiveness <= 1.0
         ):
             raise ValueError("cleanup_effectiveness must be in [0, 1]")
+        overrides = self.apt_overrides
+        if isinstance(overrides, dict):
+            overrides = tuple(sorted(overrides.items()))
+        else:
+            overrides = tuple(sorted((str(k), v) for k, v in overrides))
+        apt_fields = {f.name for f in fields(APTConfig)}
+        names = [name for name, _ in overrides]
+        unknown = sorted(set(names) - apt_fields)
+        if unknown:
+            raise ValueError(f"unknown APTConfig fields in apt_overrides: {unknown}")
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate field names in apt_overrides")
+        reserved = {"objective", "vector", "cleanup_effectiveness"} & set(names)
+        if reserved:
+            raise ValueError(
+                f"set {sorted(reserved)} through the spec's own fields, "
+                "not apt_overrides"
+            )
+        object.__setattr__(self, "apt_overrides", overrides)
         object.__setattr__(self, "tags", tuple(self.tags))
 
     # ------------------------------------------------------------------
@@ -135,6 +171,8 @@ class ScenarioSpec:
             apt = replace(apt, objective=self.objective, vector=self.vector)
         if self.cleanup_effectiveness is not None:
             apt = replace(apt, cleanup_effectiveness=self.cleanup_effectiveness)
+        if self.apt_overrides:
+            apt = replace(apt, **dict(self.apt_overrides))
         config = replace(
             config, apt=apt, reward=REWARD_VARIANTS[self.reward_variant]
         )
@@ -171,3 +209,63 @@ class ScenarioSpec:
     def with_overrides(self, **overrides) -> "ScenarioSpec":
         """A copy with ``overrides`` applied (keeps the frozen contract)."""
         return replace(self, **overrides)
+
+
+def spec_for_config(config: SimConfig, scenario_id: str,
+                    **fields) -> ScenarioSpec:
+    """Express a preset-derived :class:`SimConfig` as a :class:`ScenarioSpec`.
+
+    The reverse bridge of :meth:`ScenarioSpec.build_config`: matches
+    ``config.topology`` against the named network presets and
+    ``config.reward`` against the reward variants, carries a non-preset
+    ``tmax`` as ``horizon``, and expresses attacker deviations through
+    ``cleanup_effectiveness`` / ``apt_overrides``. Raises ``ValueError``
+    for configurations the catalogue cannot express (custom topologies
+    or reward parameterisations). The attacker's qualitative
+    (objective, vector) pair is left sampled-per-episode — matching
+    ``repro.make_env`` defaults — *unless* the config deviates from the
+    preset's pair, in which case the deviation is honoured by fixing
+    the pair through the spec fields.
+    """
+    from repro.attacker.profiles import apt_diff
+
+    network = next(
+        (name for name, preset in NETWORK_PRESETS.items()
+         if preset().topology == config.topology),
+        None,
+    )
+    if network is None:
+        raise ValueError(
+            "config.topology matches no network preset; register a custom "
+            "scenario (repro.register) instead of bridging the config"
+        )
+    reward_variant = next(
+        (name for name, reward in REWARD_VARIANTS.items()
+         if reward == config.reward),
+        None,
+    )
+    if reward_variant is None:
+        raise ValueError(
+            "config.reward matches no reward variant; register a custom "
+            "scenario (repro.register) instead of bridging the config"
+        )
+    preset = NETWORK_PRESETS[network]()
+    overrides = apt_diff(config.apt, preset.apt)
+    overrides.pop("objective", None)
+    overrides.pop("vector", None)
+    cleanup = overrides.pop("cleanup_effectiveness", None)
+    # a pair that deviates from the preset was chosen deliberately; pin
+    # it (both fields: the spec requires them fixed together)
+    pair_deviates = (config.apt.objective != preset.apt.objective
+                     or config.apt.vector != preset.apt.vector)
+    spec_fields = dict(
+        network=network,
+        reward_variant=reward_variant,
+        objective=config.apt.objective if pair_deviates else None,
+        vector=config.apt.vector if pair_deviates else None,
+        horizon=None if config.tmax == preset.tmax else config.tmax,
+        cleanup_effectiveness=cleanup,
+        apt_overrides=overrides,
+    )
+    spec_fields.update(fields)
+    return ScenarioSpec(scenario_id, **spec_fields)

@@ -34,13 +34,72 @@ import numpy as np
 
 from repro.sim.vec_env import BaseVectorEnv, VecStep, VectorEnv, _UNSET
 
-__all__ = ["ProcessVectorEnv", "ShmVectorEnv"]
+__all__ = [
+    "ProcessVectorEnv",
+    "ShmVectorEnv",
+    "resolve_backend",
+    "normalize_backend",
+]
+
+#: ``backend="auto"`` keeps the sync backend below this batch width --
+#: the IPC cost of a worker pool only amortizes over a wide batch
+AUTO_MIN_ENVS = 4
+
+
+def resolve_backend(num_envs: int, num_workers: int | None = None,
+                    cpu_count: int | None = None) -> str:
+    """Pick a concrete backend for ``backend="auto"``.
+
+    The process backend only pays off when worker processes can spread
+    over spare cores *and* the batch is wide enough to amortize the
+    per-step IPC; otherwise the in-process sync backend wins (see
+    ``BENCH_vec_throughput.json``: process/shm lose ~1.5x on one CPU).
+    Trajectories are backend-independent, so this is purely a
+    performance choice.
+    """
+    if num_envs < 1:
+        raise ValueError("num_envs must be >= 1")
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    workers = min(num_envs, cpu_count if num_workers is None else num_workers)
+    if cpu_count <= 1 or workers <= 1 or num_envs < AUTO_MIN_ENVS:
+        return "sync"
+    return "process"
+
+
+def normalize_backend(backend: str, num_envs: int,
+                      num_workers: int | None = None) -> str:
+    """Resolve ``"auto"`` and validate a backend name.
+
+    The single dispatch gate shared by ``repro.make_vec``,
+    ``repro.make_vec_from_specs``, and the CLI, so the auto heuristic
+    and the error message cannot drift apart.
+    """
+    if backend == "auto":
+        backend = resolve_backend(num_envs, num_workers=num_workers)
+    if backend not in ("sync", "process", "shm"):
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from "
+            "('sync', 'process', 'shm', 'auto')"
+        )
+    return backend
 
 
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
-def _build_envs(payload: dict, seeds: list[int | None], record_truth: bool):
+def _build_envs(payload: dict, seeds: list[int | None], record_truth: bool,
+                lane_lo: int = 0):
+    if "specs" in payload:
+        # heterogeneous lanes: one spec per global lane (attacker
+        # populations, CEM candidate fan-outs); this worker builds the
+        # slice starting at its lane offset
+        from repro.scenarios.serialization import spec_from_dict
+
+        specs = [spec_from_dict(entry)
+                 for entry in payload["specs"][lane_lo:lane_lo + len(seeds)]]
+        return [spec.build_env(seed=s, record_truth=record_truth)
+                for spec, s in zip(specs, seeds)]
     if "spec" in payload:
         from repro.scenarios.serialization import spec_from_dict
 
@@ -89,7 +148,7 @@ def _worker_main(conn, payload: dict, lane_lo: int, lane_hi: int,
             None if base_seed is None else base_seed + i
             for i in range(lane_lo, lane_hi)
         ]
-        envs = _build_envs(payload, seeds, record_truth)
+        envs = _build_envs(payload, seeds, record_truth, lane_lo=lane_lo)
         venv = VectorEnv(envs, auto_reset=auto_reset, base_seed=base_seed,
                          lane_offset=lane_lo, total_envs=total_envs)
         shm_views, shm_handles = _attach_shm(shm_spec, lane_lo, lane_hi)
@@ -184,9 +243,20 @@ class ProcessVectorEnv(BaseVectorEnv):
                  start_method: str | None = None):
         if num_envs < 1:
             raise ValueError("num_envs must be >= 1")
-        if not ("spec" in payload or "config" in payload):
-            raise ValueError("payload needs a 'spec' or 'config' entry")
+        if not ("spec" in payload or "config" in payload or "specs" in payload):
+            raise ValueError("payload needs a 'spec', 'specs', or 'config' entry")
+        if "specs" in payload and len(payload["specs"]) != num_envs:
+            raise ValueError(
+                f"per-lane payload has {len(payload['specs'])} specs "
+                f"for {num_envs} envs"
+            )
         self.num_envs = num_envs
+        self._lane_specs = None
+        if "specs" in payload:
+            from repro.scenarios.serialization import spec_from_dict
+
+            self._lane_specs = [spec_from_dict(e) for e in payload["specs"]]
+        self._lane_configs: list | None = None
         self._auto_reset = auto_reset
         self._closed = False
         self._procs: list = []
@@ -238,6 +308,23 @@ class ProcessVectorEnv(BaseVectorEnv):
         return cls({"spec": spec_to_dict(spec)}, num_envs, **kwargs)
 
     @classmethod
+    def from_specs(cls, specs, **kwargs) -> "ProcessVectorEnv":
+        """Heterogeneous lanes: lane ``i`` runs ``specs[i]``.
+
+        All specs must share a topology (same action space; the workers'
+        handshake enforces it). This is how the adversarial loops fan an
+        attacker population or a CEM candidate batch over one lockstep
+        vector environment.
+        """
+        from repro.scenarios.serialization import spec_to_dict
+
+        specs = list(specs)
+        if not specs:
+            raise ValueError("from_specs needs at least one spec")
+        return cls({"specs": [spec_to_dict(s) for s in specs]}, len(specs),
+                   **kwargs)
+
+    @classmethod
     def from_config(cls, config, num_envs: int, **kwargs) -> "ProcessVectorEnv":
         from repro.config_io import config_to_dict
 
@@ -254,6 +341,13 @@ class ProcessVectorEnv(BaseVectorEnv):
     @property
     def config(self):
         return self._template.config
+
+    def lane_config(self, i: int):
+        if self._lane_specs is None:
+            return self._template.config
+        if self._lane_configs is None:
+            self._lane_configs = [s.build_config() for s in self._lane_specs]
+        return self._lane_configs[i]
 
     @property
     def topology(self):

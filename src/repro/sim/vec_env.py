@@ -95,6 +95,15 @@ class BaseVectorEnv:
     def config(self):
         raise NotImplementedError
 
+    def lane_config(self, i: int):
+        """The :class:`~repro.config.SimConfig` lane ``i`` runs.
+
+        Equal to :attr:`config` for homogeneous vector envs; backends
+        built from per-lane scenario specs (attacker populations, CEM
+        candidate fan-outs) report each lane's own configuration.
+        """
+        return self.config
+
     @property
     def topology(self):
         raise NotImplementedError
@@ -215,6 +224,9 @@ class VectorEnv(BaseVectorEnv):
     @property
     def config(self):
         return self.envs[0].config
+
+    def lane_config(self, i: int):
+        return self.envs[i].config
 
     @property
     def topology(self):

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Regenerate the golden-trajectory fixtures.
+
+Each built-in scenario gets a JSON digest of a seeded 32-step rollout
+under the deterministic playbook defender: per-step rewards, done
+flags, alert counts, a short hash of each step's action-validity mask,
+and a hash of the full observation (alert stream, scan results, PLC
+status, busy/quarantine vectors). The replay test
+(``tests/test_golden_trajectories.py``) compares fresh rollouts against
+these digests, so any engine change that shifts the dynamics — reward
+math, attacker FSM, IDS draws, mitigation effects, RNG scheduling —
+fails loudly instead of silently redefining what "the paper scenario"
+means.
+
+An engine pass that *intentionally* changes the trajectory
+distribution (e.g. a reseeding-schedule change) must regenerate the
+fixtures and say so in its PR:
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+SEED = 20260401
+STEPS = 32
+
+
+def mask_digest(mask) -> str:
+    """Short stable hash of a boolean action-validity mask."""
+    return hashlib.sha256(mask.astype("uint8").tobytes()).hexdigest()[:16]
+
+
+def observation_digest(obs) -> str:
+    """Short stable hash of everything the defender observed this step."""
+    h = hashlib.sha256()
+    h.update(str(obs.t).encode())
+    for alert in obs.alerts:
+        h.update(
+            f"A{alert.t},{alert.severity},{alert.node_id},{alert.device_id}"
+            .encode()
+        )
+    for scan in obs.scan_results:
+        h.update(f"S{scan.t},{scan.node_id},{int(scan.detected)}".encode())
+    for vector in (obs.plc_disrupted, obs.plc_destroyed, obs.node_busy,
+                   obs.plc_busy, obs.quarantined):
+        h.update(vector.astype("uint8").tobytes())
+    return h.hexdigest()[:16]
+
+
+def rollout_digest(scenario_id: str, seed: int = SEED,
+                   steps: int = STEPS) -> dict:
+    """Seeded playbook-policy rollout digest for one scenario."""
+    import repro
+    from repro.defenders import PlaybookPolicy
+
+    env = repro.make(scenario_id)
+    obs = env.reset(seed=seed)
+    policy = PlaybookPolicy()  # deterministic, alert-reactive
+    policy.reset(env)
+    rewards, dones, alerts, masks, observations = [], [], [], [], []
+    for _ in range(steps):
+        masks.append(mask_digest(env.action_mask()))
+        obs, reward, done, _ = env.step(policy.act(obs))
+        rewards.append(reward)
+        dones.append(bool(done))
+        alerts.append(len(obs.alerts))
+        observations.append(observation_digest(obs))
+        if done:
+            break
+    return {
+        "scenario_id": scenario_id,
+        "seed": seed,
+        "steps": len(rewards),
+        "policy": "playbook",
+        "rewards": rewards,
+        "dones": dones,
+        "n_alerts": alerts,
+        "action_mask_sha256_16": masks,
+        "observation_sha256_16": observations,
+    }
+
+
+def fixture_path(scenario_id: str) -> pathlib.Path:
+    return GOLDEN_DIR / (scenario_id.replace("/", "__") + ".json")
+
+
+def main() -> None:
+    import repro
+
+    for spec in repro.scenarios.BUILTIN_SCENARIOS:
+        digest = rollout_digest(spec.scenario_id)
+        path = fixture_path(spec.scenario_id)
+        with open(path, "w") as handle:
+            json.dump(digest, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {path.name}: {digest['steps']} steps")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,7 @@
 """Tests for the adversarial package: parameter space, CEM best
-response, self-play loop, and robustness matrices."""
+response, the attacker -> scenario bridge, vectorized fitness,
+self-play loop (scenario emission + population persistence), and
+robustness matrices."""
 
 import numpy as np
 import pytest
@@ -14,14 +16,21 @@ from repro.adversarial import (
     ParameterSpec,
     SelfPlayConfig,
     SelfPlayLoop,
+    as_base_spec,
     attack_utility,
+    evaluate_attackers_vec,
     format_matrix,
+    load_population,
     make_defender_fitness,
+    make_defender_fitness_vec,
     robustness_matrix,
+    save_population,
+    scenario_for_attacker,
 )
 from repro.attacker import apt1, apt2
 from repro.config import APTConfig, tiny_network
 from repro.defenders import NoopPolicy, PlaybookPolicy, SemiRandomPolicy
+from repro.scenarios.registry import REGISTRY
 
 
 class TestParameterSpec:
@@ -162,6 +171,39 @@ class TestCrossEntropySearch:
         with pytest.raises(ValueError):
             CrossEntropySearch(space, lambda apt: 0.0, elite_frac=0.0)
 
+    def test_requires_exactly_one_fitness(self):
+        space = self._quadratic_space()
+        with pytest.raises(ValueError):
+            CrossEntropySearch(space)
+        with pytest.raises(ValueError):
+            CrossEntropySearch(space, lambda apt: 0.0,
+                               batch_fitness_fn=lambda apts: np.zeros(1))
+
+    def test_batch_fitness_matches_sequential_search(self):
+        """Same rng seed + numerically identical fitness => the batch
+        and per-candidate engines return identical results."""
+        space = self._quadratic_space()
+        fitness = lambda apt: -((apt.cleanup_effectiveness - 0.6) ** 2)  # noqa: E731
+        seq = CrossEntropySearch(space, fitness, population=8, seed=3)
+        batch = CrossEntropySearch(
+            space, population=8, seed=3,
+            batch_fitness_fn=lambda apts: np.array([fitness(a) for a in apts]),
+        )
+        a = seq.run(iterations=4)
+        b = batch.run(iterations=4)
+        assert a.best_fitness == b.best_fitness
+        assert a.best_config == b.best_config
+        assert a.history == b.history
+
+    def test_batch_fitness_shape_validated(self):
+        space = self._quadratic_space()
+        search = CrossEntropySearch(
+            space, population=4, seed=0,
+            batch_fitness_fn=lambda apts: np.zeros(len(apts) + 1),
+        )
+        with pytest.raises(ValueError):
+            search.run(iterations=1)
+
     def test_fixed_defender_fitness_runs(self):
         cfg = tiny_network(tmax=40)
         fitness = make_defender_fitness(cfg, NoopPolicy(), episodes=1,
@@ -251,51 +293,267 @@ class TestRobustnessMatrix:
         )
 
 
+class TestScenarioBridge:
+    """APTConfig <-> ScenarioSpec bridge (the registry emission path)."""
+
+    def test_as_base_spec_accepts_id_spec_and_config(self):
+        from_id = as_base_spec("inasim-tiny-v1")
+        assert from_id.scenario_id == "inasim-tiny-v1"
+        spec = repro.get_scenario("inasim-tiny-v1")
+        assert as_base_spec(spec) is spec
+        from_config = as_base_spec(tiny_network(tmax=40))
+        assert from_config.network == "tiny"
+        assert from_config.horizon == 40
+
+    def test_as_base_spec_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_base_spec(42)
+
+    def test_config_bridge_rejects_custom_topology(self):
+        from dataclasses import replace
+
+        from repro.config import TopologyConfig
+
+        cfg = replace(tiny_network(), topology=TopologyConfig(plcs=7))
+        with pytest.raises(ValueError):
+            as_base_spec(cfg)
+
+    @given(st.lists(st.floats(0, 1, allow_nan=False), min_size=8,
+                    max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_bridged_spec_reconstructs_any_searched_attacker(self, values):
+        """For every point of the search space, the emitted spec's
+        build_config reproduces the APTConfig exactly."""
+        cfg = tiny_network(tmax=30)
+        space = AttackerParameterSpace(base=cfg.apt)
+        apt = space.decode(np.array(values))
+        spec = scenario_for_attacker(cfg, apt, "bridge-roundtrip")
+        assert spec.build_config().apt == apt
+        # and it survives JSON (the persistence path)
+        from repro.scenarios import spec_from_json, spec_to_json
+
+        assert spec_from_json(spec_to_json(spec)).build_config().apt == apt
+
+    def test_sampled_pair_stays_sampled(self):
+        cfg = tiny_network()
+        spec = scenario_for_attacker(cfg, apt2(), "bridge-sampled",
+                                     sample_qualitative=True)
+        assert spec.objective is None and spec.vector is None
+        assert spec.sample_qualitative
+        assert spec.build_config().apt.lateral_threshold == 1
+
+    def test_fitness_env_resolves_through_make(self):
+        """The candidate env equals repro.make of the bridged spec."""
+        cfg = tiny_network(tmax=30)
+        apt = apt2(time_scale=10.0)
+        spec = scenario_for_attacker(cfg, apt, "bridge-env")
+        env = repro.make(spec)
+        assert env.config.apt == apt
+        assert env.scenario.scenario_id == "bridge-env"
+
+
+class TestVectorizedFitness:
+    def test_batch_matches_sequential_utilities(self):
+        """The vectorized candidate fan-out is a wall-clock
+        optimization, not a different experiment: utilities equal the
+        sequential fitness exactly."""
+        cfg = tiny_network(tmax=40)
+        space = AttackerParameterSpace(base=cfg.apt)
+        rng = np.random.default_rng(0)
+        candidates = [space.sample(rng) for _ in range(3)]
+        seq = make_defender_fitness(cfg, PlaybookPolicy(), episodes=2,
+                                    seed=5, max_steps=40)
+        batch = make_defender_fitness_vec(cfg, PlaybookPolicy(), episodes=2,
+                                          seed=5, max_steps=40)
+        sequential = np.array([seq(apt) for apt in candidates])
+        np.testing.assert_array_equal(batch(candidates), sequential)
+
+    def test_process_backend_matches_too(self):
+        cfg = tiny_network(tmax=30)
+        space = AttackerParameterSpace(base=cfg.apt)
+        rng = np.random.default_rng(1)
+        candidates = [space.sample(rng) for _ in range(2)]
+        sync = make_defender_fitness_vec(cfg, NoopPolicy(), episodes=1,
+                                         seed=2, max_steps=30)
+        proc = make_defender_fitness_vec(cfg, NoopPolicy(), episodes=1,
+                                         seed=2, max_steps=30,
+                                         backend="process", num_workers=2)
+        np.testing.assert_array_equal(sync(candidates), proc(candidates))
+
+    def test_evaluate_attackers_vec_returns_per_attacker_aggregates(self):
+        cfg = tiny_network(tmax=30)
+        per_lane = evaluate_attackers_vec(
+            cfg, [apt1(time_scale=10.0), apt2(time_scale=10.0)],
+            NoopPolicy(), episodes=2, seed=0, max_steps=30,
+        )
+        assert len(per_lane) == 2
+        for aggregate, episodes in per_lane:
+            assert aggregate.episodes == 2
+            assert len(episodes) == 2
+            assert np.isfinite(aggregate.mean("discounted_return"))
+
+
+def _tiny_loop(tiny_tables, run_name, **selfplay_overrides):
+    from repro.defenders.acso import ACSOPolicy
+    from repro.rl import (
+        ACSOFeaturizer,
+        AttentionQNetwork,
+        DQNConfig,
+        DQNTrainer,
+        QNetConfig,
+    )
+
+    cfg = tiny_network(tmax=30)
+    env = repro.make_env(cfg, seed=0)
+    qnet = AttentionQNetwork(
+        QNetConfig(d_model=8, n_heads=2, encoder_hidden=16, head_hidden=16),
+        seed=0,
+    )
+    featurizer = ACSOFeaturizer(env.topology, tiny_tables)
+    trainer = DQNTrainer(
+        env, qnet, featurizer,
+        DQNConfig(batch_size=8, warmup=8, update_every=4, buffer_size=500),
+    )
+    params = dict(
+        rounds=1, train_episodes=1, train_max_steps=15,
+        cem_iterations=1, cem_population=2, fitness_episodes=1,
+        eval_episodes=1, eval_max_steps=15, run_name=run_name,
+    )
+    params.update(selfplay_overrides)
+    return SelfPlayLoop(
+        cfg, trainer, ACSOPolicy(qnet, tiny_tables),
+        selfplay=SelfPlayConfig(**params),
+    )
+
+
+def _unregister_selfplay(run_name):
+    for spec in repro.list_scenarios(tag="selfplay"):
+        if spec.scenario_id.startswith(f"selfplay/{run_name}-"):
+            REGISTRY.unregister(spec.scenario_id)
+
+
 class TestSelfPlayLoop:
     def test_one_round_structure(self, tiny_tables):
-        from repro.defenders.acso import ACSOPolicy
-        from repro.rl import (
-            ACSOFeaturizer,
-            AttentionQNetwork,
-            DQNConfig,
-            DQNTrainer,
-            QNetConfig,
-        )
+        loop = _tiny_loop(tiny_tables, "t-structure")
+        try:
+            rounds = loop.run()
+            assert len(rounds) == 1
+            record = rounds[0]
+            assert np.isfinite(record.best_response_utility)
+            assert np.isfinite(record.population_utility)
+            assert record.exploitability == pytest.approx(
+                record.best_response_utility - record.population_utility
+            )
+            # the best response joined the population as a named spec
+            assert len(loop.population) == 2
+            emitted = loop.population.members[-1]
+            assert emitted.scenario_id == record.best_response_id
+            assert emitted is record.best_response_spec
+            assert emitted.build_config().apt == record.best_response
+        finally:
+            _unregister_selfplay("t-structure")
 
-        cfg = tiny_network(tmax=30)
-        env = repro.make_env(cfg, seed=0)
-        qnet = AttentionQNetwork(
-            QNetConfig(d_model=8, n_heads=2, encoder_hidden=16,
-                       head_hidden=16),
-            seed=0,
+    def test_emitted_scenario_registered_and_reproducible(self, tiny_tables):
+        """The acceptance property: repro.make(<emitted id>) rebuilds
+        the exact environment, so replaying the winning fitness
+        evaluation reproduces the recorded utility."""
+        loop = _tiny_loop(tiny_tables, "t-reproduce")
+        try:
+            record = loop.run_round()
+            sid = record.best_response_id
+            assert sid == "selfplay/t-reproduce-r1-br1"
+            assert sid in REGISTRY
+            spec = repro.get_scenario(sid)
+            assert set(spec.tags) >= {"selfplay", "adversarial"}
+            # verified in-round against the frozen defender
+            assert record.verified_utility == record.best_response_utility
+            # and independently, from scratch, through the registry
+            from repro.eval import evaluate_policy
+
+            env = repro.make(sid)
+            aggregate, _ = evaluate_policy(
+                env, loop.defender_policy, loop.selfplay.fitness_episodes,
+                seed=record.fitness_seed,
+                max_steps=loop.selfplay.eval_max_steps,
+            )
+            assert attack_utility(aggregate) == record.best_response_utility
+        finally:
+            _unregister_selfplay("t-reproduce")
+
+    def test_population_registry_round_trip_identical_exploitability(
+            self, tiny_tables, tmp_path):
+        """A population survives save -> registry wipe -> load with
+        bit-identical exploitability numbers."""
+        loop = _tiny_loop(tiny_tables, "t-roundtrip")
+        path = tmp_path / "population.json"
+        try:
+            loop.run()
+            seed = loop.selfplay.seed + 12345
+            before = loop._population_utility(seed)
+            loop.save(path)
+            # wipe the emitted ids; loading must restore them
+            _unregister_selfplay("t-roundtrip")
+            assert "selfplay/t-roundtrip-r1-br1" not in REGISTRY
+            restored = load_population(path)
+            assert "selfplay/t-roundtrip-r1-br1" in REGISTRY
+            assert [m.scenario_id for m in restored.members] == [
+                m.scenario_id for m in loop.population.members
+            ]
+            np.testing.assert_array_equal(restored.weights,
+                                          loop.population.weights)
+            loop.population = restored
+            after = loop._population_utility(seed)
+            assert before == after
+        finally:
+            _unregister_selfplay("t-roundtrip")
+
+    def test_process_backend_round(self, tiny_tables):
+        """A full oracle round also runs on the process backend."""
+        loop = _tiny_loop(tiny_tables, "t-process", backend="process",
+                          num_workers=2)
+        try:
+            record = loop.run_round()
+            assert np.isfinite(record.best_response_utility)
+            assert record.verified_utility == record.best_response_utility
+        finally:
+            _unregister_selfplay("t-process")
+
+    def test_accepts_scenario_id_base(self, tiny_tables):
+        loop = _tiny_loop(tiny_tables, "unused")
+        trainer, policy = loop.trainer, loop.defender_policy
+        loop2 = SelfPlayLoop(
+            "inasim-tiny-v1", trainer, policy,
+            selfplay=SelfPlayConfig(run_name="t-by-id"),
         )
-        featurizer = ACSOFeaturizer(env.topology, tiny_tables)
-        trainer = DQNTrainer(
-            env, qnet, featurizer,
-            DQNConfig(batch_size=8, warmup=8, update_every=4,
-                      buffer_size=500),
+        assert loop2.base_spec.scenario_id == "inasim-tiny-v1"
+        assert loop2.population.members[0].scenario_id == \
+            "selfplay/t-by-id-base"
+
+    def test_initial_population_aptconfigs_are_bridged(self, tiny_tables):
+        loop = _tiny_loop(tiny_tables, "unused2")
+        pop = AttackerPopulation([apt1(), apt2()], weights=[1.0, 3.0])
+        loop2 = SelfPlayLoop(
+            tiny_network(tmax=30), loop.trainer, loop.defender_policy,
+            selfplay=SelfPlayConfig(run_name="t-coerce"),
+            initial_population=pop,
         )
-        loop = SelfPlayLoop(
-            cfg,
-            trainer,
-            ACSOPolicy(qnet, tiny_tables),
-            selfplay=SelfPlayConfig(
-                rounds=1, train_episodes=1, train_max_steps=15,
-                cem_iterations=1, cem_population=2, fitness_episodes=1,
-                eval_episodes=1, eval_max_steps=15,
-            ),
-        )
-        rounds = loop.run()
-        assert len(rounds) == 1
-        record = rounds[0]
-        assert np.isfinite(record.best_response_utility)
-        assert np.isfinite(record.population_utility)
-        assert record.exploitability == pytest.approx(
-            record.best_response_utility - record.population_utility
-        )
-        # the best response joined the population
-        assert len(loop.population) == 2
-        assert loop.population.members[-1] == record.best_response
+        members = loop2.population.members
+        assert [m.scenario_id for m in members] == [
+            "selfplay/t-coerce-init0", "selfplay/t-coerce-init1"
+        ]
+        assert members[1].build_config().apt.lateral_threshold == 1
+        np.testing.assert_array_equal(loop2.population.weights, [1.0, 3.0])
+
+    def test_save_population_rejects_raw_members(self, tmp_path):
+        pop = AttackerPopulation([apt1()])
+        with pytest.raises(TypeError):
+            save_population(tmp_path / "x.json", pop)
+
+    def test_load_population_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "not-a-population.json"
+        path.write_text('{"scenarios": []}')
+        with pytest.raises(ValueError):
+            load_population(path)
 
     def test_attack_utility_sign(self):
         """Higher defender return means lower attacker utility."""

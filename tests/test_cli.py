@@ -21,7 +21,7 @@ class TestParser:
         commands = set(sub.choices)
         assert commands == {
             "topology", "simulate", "evaluate", "fig6", "fig10",
-            "fit-dbn", "trace", "config", "scenarios",
+            "fit-dbn", "trace", "config", "scenarios", "selfplay",
         }
 
     def test_unknown_preset_rejected(self):
@@ -202,3 +202,58 @@ class TestExperimentCommands:
         ])
         assert code == 0
         assert "acso" in capsys.readouterr().out
+
+
+class TestSelfplay:
+    def test_round_reports_and_persists_population(self, capsys, dbn_file,
+                                                   tmp_path):
+        from repro.scenarios.registry import REGISTRY
+
+        pop_path = tmp_path / "population.json"
+        code = main([
+            "selfplay", "--preset", "tiny", "--rounds", "1",
+            "--max-steps", "20", "--train-episodes", "1",
+            "--cem-population", "2", "--cem-iterations", "1",
+            "--fitness-episodes", "1", "--episodes", "1",
+            "--dbn", dbn_file, "--run-name", "cli-test",
+            "--save-population", str(pop_path),
+        ])
+        out = capsys.readouterr().out
+        try:
+            assert code == 0
+            assert "exploitability report" in out
+            assert "selfplay/cli-test-r1-br1" in out
+            assert "verify repro.make('selfplay/cli-test-r1-br1'): ok" in out
+            assert pop_path.exists()
+            # the emitted best response is a loadable scenario
+            assert "selfplay/cli-test-r1-br1" in REGISTRY
+            import repro
+
+            assert repro.make("selfplay/cli-test-r1-br1").config is not None
+        finally:
+            REGISTRY.unregister("selfplay/cli-test-base")
+            REGISTRY.unregister("selfplay/cli-test-r1-br1")
+
+    def test_load_population_resumes(self, capsys, dbn_file, tmp_path):
+        from repro.scenarios.registry import REGISTRY
+
+        pop_path = tmp_path / "population.json"
+        common = [
+            "selfplay", "--preset", "tiny", "--max-steps", "15",
+            "--train-episodes", "1", "--cem-population", "2",
+            "--cem-iterations", "1", "--fitness-episodes", "1",
+            "--episodes", "1", "--dbn", dbn_file,
+        ]
+        try:
+            assert main(common + ["--rounds", "1", "--run-name", "cli-a",
+                                  "--save-population", str(pop_path)]) == 0
+            capsys.readouterr()
+            assert main(common + ["--rounds", "1", "--run-name", "cli-b",
+                                  "--load-population", str(pop_path)]) == 0
+            out = capsys.readouterr().out
+            assert "loaded 2-member population" in out
+            assert "selfplay/cli-b-r1-br1" in out
+        finally:
+            for sid in ("selfplay/cli-a-base", "selfplay/cli-a-r1-br1",
+                        "selfplay/cli-b-r1-br1"):
+                REGISTRY.unregister(sid)

@@ -1,0 +1,101 @@
+"""Golden-trajectory regression anchors for the simulation dynamics.
+
+Every built-in scenario carries a committed digest of a seeded 32-step
+playbook rollout (``tests/golden/*.json``): per-step rewards, done
+flags, alert counts, action-mask hashes, and observation hashes. The
+engine is load-bearing for three vector backends and the adversarial
+search, so an optimization pass that changes the dynamics — not just
+code shape — must fail loudly here, and an intentional
+trajectory-distribution change must regenerate the fixtures
+(``PYTHONPATH=src python tests/golden/regenerate.py``) and say so.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+import repro
+
+# the regeneration script doubles as the digest library; tests/ is not
+# a package, so load it by path
+_spec = importlib.util.spec_from_file_location(
+    "golden_regenerate",
+    pathlib.Path(__file__).parent / "golden" / "regenerate.py",
+)
+_regen = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_regen)
+
+GOLDEN_DIR = _regen.GOLDEN_DIR
+STEPS = _regen.STEPS
+fixture_path = _regen.fixture_path
+rollout_digest = _regen.rollout_digest
+
+BUILTIN_IDS = [spec.scenario_id for spec in repro.scenarios.BUILTIN_SCENARIOS]
+
+
+def _load(scenario_id: str) -> dict:
+    path = fixture_path(scenario_id)
+    assert path.exists(), (
+        f"missing golden fixture {path}; run "
+        "`PYTHONPATH=src python tests/golden/regenerate.py`"
+    )
+    with open(path) as handle:
+        return json.load(handle)
+
+
+class TestGoldenCoverage:
+    def test_every_builtin_scenario_has_a_fixture(self):
+        assert len(BUILTIN_IDS) == 14  # the README catalogue
+        missing = [sid for sid in BUILTIN_IDS
+                   if not fixture_path(sid).exists()]
+        assert not missing, f"missing golden fixtures for {missing}"
+
+    def test_no_stale_fixtures(self):
+        """Every committed fixture corresponds to a built-in scenario."""
+        known = {fixture_path(sid).name for sid in BUILTIN_IDS}
+        stale = [p.name for p in GOLDEN_DIR.glob("*.json")
+                 if p.name not in known]
+        assert not stale, f"stale golden fixtures: {stale}"
+
+
+@pytest.mark.parametrize("scenario_id", BUILTIN_IDS)
+def test_golden_trajectory(scenario_id):
+    """Replaying the seeded rollout reproduces the committed digest.
+
+    Comparisons are exact: rewards are deterministic floats given
+    (config, seed), and JSON round-trips them via repr. A mismatch
+    means the dynamics shifted — regenerate only if the shift is
+    intentional.
+    """
+    golden = _load(scenario_id)
+    fresh = rollout_digest(scenario_id, seed=golden["seed"],
+                           steps=golden["steps"])
+
+    assert fresh["rewards"] == golden["rewards"], (
+        f"{scenario_id}: reward stream diverged from golden fixture"
+    )
+    assert fresh["dones"] == golden["dones"], (
+        f"{scenario_id}: done flags diverged from golden fixture"
+    )
+    assert fresh["n_alerts"] == golden["n_alerts"], (
+        f"{scenario_id}: alert stream diverged from golden fixture"
+    )
+    assert (fresh["action_mask_sha256_16"]
+            == golden["action_mask_sha256_16"]), (
+        f"{scenario_id}: action-mask stream diverged from golden fixture"
+    )
+    assert (fresh["observation_sha256_16"]
+            == golden["observation_sha256_16"]), (
+        f"{scenario_id}: observation stream diverged from golden fixture"
+    )
+
+
+def test_digest_is_seed_sensitive():
+    """The fixture actually pins the seed: a different seed diverges
+    (otherwise a broken reseed path could pass silently)."""
+    golden = _load("inasim-tiny-v1")
+    other = rollout_digest("inasim-tiny-v1", seed=golden["seed"] + 1,
+                           steps=STEPS)
+    assert other["observation_sha256_16"] != golden["observation_sha256_16"]

@@ -166,3 +166,128 @@ class TestMake:
     def test_make_vec_requires_positive_n(self):
         with pytest.raises(ValueError, match="num_envs"):
             repro.make_vec("inasim-tiny-v1", 0)
+
+
+class TestAptOverrides:
+    """The attacker-parameter bridge field on ScenarioSpec."""
+
+    def test_applied_after_profile_and_stealth(self):
+        spec = ScenarioSpec(
+            scenario_id="x", network="tiny", profile="apt2",
+            cleanup_effectiveness=0.9,
+            apt_overrides={"lateral_threshold": 4, "labor_rate": 3,
+                           "time_scale": 2.5},
+        )
+        apt = spec.build_config().apt
+        assert apt.lateral_threshold == 4  # override beats the profile
+        assert apt.labor_rate == 3
+        assert apt.time_scale == 2.5
+        assert apt.cleanup_effectiveness == 0.9
+
+    def test_stored_sorted_and_hashable(self):
+        a = ScenarioSpec(scenario_id="x",
+                         apt_overrides={"labor_rate": 3, "hmi_threshold": 2})
+        b = ScenarioSpec(scenario_id="x",
+                         apt_overrides={"hmi_threshold": 2, "labor_rate": 3})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.apt_overrides == (("hmi_threshold", 2), ("labor_rate", 3))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown APTConfig fields"):
+            ScenarioSpec(scenario_id="x", apt_overrides={"stealth": 1.0})
+
+    def test_qualitative_fields_must_use_spec_fields(self):
+        with pytest.raises(ValueError, match="spec's own fields"):
+            ScenarioSpec(scenario_id="x",
+                         apt_overrides={"objective": "disrupt"})
+        with pytest.raises(ValueError, match="spec's own fields"):
+            ScenarioSpec(scenario_id="x",
+                         apt_overrides={"cleanup_effectiveness": 0.5})
+
+    def test_invalid_values_caught_by_aptconfig(self):
+        spec = ScenarioSpec(scenario_id="x",
+                            apt_overrides={"time_scale": -1.0})
+        with pytest.raises(ValueError, match="time_scale"):
+            spec.build_config()
+
+    def test_json_round_trip(self):
+        from repro.scenarios import spec_from_json, spec_to_json
+
+        spec = ScenarioSpec(
+            scenario_id="x", network="small",
+            apt_overrides={"plc_threshold_destroy": 7, "time_scale": 4.0},
+        )
+        clone = spec_from_json(spec_to_json(spec))
+        assert clone == spec
+        assert clone.build_config() == spec.build_config()
+
+
+class TestSpecForConfig:
+    """SimConfig -> ScenarioSpec reverse bridge."""
+
+    def test_presets_round_trip(self):
+        from repro.config import small_network, tiny_network
+        from repro.scenarios import spec_for_config
+
+        for factory in (paper_network, small_network, tiny_network):
+            config = factory()
+            spec = spec_for_config(config, "bridge")
+            assert spec.build_config() == config
+
+    def test_tmax_and_attacker_deviations_carry(self):
+        from dataclasses import replace
+
+        from repro.config import small_network
+        from repro.scenarios import spec_for_config
+
+        config = small_network(tmax=600)
+        config = config.with_apt(replace(config.apt, time_scale=4.0,
+                                         cleanup_effectiveness=0.8))
+        spec = spec_for_config(config, "bridge")
+        assert spec.horizon == 600
+        assert spec.cleanup_effectiveness == 0.8
+        assert dict(spec.apt_overrides) == {"time_scale": 4.0}
+        assert spec.build_config() == config
+
+    def test_deviating_qualitative_pair_is_pinned(self):
+        """A config whose (objective, vector) deviates from the preset
+        was chosen deliberately — the bridge must honour it instead of
+        silently reverting to the sampled default."""
+        from dataclasses import replace
+
+        from repro.config import small_network
+        from repro.scenarios import spec_for_config
+
+        config = small_network()
+        config = config.with_apt(replace(config.apt, objective="disrupt",
+                                         vector="hmi"))
+        spec = spec_for_config(config, "bridge")
+        assert (spec.objective, spec.vector) == ("disrupt", "hmi")
+        assert not spec.sample_qualitative
+        assert spec.build_config() == config
+        # the default pair stays sampled, matching make_env defaults
+        assert spec_for_config(small_network(), "bridge").sample_qualitative
+
+    def test_reward_variant_matched(self):
+        from repro.scenarios import spec_for_config
+
+        config = paper_network(reward=REWARD_VARIANTS["cost_sensitive"])
+        spec = spec_for_config(config, "bridge")
+        assert spec.reward_variant == "cost_sensitive"
+        assert spec.build_config() == config
+
+    def test_unexpressible_configs_rejected(self):
+        from dataclasses import replace
+
+        from repro.config import RewardConfig, TopologyConfig, tiny_network
+        from repro.scenarios import spec_for_config
+
+        custom_topo = replace(tiny_network(),
+                              topology=TopologyConfig(plcs=13))
+        with pytest.raises(ValueError, match="network preset"):
+            spec_for_config(custom_topo, "bridge")
+        custom_reward = replace(tiny_network(),
+                                reward=RewardConfig(lambda_it=0.7))
+        with pytest.raises(ValueError, match="reward variant"):
+            spec_for_config(custom_reward, "bridge")

@@ -26,7 +26,12 @@ from repro.scenarios import (
     spec_to_json,
 )
 from repro.scenarios.registry import REGISTRY
-from repro.sim.vec_backends import ProcessVectorEnv, ShmVectorEnv
+from repro.sim.vec_backends import (
+    AUTO_MIN_ENVS,
+    ProcessVectorEnv,
+    ShmVectorEnv,
+    resolve_backend,
+)
 from repro.sim.vec_env import VectorEnv
 
 
@@ -333,3 +338,129 @@ class TestScenarioSpecSerialization:
             _, ra, _, _ = env_a.step(None)
             _, rb, _, _ = env_b.step(None)
             assert ra == rb
+
+
+class TestAutoBackend:
+    """backend="auto" selection logic and trajectory parity."""
+
+    def test_single_core_always_sync(self):
+        for n in (1, 4, 64):
+            assert resolve_backend(n, cpu_count=1) == "sync"
+
+    def test_narrow_batches_stay_sync(self):
+        for n in range(1, AUTO_MIN_ENVS):
+            assert resolve_backend(n, cpu_count=16) == "sync"
+
+    def test_wide_batch_on_multicore_goes_process(self):
+        assert resolve_backend(AUTO_MIN_ENVS, cpu_count=2) == "process"
+        assert resolve_backend(16, cpu_count=8) == "process"
+
+    def test_single_worker_request_stays_sync(self):
+        assert resolve_backend(16, num_workers=1, cpu_count=8) == "sync"
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            resolve_backend(0, cpu_count=4)
+
+    def test_defaults_to_os_cpu_count(self, monkeypatch):
+        import repro.sim.vec_backends as vb
+
+        monkeypatch.setattr(vb.os, "cpu_count", lambda: 1)
+        assert resolve_backend(16) == "sync"
+        monkeypatch.setattr(vb.os, "cpu_count", lambda: 8)
+        assert resolve_backend(16) == "process"
+        # os.cpu_count may return None on exotic platforms
+        monkeypatch.setattr(vb.os, "cpu_count", lambda: None)
+        assert resolve_backend(16) == "sync"
+
+    def test_make_vec_auto_picks_sync_on_one_core(self, monkeypatch):
+        import repro.sim.vec_backends as vb
+
+        monkeypatch.setattr(vb.os, "cpu_count", lambda: 1)
+        venv = repro.make_vec("inasim-tiny-v1", 4, seed=0, backend="auto")
+        with venv:
+            assert isinstance(venv, VectorEnv)
+
+    def test_make_vec_auto_picks_process_on_multicore(self, monkeypatch):
+        import repro.sim.vec_backends as vb
+
+        monkeypatch.setattr(vb.os, "cpu_count", lambda: 4)
+        venv = repro.make_vec("inasim-tiny-v1", 4, seed=0, horizon=12,
+                              backend="auto", num_workers=2)
+        with venv:
+            assert isinstance(venv, ProcessVectorEnv)
+
+    def test_auto_trajectories_match_sync_bit_exactly(self, monkeypatch):
+        """Whatever auto picks, the trajectories are the sync ones."""
+        import repro.sim.vec_backends as vb
+
+        sync = repro.make_vec("inasim-tiny-v1", 4, seed=0, horizon=12)
+        trace_s, rew_s, done_s = _rollout(sync, 18, seed=2)
+        # force the interesting branch: auto resolves to process
+        monkeypatch.setattr(vb.os, "cpu_count", lambda: 4)
+        with repro.make_vec("inasim-tiny-v1", 4, seed=0, horizon=12,
+                            backend="auto", num_workers=2) as venv:
+            assert isinstance(venv, ProcessVectorEnv)
+            trace_a, rew_a, done_a = _rollout(venv, 18, seed=2)
+        assert trace_s == trace_a
+        np.testing.assert_array_equal(rew_s, rew_a)
+        np.testing.assert_array_equal(done_s, done_a)
+
+
+class TestHeterogeneousLanes:
+    """make_vec_from_specs: one scenario per lane, all backends."""
+
+    def _specs(self):
+        base = repro.get_scenario("inasim-tiny-v1").with_overrides(horizon=15)
+        variant = base.with_overrides(
+            scenario_id="tiny-het-variant",
+            apt_overrides={"lateral_threshold": 1, "labor_rate": 3},
+        )
+        return [base, variant, base]
+
+    def test_lane_config_reports_per_lane_attackers(self):
+        venv = repro.make_vec_from_specs(self._specs(), seed=0)
+        assert venv.lane_config(0).apt.lateral_threshold == 2  # tiny preset
+        assert venv.lane_config(1).apt.lateral_threshold == 1
+        assert venv.lane_config(1).apt.labor_rate == 3
+        assert venv.config == venv.lane_config(0)
+
+    def test_process_matches_sync(self):
+        sync = repro.make_vec_from_specs(self._specs(), seed=0)
+        trace_s, rew_s, done_s = _rollout(sync, 20, seed=3)
+        with repro.make_vec_from_specs(self._specs(), seed=0,
+                                       backend="process",
+                                       num_workers=2) as venv:
+            assert venv.lane_config(1).apt.labor_rate == 3
+            trace_p, rew_p, done_p = _rollout(venv, 20, seed=3)
+        assert trace_s == trace_p
+        np.testing.assert_array_equal(rew_s, rew_p)
+        np.testing.assert_array_equal(done_s, done_p)
+
+    def test_lanes_actually_diverge(self):
+        """The variant lane runs a different attacker than the base
+        lanes (otherwise the heterogeneity is cosmetic)."""
+        venv = repro.make_vec_from_specs(self._specs(), seed=0)
+        _, rewards, _ = _rollout(venv, 30, seed=5)
+        assert not np.array_equal(rewards[:, 0], rewards[:, 1])
+        # identical specs on identical seeds stay identical: lanes 0 and
+        # 2 differ only through their seed offsets, so compare lane 0
+        # against a fresh env of the same spec and seed
+        again = repro.make_vec_from_specs(self._specs(), seed=0)
+        _, rewards2, _ = _rollout(again, 30, seed=5)
+        np.testing.assert_array_equal(rewards, rewards2)
+
+    def test_registered_ids_resolve(self):
+        venv = repro.make_vec_from_specs(
+            ["inasim-tiny-v1", "inasim-tiny-v1"], seed=0)
+        assert venv.num_envs == 2
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            repro.make_vec_from_specs([])
+
+    def test_mismatched_topologies_rejected(self):
+        specs = [repro.get_scenario("inasim-tiny-v1"),
+                 repro.get_scenario("inasim-small-v1")]
+        with pytest.raises(ValueError):
+            repro.make_vec_from_specs(specs, seed=0)
