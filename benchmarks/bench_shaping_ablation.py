@@ -21,7 +21,7 @@ import numpy as np
 import repro
 from benchmarks.conftest import write_result
 from repro.config import small_network
-from repro.dbn import DBNTables, fit_dbn
+from repro.dbn import fit_dbn
 from repro.defenders import SemiRandomPolicy
 from repro.rl import ACSOFeaturizer, AttentionQNetwork, DQNConfig, DQNTrainer, QNetConfig
 

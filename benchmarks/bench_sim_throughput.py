@@ -13,7 +13,7 @@ import pytest
 
 import repro
 from repro.config import paper_network, small_network, tiny_network
-from repro.defenders import NoopPolicy, PlaybookPolicy
+from repro.defenders import PlaybookPolicy
 
 _PRESETS = {
     "tiny": tiny_network,

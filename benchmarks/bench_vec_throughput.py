@@ -249,6 +249,10 @@ def main(argv=None) -> int:
     parser.add_argument("--networks", default="tiny,small,paper")
     parser.add_argument("--backends", default="sync,process,shm")
     parser.add_argument("--num-envs", default="1,4,16")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke grid: the tracked paper-net vec-16 "
+                             "cell on every backend, fewer rounds "
+                             "(feeds benchmarks/compare_bench_throughput.py)")
     parser.add_argument("--rounds", type=int, default=200,
                         help="lockstep rounds per cell (default: 200)")
     parser.add_argument("--num-workers", type=int, default=None)
@@ -264,6 +268,10 @@ def main(argv=None) -> int:
                     / "BENCH_vec_throughput.json"),
     )
     args = parser.parse_args(argv)
+    if args.quick:
+        args.networks = "paper"
+        args.num_envs = "16"
+        args.rounds = min(args.rounds, 100)
 
     report = run_sweep(
         [n.strip() for n in args.networks.split(",") if n.strip()],

@@ -1,0 +1,172 @@
+"""Benchmark-regression gate for the vectorized-throughput sweep.
+
+Compares a fresh ``bench_vec_throughput.py`` report (typically the CI
+``--quick`` grid) against the committed ``BENCH_vec_throughput.json``
+baseline and fails when aggregate steps/s regressed beyond the
+tolerance.
+
+Hosts differ: the committed baseline was measured on the reference
+container, while CI runs on whatever runner class GitHub provides. Raw
+steps/s therefore mix hardware speed with code changes. The gate
+separates them by calibrating on the sync cell of the tracked
+paper-net vec-16 workload: the sync backend shares the engine with the
+parallel backends but none of the worker-pool transport, so the ratio
+``sync_now / sync_baseline`` is a host-speed factor, and each parallel
+cell is judged on its *calibrated* ratio. A catastrophic engine
+regression would drag the sync cell itself down, which a second,
+deliberately generous absolute check on the calibration cell catches
+(``--max-host-drift``).
+
+Exit status 0 = within tolerance, 1 = regression, 2 = unusable inputs.
+
+Usage (what the CI ``bench-smoke`` job runs)::
+
+    python benchmarks/bench_vec_throughput.py --quick --out bench_quick.json
+    python benchmarks/compare_bench_throughput.py bench_quick.json \
+        --baseline BENCH_vec_throughput.json --max-regression 0.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+DEFAULT_BASELINE = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_vec_throughput.json"
+)
+
+#: the tracked workload: paper network, 16 lanes, sync backend
+CALIBRATION_CELL = ("paper", "sync", 16)
+
+
+def _cells(report: dict) -> dict[tuple, float]:
+    return {
+        (r["network"], r["backend"], r["num_envs"]): r["aggregate_steps_per_s"]
+        for r in report["results"]
+    }
+
+
+def compare(
+    current: dict,
+    baseline: dict,
+    max_regression: float = 0.30,
+    max_host_drift: float = 0.60,
+    calibrate: bool = True,
+) -> tuple[int, list[str]]:
+    """Return (exit status, report lines) for a current-vs-baseline run."""
+    lines: list[str] = []
+    cur = _cells(current)
+    base = _cells(baseline)
+    shared = sorted(set(cur) & set(base))
+    if not shared:
+        return 2, ["no overlapping benchmark cells between current and baseline"]
+
+    factor = 1.0
+    if calibrate:
+        if CALIBRATION_CELL not in cur or CALIBRATION_CELL not in base:
+            return 2, [
+                "calibration cell paper/sync/16 missing; rerun with a grid "
+                "that includes it or pass --no-calibrate"
+            ]
+        factor = cur[CALIBRATION_CELL] / base[CALIBRATION_CELL]
+        lines.append(
+            f"host-speed factor (paper/sync/16): {factor:.3f} "
+            f"({cur[CALIBRATION_CELL]:.0f} vs {base[CALIBRATION_CELL]:.0f} steps/s)"
+        )
+        if factor < 1.0 - max_host_drift:
+            lines.append(
+                f"FAIL paper/sync/16: absolute rate fell {1.0 - factor:.0%}, "
+                f"beyond the {max_host_drift:.0%} host-drift allowance -- "
+                "either the engine regressed badly or this host cannot run "
+                "the gate; re-baseline with bench_vec_throughput.py"
+            )
+            return 1, lines
+
+    floor = 1.0 - max_regression
+    failures = 0
+    ratios: list[float] = []
+    for key in shared:
+        raw = cur[key] / base[key]
+        is_calibration = calibrate and key == CALIBRATION_CELL
+        adjusted = raw if is_calibration else (raw / factor if calibrate else raw)
+        verdict = "ok"
+        if is_calibration:
+            # its calibrated ratio is 1.0 by construction: including the
+            # raw ratio would leak host speed into the code verdict
+            verdict = "calibration cell"
+        else:
+            ratios.append(adjusted)
+            if adjusted < floor:
+                verdict = f"FAIL (allowed >= {floor:.2f})"
+                failures += 1
+        network, backend, num_envs = key
+        lines.append(
+            f"{network:>6} {backend:>8} x{num_envs:<3} "
+            f"{cur[key]:>10.0f} vs {base[key]:>10.0f} steps/s  "
+            f"ratio {adjusted:.2f}  {verdict}"
+        )
+    if ratios:
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        lines.append(
+            f"geometric-mean calibrated ratio over {len(ratios)} cells: "
+            f"{geomean:.2f}"
+        )
+        if geomean < floor:
+            lines.append(f"FAIL aggregate: {geomean:.2f} < {floor:.2f}")
+            failures += 1
+    return (1 if failures else 0), lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh bench_vec_throughput.py report")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="committed baseline report (default: BENCH_vec_throughput.json)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="tolerated per-cell / aggregate drop after host calibration "
+        "(default: 0.30)",
+    )
+    parser.add_argument(
+        "--max-host-drift",
+        type=float,
+        default=0.60,
+        help="tolerated absolute drop of the sync calibration cell "
+        "(default: 0.60)",
+    )
+    parser.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="compare raw steps/s without the host-speed factor",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.current) as handle:
+        current = json.load(handle)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    status, lines = compare(
+        current,
+        baseline,
+        max_regression=args.max_regression,
+        max_host_drift=args.max_host_drift,
+        calibrate=not args.no_calibrate,
+    )
+    print("\n".join(lines))
+    if status == 0:
+        print("benchmark gate: OK")
+    else:
+        print("benchmark gate: REGRESSION DETECTED", file=sys.stderr)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

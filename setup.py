@@ -26,6 +26,8 @@ setup(
     extras_require={
         "tests": ["pytest>=7", "pytest-cov>=4"],
         "benchmarks": ["pytest>=7", "pytest-benchmark>=4"],
+        # the version CI pins for the lint gate (see ruff.toml)
+        "lint": ["ruff==0.8.6"],
     },
     entry_points={
         "console_scripts": [

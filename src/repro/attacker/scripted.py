@@ -14,7 +14,7 @@ while labor was exhausted fire at the next opportunity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.apt_actions import APTActionRequest, APTActionType, APTView
 

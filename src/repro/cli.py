@@ -77,7 +77,8 @@ def _build_env(args, config: SimConfig, seed: int | None = None):
     return repro.make_env(config, seed=seed)
 
 
-def _build_vec_env(args, config: SimConfig, num_envs: int, seed: int):
+def _build_vec_env(args, config: SimConfig, num_envs: int, seed: int,
+                   pool=None):
     from repro.sim.vec_backends import normalize_backend
 
     backend = normalize_backend(getattr(args, "backend", "sync"), num_envs,
@@ -95,8 +96,12 @@ def _build_vec_env(args, config: SimConfig, num_envs: int, seed: int):
     spec = _resolve_spec(args)
     if spec is not None:
         # config already folds in --max-steps; pin it via the horizon
-        return cls.from_spec(spec.with_overrides(horizon=config.tmax),
-                             num_envs, seed=seed, num_workers=num_workers)
+        spec = spec.with_overrides(horizon=config.tmax)
+        if pool is not None:
+            return pool.acquire([spec] * num_envs, seed=seed,
+                                backend=backend, num_workers=num_workers)
+        return cls.from_spec(spec, num_envs, seed=seed,
+                             num_workers=num_workers)
     return cls.from_config(config, num_envs, seed=seed,
                            num_workers=num_workers)
 
@@ -180,11 +185,22 @@ def cmd_simulate(args) -> int:
     policy = _make_policy(args.policy, config, args.seed, args.dbn, args.qnet)
     num_envs = max(1, args.num_envs)
     if num_envs > 1:
-        with _build_vec_env(args, config, num_envs, args.seed) as venv:
-            aggregate, episodes = evaluate_policy_vec(
-                venv, policy, args.episodes, seed=args.seed,
-                max_steps=args.max_steps,
-            )
+        pool = None
+        if getattr(args, "reuse_pool", False) and _resolve_spec(args):
+            from repro.sim.vec_backends import VecPool
+
+            pool = VecPool()
+        try:
+            with _build_vec_env(args, config, num_envs, args.seed,
+                                pool=pool) as venv:
+                aggregate, episodes = evaluate_policy_vec(
+                    venv, policy, args.episodes, seed=args.seed,
+                    max_steps=args.max_steps,
+                )
+        finally:
+            if pool is not None:
+                print(f"worker pool: {pool.stats}", file=sys.stderr)
+                pool.close()
         title = f"{args.episodes} episode(s), {num_envs} envs"
     else:
         env = _build_env(args, config, seed=args.seed)
@@ -340,6 +356,7 @@ def cmd_selfplay(args) -> int:
               f"{args.load_population}")
     loop = SelfPlayLoop(
         base, trainer, ACSOPolicy(qnet, tables),
+        reuse_pool=not args.no_reuse_pool,
         selfplay=SelfPlayConfig(
             rounds=args.rounds,
             train_episodes=args.train_episodes,
@@ -358,14 +375,20 @@ def cmd_selfplay(args) -> int:
     )
 
     print(f"self-play on {base.scenario_id} ({args.rounds} round(s), "
-          f"backend={args.backend})")
-    for _ in range(args.rounds):
-        record = loop.run_round()
-        print(f"round {record.round_index + 1}: "
-              f"population utility {record.population_utility:>10.2f}  "
-              f"best response {record.best_response_utility:>10.2f}  "
-              f"exploitability {record.exploitability:>8.2f}  "
-              f"-> {record.best_response_id}")
+          f"backend={args.backend}, "
+          f"pool={'off' if loop.pool is None else 'persistent'})")
+    try:
+        for _ in range(args.rounds):
+            record = loop.run_round()
+            print(f"round {record.round_index + 1}: "
+                  f"population utility {record.population_utility:>10.2f}  "
+                  f"best response {record.best_response_utility:>10.2f}  "
+                  f"exploitability {record.exploitability:>8.2f}  "
+                  f"-> {record.best_response_id}")
+    finally:
+        if loop.pool is not None:
+            print(f"worker pool: {loop.pool.stats}", file=sys.stderr)
+        loop.close()
 
     print("\nexploitability report")
     print(f"{'round':>5} {'population':>12} {'best resp.':>12} "
@@ -457,6 +480,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--num-workers", type=int, default=None,
                    help="worker processes for the process/shm backends "
                         "(default: min(num-envs, cpu count))")
+    p.add_argument("--reuse-pool", action="store_true",
+                   help="acquire the parallel backend from a persistent "
+                        "worker pool (scenario runs only; pool stats are "
+                        "reported on stderr)")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_simulate)
 
@@ -494,6 +521,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="vector-env backend for both oracles")
     p.add_argument("--num-workers", type=int, default=None,
                    help="worker processes for the process/shm backends")
+    p.add_argument("--no-reuse-pool", action="store_true",
+                   help="spawn a fresh worker pool per oracle call instead "
+                        "of re-laning one persistent pool across rounds "
+                        "and CEM generations")
     p.add_argument("--run-name", default=None,
                    help="name used in emitted selfplay/<run>-rN-brK ids "
                         "(default: the base scenario id)")

@@ -19,7 +19,7 @@ most production playbooks, which defer to human analysts.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

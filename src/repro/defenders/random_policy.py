@@ -15,7 +15,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenders.base import DefenderPolicy
-from repro.net.nodes import NodeType
 from repro.sim.observations import Observation
 from repro.sim.orchestrator import DefenderAction, DefenderActionType
 

@@ -7,7 +7,7 @@ step, and average number of compromised nodes per hour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 
 from repro.utils.stats import mean_stderr
 

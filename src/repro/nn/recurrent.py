@@ -11,7 +11,6 @@ footing.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

@@ -21,7 +21,6 @@ from repro.rl.qnetwork import AttentionQNetwork
 from repro.rl.replay import (
     NStepAssembler,
     PrioritizedReplay,
-    Transition,
     UniformReplay,
 )
 from repro.rl.schedules import ExponentialDecay, LinearSchedule

@@ -29,7 +29,6 @@ from repro.rl.features import RawHistoryEncoder
 from repro.rl.replay import (
     NStepAssembler,
     PrioritizedReplay,
-    Transition,
     UniformReplay,
 )
 from repro.rl.schedules import ExponentialDecay, LinearSchedule

@@ -17,7 +17,7 @@ outputs on the paper topology).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -25,7 +25,6 @@ from repro.net.topology import Topology
 from repro.nn import (
     AttentionBlock,
     Conv1d,
-    Linear,
     MLP,
     Module,
     Parameter,

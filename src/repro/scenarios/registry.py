@@ -129,7 +129,8 @@ def make(scenario: str | ScenarioSpec, *, seed: int | None = None,
 def make_vec(scenario: str | ScenarioSpec, num_envs: int, *,
              seed: int | None = None, auto_reset: bool = True,
              record_truth: bool = True, backend: str = "sync",
-             num_workers: int | None = None, **overrides):
+             num_workers: int | None = None, pool=None,
+             reuse_pool: bool = False, **overrides):
     """Build a lockstep vector environment of ``num_envs`` independent
     copies of a scenario, seeded ``seed + i`` per lane.
 
@@ -144,6 +145,13 @@ def make_vec(scenario: str | ScenarioSpec, num_envs: int, *,
       shared memory (:class:`~repro.sim.vec_backends.ShmVectorEnv`);
     * ``"auto"`` -- pick sync or process from ``os.cpu_count()`` and the
       batch width (:func:`~repro.sim.vec_backends.resolve_backend`).
+
+    With ``pool`` (a :class:`~repro.sim.vec_backends.VecPool`) or
+    ``reuse_pool=True`` (the process-wide default pool), worker-pool
+    backends are acquired from a persistent pool: a live pool with the
+    same geometry is re-laned onto this scenario instead of re-spawning
+    processes, and ``close()`` on the returned env is a soft release.
+    The sync backend ignores pooling (nothing to keep alive).
     """
     if num_envs < 1:
         raise ValueError("num_envs must be >= 1")
@@ -162,6 +170,13 @@ def make_vec(scenario: str | ScenarioSpec, num_envs: int, *,
             for i in range(num_envs)
         ]
         return VectorEnv(envs, auto_reset=auto_reset, base_seed=seed)
+    pool = _resolve_pool(pool, reuse_pool)
+    if pool is not None:
+        return pool.acquire(
+            [spec] * num_envs, seed=seed, backend=backend,
+            num_workers=num_workers, auto_reset=auto_reset,
+            record_truth=record_truth,
+        )
     from repro.sim.vec_backends import ProcessVectorEnv, ShmVectorEnv
 
     cls = ProcessVectorEnv if backend == "process" else ShmVectorEnv
@@ -171,10 +186,22 @@ def make_vec(scenario: str | ScenarioSpec, num_envs: int, *,
     )
 
 
+def _resolve_pool(pool, reuse_pool: bool):
+    """The :class:`~repro.sim.vec_backends.VecPool` to acquire from."""
+    if pool is not None:
+        return pool
+    if reuse_pool:
+        from repro.sim.vec_backends import default_pool
+
+        return default_pool()
+    return None
+
+
 def make_vec_from_specs(specs, *, seed: int | None = None,
                         auto_reset: bool = True, record_truth: bool = True,
                         backend: str = "sync",
-                        num_workers: int | None = None):
+                        num_workers: int | None = None, pool=None,
+                        reuse_pool: bool = False):
     """Build a lockstep vector env whose lane ``i`` runs ``specs[i]``.
 
     The heterogeneous sibling of :func:`make_vec`: each entry is a
@@ -184,6 +211,13 @@ def make_vec_from_specs(specs, *, seed: int | None = None,
     this to fan an attacker population or a CEM candidate batch over
     one vector environment; lane seeding and backends behave exactly
     as in :func:`make_vec`.
+
+    ``pool`` / ``reuse_pool`` opt worker-pool backends into persistent
+    pooling: an existing live pool of the same geometry is re-laned
+    onto ``specs`` (bit-identical to a fresh construction) instead of
+    re-spawning worker processes -- this is how the CEM fitness loop
+    evaluates every generation on one pool. Pooled envs treat
+    ``close()`` as a soft release; the pool owns the real teardown.
     """
     resolved = [_resolve(s, {}) for s in specs]
     if not resolved:
@@ -202,6 +236,12 @@ def make_vec_from_specs(specs, *, seed: int | None = None,
             for i, spec in enumerate(resolved)
         ]
         return VectorEnv(envs, auto_reset=auto_reset, base_seed=seed)
+    pool = _resolve_pool(pool, reuse_pool)
+    if pool is not None:
+        return pool.acquire(
+            resolved, seed=seed, backend=backend, num_workers=num_workers,
+            auto_reset=auto_reset, record_truth=record_truth,
+        )
     from repro.sim.vec_backends import ProcessVectorEnv, ShmVectorEnv
 
     cls = ProcessVectorEnv if backend == "process" else ShmVectorEnv

@@ -40,7 +40,6 @@ from repro.sim.observations import Alert, Observation, ScanResult
 from repro.sim.orchestrator import (
     DEFENDER_ACTION_SPECS,
     DefenderAction,
-    DefenderActionType,
     apply_mitigation,
     enumerate_actions,
     scan_detection_prob,

@@ -20,7 +20,6 @@ from repro.sim.observations import Observation
 from repro.sim.orchestrator import (
     DEFENDER_ACTION_SPECS,
     DefenderAction,
-    enumerate_actions,
 )
 
 __all__ = ["InasimEnv"]

@@ -24,7 +24,6 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.net.nodes import Condition, NodeType
 from repro.net.topology import Topology

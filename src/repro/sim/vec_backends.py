@@ -1,4 +1,4 @@
-"""Parallel VectorEnv backends: worker processes and shared memory.
+"""Parallel VectorEnv backends: persistent worker pools, pickle-free.
 
 :class:`ProcessVectorEnv` partitions the lanes of a logical vector
 environment across worker processes. Each worker hosts a plain
@@ -12,31 +12,55 @@ changes a trajectory. Workers are built from a serialized payload (a
 registered scenario -- including user-defined ones -- can be shipped to
 a worker pool.
 
-:class:`ShmVectorEnv` is the same architecture with the numeric batches
-(rewards, dones, action masks) exchanged through
-``multiprocessing.shared_memory`` buffers instead of being pickled
-through the command pipes; observations and info dicts still travel by
-pipe. The saving grows with ``num_envs * n_actions`` (the mask batch
-dominates).
+Two properties distinguish this layer from a throwaway fork-join:
+
+* **Zero-pickle steady state.** Commands and replies on the per-step
+  path (actions, observations, rewards, dones, step infos, masks)
+  travel as explicit binary records (:mod:`repro.sim.vec_transport`)
+  over ``Connection.send_bytes`` -- pickle runs only at pool
+  construction. :class:`ShmVectorEnv` goes one step further and parks
+  each worker's reply record in a preallocated
+  ``multiprocessing.shared_memory`` slab, so the pipes carry one
+  acknowledgement byte per worker per step. Payloads the wire format
+  cannot express (exotic custom actions) fall back to the legacy
+  pickled protocol for that one message; correctness never depends on
+  the fast path.
+* **Persistent pools.** A live pool can be re-laned onto new scenario
+  specs (:meth:`ProcessVectorEnv.relane` / ``rebuild_lane``) instead of
+  being torn down and re-spawned: workers rebuild their lane slice from
+  the new spec dicts and the seed schedule restarts exactly as in a
+  fresh construction, so reuse is bit-exact. :class:`VecPool` caches
+  pools by geometry and hands them out across CEM generations and
+  self-play rounds (``repro.make_vec_from_specs(...,
+  reuse_pool=True)``).
 
 On a single-core host both backends lose to ``sync`` (IPC overhead with
 no parallelism to buy back); they pay off when workers can spread over
 cores. ``repro.make_vec(id, n, backend="process")`` is the front door.
+Shared-memory segments are released from every exit path -- happy-path
+``close()``, constructor failures, worker crashes mid-command, and the
+finalizer -- so a dying pool cannot leave ``/dev/shm`` residue.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
 import os
+import pickle
+from collections import OrderedDict
 from typing import Sequence
 
 import numpy as np
 
+from repro.sim import vec_transport as vt
 from repro.sim.vec_env import BaseVectorEnv, VecStep, VectorEnv, _UNSET
 
 __all__ = [
     "ProcessVectorEnv",
     "ShmVectorEnv",
+    "VecPool",
+    "default_pool",
     "resolve_backend",
     "normalize_backend",
 ]
@@ -44,6 +68,14 @@ __all__ = [
 #: ``backend="auto"`` keeps the sync backend below this batch width --
 #: the IPC cost of a worker pool only amortizes over a wide batch
 AUTO_MIN_ENVS = 4
+
+#: shared-memory reply slot per worker (spillover goes through the pipe)
+DEFAULT_SLOT_BYTES = 1 << 20
+
+_MASKS_CMD = bytes((vt.OP_MASKS,))
+_CLOSE_CMD = bytes((vt.OP_CLOSE,))
+_OK_REPLY = bytes((vt.ST_OK,))
+_SHM_ACK = bytes((vt.ST_SHM,))
 
 
 def resolve_backend(num_envs: int, num_workers: int | None = None,
@@ -53,9 +85,8 @@ def resolve_backend(num_envs: int, num_workers: int | None = None,
     The process backend only pays off when worker processes can spread
     over spare cores *and* the batch is wide enough to amortize the
     per-step IPC; otherwise the in-process sync backend wins (see
-    ``BENCH_vec_throughput.json``: process/shm lose ~1.5x on one CPU).
-    Trajectories are backend-independent, so this is purely a
-    performance choice.
+    ``BENCH_vec_throughput.json``). Trajectories are backend-
+    independent, so this is purely a performance choice.
     """
     if num_envs < 1:
         raise ValueError("num_envs must be >= 1")
@@ -113,99 +144,189 @@ def _build_envs(payload: dict, seeds: list[int | None], record_truth: bool,
             for s in seeds]
 
 
-def _attach_shm(shm_spec: dict | None, lane_lo: int, lane_hi: int):
-    """Attach this worker's slices of the shared reward/done/mask buffers."""
-    if shm_spec is None:
-        return None, ()
-    from multiprocessing import shared_memory
+class _Worker:
+    """One lane group of the logical vector env, driven over a pipe.
 
-    handles = []
-    for name in (shm_spec["rewards"], shm_spec["dones"], shm_spec["masks"]):
-        # Workers (forked or spawned) share the parent's resource
-        # tracker, where attaching re-registers the name as a set
-        # dedup no-op; the parent's close()+unlink() is the single
-        # owner of the segments, so workers only attach and close.
-        handles.append(shared_memory.SharedMemory(name=name))
-    n, a = shm_spec["num_envs"], shm_spec["n_actions"]
-    rewards = np.ndarray((n,), dtype=np.float64, buffer=handles[0].buf)
-    dones = np.ndarray((n,), dtype=bool, buffer=handles[1].buf)
-    masks = np.ndarray((n, a), dtype=bool, buffer=handles[2].buf)
-    views = {
-        "rewards": rewards[lane_lo:lane_hi],
-        "dones": dones[lane_lo:lane_hi],
-        "masks": masks[lane_lo:lane_hi],
-    }
-    return views, tuple(handles)
+    The command loop speaks the binary protocol of
+    :mod:`repro.sim.vec_transport`; messages whose first byte is the
+    pickle PROTO opcode are decoded as legacy pickled commands (the
+    parent's fallback for unencodable action payloads). Replies go
+    through the shared-memory slot when one was configured and the
+    record fits, otherwise straight down the pipe.
+    """
+
+    def __init__(self, conn, payload: dict, lane_lo: int, lane_hi: int,
+                 total_envs: int, base_seed: int | None, auto_reset: bool,
+                 record_truth: bool, shm_spec: dict | None):
+        self.conn = conn
+        self.lane_lo = lane_lo
+        self.lane_hi = lane_hi
+        self.total_envs = total_envs
+        self.record_truth = record_truth
+        self.shm = None
+        self.slot_lo = 0
+        self.slot_bytes = 0
+        if shm_spec is not None:
+            from multiprocessing import shared_memory
+
+            # Workers (forked or spawned) share the parent's resource
+            # tracker, where attaching re-registers the name as a set
+            # dedup no-op; the parent's teardown is the single owner of
+            # the segment, so workers only attach and close.
+            self.shm = shared_memory.SharedMemory(name=shm_spec["name"])
+            self.slot_bytes = shm_spec["slot_bytes"]
+            self.slot_lo = shm_spec["worker_index"] * self.slot_bytes
+        self.venv = self._build_group(payload, base_seed, auto_reset)
+
+    # -- construction / relane ----------------------------------------
+    def _build_group(self, payload: dict, base_seed: int | None,
+                     auto_reset: bool) -> VectorEnv:
+        seeds = [
+            None if base_seed is None else base_seed + i
+            for i in range(self.lane_lo, self.lane_hi)
+        ]
+        envs = _build_envs(payload, seeds, self.record_truth,
+                           lane_lo=self.lane_lo)
+        return VectorEnv(envs, auto_reset=auto_reset, base_seed=base_seed,
+                         lane_offset=self.lane_lo, total_envs=self.total_envs)
+
+    @property
+    def dims(self) -> vt.Dims:
+        return vt.dims_of(self.venv.envs[0])
+
+    def relane(self, msg: dict) -> bytearray:
+        """Rebuild lanes from fresh spec dicts on the live process.
+
+        A ``{"lane": i, "spec": {...}}`` message rebuilds one local
+        lane in place (its episode count restarts at zero); a
+        ``{"payload": ..., "seed": ..., "auto_reset": ...}`` message
+        rebuilds the whole slice exactly as at construction time, so a
+        re-laned pool is bit-identical to a freshly spawned one.
+        """
+        if "lane" in msg:
+            from repro.scenarios.serialization import spec_from_dict
+
+            local_i = msg["lane"]
+            spec = spec_from_dict(msg["spec"])
+            seed = msg.get("seed")
+            venv = self.venv
+            if seed is None and venv._base_seed is not None:
+                seed = venv._base_seed + self.lane_lo + local_i
+            env = spec.build_env(seed=seed, record_truth=self.record_truth)
+            venv.replace_env(local_i, env)
+        else:
+            self.venv = self._build_group(
+                msg["payload"], msg.get("seed"),
+                bool(msg.get("auto_reset", True)),
+            )
+        return vt.encode_relane_reply(self.dims, self.venv.reset_infos)
+
+    # -- replies -------------------------------------------------------
+    def reply(self, record) -> None:
+        if self.shm is not None and len(record) + 4 <= self.slot_bytes:
+            buf = self.shm.buf
+            lo = self.slot_lo
+            vt._U32.pack_into(buf, lo, len(record))
+            buf[lo + 4:lo + 4 + len(record)] = record
+            self.conn.send_bytes(_SHM_ACK)
+        else:
+            self.conn.send_bytes(record)
+
+    def do_step(self, actions, mask) -> None:
+        venv = self.venv
+        step = venv.step(actions, mask=mask)
+        changed = []
+        if venv.auto_reset:
+            # only auto-reset lanes refresh their reset infos; masked
+            # lanes report done=True without resetting
+            changed = [
+                (i, venv.reset_infos[i])
+                for i in range(venv.num_envs)
+                if step.dones[i] and (mask is None or mask[i])
+            ]
+        try:
+            record = vt.encode_step_reply(step.observations, step.rewards,
+                                          step.dones, step.infos, changed)
+        except vt.EncodeError:
+            # un-encodable payload (e.g. a custom env wrapper smuggling
+            # objects into info): legacy pickled reply for this step
+            self.conn.send(("ok", step.observations, step.rewards,
+                            step.dones, step.infos, list(venv.reset_infos)))
+            return
+        self.reply(record)
+
+    # -- command loop --------------------------------------------------
+    def run(self) -> None:
+        conn = self.conn
+        while True:
+            try:
+                raw = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            try:
+                op = raw[0]
+                if op == vt.OP_STEP:
+                    actions, mask = vt.decode_step_cmd(raw, self.venv.num_envs)
+                    self.do_step(actions, mask)
+                elif op == vt.OP_MASKS:
+                    self.reply(vt.encode_masks_reply(self.venv.action_masks()))
+                elif op == vt.OP_RESET:
+                    has_seed, seed = vt.decode_reset_cmd(raw)
+                    obs = (self.venv.reset(seed) if has_seed
+                           else self.venv.reset())
+                    self.reply(vt.encode_reset_reply(obs,
+                                                     self.venv.reset_infos))
+                elif op == vt.OP_RESET_ENV:
+                    local_i, seed = vt.decode_reset_env_cmd(raw)
+                    obs = self.venv.reset_env(local_i, seed=seed)
+                    self.reply(vt.encode_reset_env_reply(
+                        obs, self.venv.reset_infos[local_i]))
+                elif op == vt.OP_AUTO_RESET:
+                    self.venv.auto_reset = bool(raw[1])
+                    conn.send_bytes(_OK_REPLY)
+                elif op == vt.OP_RELANE:
+                    msg = json.loads(bytes(raw[1:]).decode("utf-8"))
+                    self.reply(self.relane(msg))
+                elif op == vt.OP_CLOSE:
+                    conn.send_bytes(_OK_REPLY)
+                    break
+                elif op == vt.PICKLE_PROTO:
+                    command = pickle.loads(raw)
+                    if command[0] == "step":
+                        self.do_step(command[1], command[2])
+                    elif command[0] == "close":
+                        conn.send_bytes(_OK_REPLY)
+                        break
+                    else:
+                        conn.send_bytes(vt.encode_error(
+                            f"unknown legacy command {command[0]!r}"))
+                else:
+                    conn.send_bytes(vt.encode_error(
+                        f"unknown opcode 0x{op:02x}"))
+            except Exception as exc:
+                try:
+                    conn.send_bytes(
+                        vt.encode_error(f"{type(exc).__name__}: {exc}"))
+                except (BrokenPipeError, OSError):
+                    break
+        if self.shm is not None:
+            self.shm.close()
+        conn.close()
 
 
 def _worker_main(conn, payload: dict, lane_lo: int, lane_hi: int,
                  total_envs: int, base_seed: int | None, auto_reset: bool,
                  record_truth: bool, shm_spec: dict | None) -> None:
-    """Command loop hosting one lane group of the logical vector env."""
-    shm_views, shm_handles = None, ()
+    """Process entry point: build the lane group, then serve commands."""
     try:
-        seeds = [
-            None if base_seed is None else base_seed + i
-            for i in range(lane_lo, lane_hi)
-        ]
-        envs = _build_envs(payload, seeds, record_truth, lane_lo=lane_lo)
-        venv = VectorEnv(envs, auto_reset=auto_reset, base_seed=base_seed,
-                         lane_offset=lane_lo, total_envs=total_envs)
-        shm_views, shm_handles = _attach_shm(shm_spec, lane_lo, lane_hi)
-        conn.send(("ready", venv.n_actions, venv.reset_infos))
+        worker = _Worker(conn, payload, lane_lo, lane_hi, total_envs,
+                         base_seed, auto_reset, record_truth, shm_spec)
+        conn.send(("ready", tuple(worker.dims), worker.venv.reset_infos))
     except Exception as exc:  # construction failure: report, bail out
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
         conn.close()
         return
-
-    while True:
-        try:
-            command = conn.recv()
-        except (EOFError, OSError):
-            break
-        try:
-            kind = command[0]
-            if kind == "step":
-                _, actions, mask = command
-                step = venv.step(actions, mask=mask)
-                # auto-resets refresh per-lane reset infos; ship them so
-                # the parent's reset_infos never go stale mid-episode
-                if shm_views is not None:
-                    shm_views["rewards"][:] = step.rewards
-                    shm_views["dones"][:] = step.dones
-                    conn.send(("ok", step.observations, step.infos,
-                               venv.reset_infos))
-                else:
-                    conn.send(("ok", step.observations, step.rewards,
-                               step.dones, step.infos, venv.reset_infos))
-            elif kind == "masks":
-                masks = venv.action_masks()
-                if shm_views is not None:
-                    shm_views["masks"][:] = masks
-                    conn.send(("ok",))
-                else:
-                    conn.send(("ok", masks))
-            elif kind == "reset":
-                _, has_seed, seed = command
-                obs = venv.reset(seed) if has_seed else venv.reset()
-                conn.send(("ok", obs, venv.reset_infos))
-            elif kind == "reset_env":
-                _, local_i, seed = command
-                obs = venv.reset_env(local_i, seed=seed)
-                conn.send(("ok", obs, venv.reset_infos[local_i]))
-            elif kind == "auto_reset":
-                venv.auto_reset = bool(command[1])
-                conn.send(("ok",))
-            elif kind == "close":
-                conn.send(("ok",))
-                break
-            else:
-                conn.send(("error", f"unknown command {kind!r}"))
-        except Exception as exc:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
-    for shm in shm_handles:
-        shm.close()
-    conn.close()
+    worker.run()
 
 
 # ----------------------------------------------------------------------
@@ -226,13 +347,20 @@ class ProcessVectorEnv(BaseVectorEnv):
     """Lockstep vector env with lanes spread over worker processes.
 
     ``payload`` describes how workers rebuild their environments:
-    ``{"spec": <ScenarioSpec dict>}`` or ``{"config": <SimConfig
-    dict>}`` (the latter uses the default FSM attacker, matching
-    ``repro.make_env``). Prefer the :meth:`from_spec` /
-    :meth:`from_config` constructors.
+    ``{"spec": <ScenarioSpec dict>}``, ``{"specs": [...]}`` (one per
+    lane), or ``{"config": <SimConfig dict>}`` (the latter uses the
+    default FSM attacker, matching ``repro.make_env``). Prefer the
+    :meth:`from_spec` / :meth:`from_specs` / :meth:`from_config`
+    constructors.
 
-    The instance is also a context manager; :meth:`close` terminates
-    the workers and is safe to call more than once.
+    The per-step protocol is pickle-free (see
+    :mod:`repro.sim.vec_transport`); a live instance can be re-laned
+    onto new specs with :meth:`relane` / :meth:`rebuild_lane` instead
+    of being re-spawned. The instance is also a context manager;
+    :meth:`close` terminates the workers and is safe to call more than
+    once -- unless the env is owned by a :class:`VecPool`, in which
+    case ``close()`` is a soft release and the pool's ``close()``
+    performs the real teardown.
     """
 
     _uses_shm = False
@@ -240,7 +368,8 @@ class ProcessVectorEnv(BaseVectorEnv):
     def __init__(self, payload: dict, num_envs: int, *, seed: int | None = None,
                  auto_reset: bool = True, record_truth: bool = True,
                  num_workers: int | None = None,
-                 start_method: str | None = None):
+                 start_method: str | None = None,
+                 slot_bytes: int = DEFAULT_SLOT_BYTES):
         if num_envs < 1:
             raise ValueError("num_envs must be >= 1")
         if not ("spec" in payload or "config" in payload or "specs" in payload):
@@ -251,17 +380,22 @@ class ProcessVectorEnv(BaseVectorEnv):
                 f"for {num_envs} envs"
             )
         self.num_envs = num_envs
+        self._payload = payload
         self._lane_specs = None
         if "specs" in payload:
             from repro.scenarios.serialization import spec_from_dict
 
             self._lane_specs = [spec_from_dict(e) for e in payload["specs"]]
         self._lane_configs: list | None = None
+        self._template_env = None
+        self._record_truth = record_truth
         self._auto_reset = auto_reset
         self._closed = False
+        self._pool: "VecPool | None" = None
         self._procs: list = []
         self._conns: list = []
-        self._template = _build_envs(payload, [None], record_truth)[0]
+        self._slab = None
+        self._dims: vt.Dims | None = None
 
         if num_workers is None:
             num_workers = min(num_envs, os.cpu_count() or 1)
@@ -273,14 +407,16 @@ class ProcessVectorEnv(BaseVectorEnv):
             start_method = "fork" if "fork" in methods else "spawn"
         ctx = mp.get_context(start_method)
 
-        shm_spec = self._setup_shm()
         try:
-            for lo, hi in self._bounds:
+            shm_spec = self._setup_shm(slot_bytes)
+            for w, (lo, hi) in enumerate(self._bounds):
                 parent_conn, child_conn = ctx.Pipe(duplex=True)
+                worker_spec = (None if shm_spec is None
+                               else {**shm_spec, "worker_index": w})
                 proc = ctx.Process(
                     target=_worker_main,
                     args=(child_conn, payload, lo, hi, num_envs, seed,
-                          auto_reset, record_truth, shm_spec),
+                          auto_reset, record_truth, worker_spec),
                     daemon=True,
                 )
                 proc.start()
@@ -289,15 +425,11 @@ class ProcessVectorEnv(BaseVectorEnv):
                 self._conns.append(parent_conn)
             self.reset_infos = []
             for conn in self._conns:
-                _, value, reset_infos = self._recv(conn)
-                if value != self._template.n_actions:
-                    raise RuntimeError(
-                        "worker action space mismatch: "
-                        f"{value} != {self._template.n_actions}"
-                    )
+                _, dims, reset_infos = self._recv_handshake(conn)
+                self._check_dims(vt.Dims(*dims))
                 self.reset_infos.extend(reset_infos)
         except BaseException:
-            self.close()
+            self._hard_close()
             raise
 
     # -- constructors --------------------------------------------------
@@ -331,38 +463,63 @@ class ProcessVectorEnv(BaseVectorEnv):
         return cls({"config": config_to_dict(config)}, num_envs, **kwargs)
 
     # -- shm hooks (overridden by ShmVectorEnv) ------------------------
-    def _setup_shm(self) -> dict | None:
+    def _setup_shm(self, slot_bytes: int) -> dict | None:
         return None
 
     def _teardown_shm(self) -> None:
         pass
 
+    def _read_slot(self, worker_index: int):
+        raise RuntimeError("no shared-memory slab on this backend")
+
     # -- metadata ------------------------------------------------------
+    def _template(self):
+        """A parent-side environment of lane 0's scenario, built lazily.
+
+        Only metadata consumers (``config`` / ``topology`` /
+        ``action_list`` / ``policy_env``) pay for it; a pool that is
+        purely stepped never builds one.
+        """
+        if self._template_env is None:
+            self._template_env = _build_envs(
+                self._payload, [None], self._record_truth)[0]
+        return self._template_env
+
+    def _check_dims(self, dims: vt.Dims) -> None:
+        if self._dims is None:
+            self._dims = dims
+        elif dims != self._dims:
+            raise RuntimeError(
+                "worker action space mismatch: "
+                f"{dims.n_actions} != {self._dims.n_actions} "
+                "(all lanes of a vector env must share a topology)"
+            )
+
     @property
     def config(self):
-        return self._template.config
+        return self._template().config
 
     def lane_config(self, i: int):
         if self._lane_specs is None:
-            return self._template.config
+            return self._template().config
         if self._lane_configs is None:
             self._lane_configs = [s.build_config() for s in self._lane_specs]
         return self._lane_configs[i]
 
     @property
     def topology(self):
-        return self._template.topology
+        return self._template().topology
 
     @property
     def n_actions(self) -> int:
-        return self._template.n_actions
+        return self._dims.n_actions
 
     @property
     def action_list(self):
-        return self._template.action_list
+        return self._template().action_list
 
     def policy_env(self, i: int):
-        return self._template
+        return self._template()
 
     @property
     def num_workers(self) -> int:
@@ -376,22 +533,102 @@ class ProcessVectorEnv(BaseVectorEnv):
     def auto_reset(self, value: bool) -> None:
         value = bool(value)
         self._auto_reset = value
+        cmd = bytes((vt.OP_AUTO_RESET, 1 if value else 0))
         for conn in self._conns:
-            conn.send(("auto_reset", value))
-        for conn in self._conns:
-            self._recv(conn)
+            self._send_bytes(conn, cmd)
+        self._recv_group()
 
     # -- plumbing ------------------------------------------------------
-    def _recv(self, conn):
+    def _send_bytes(self, conn, data) -> None:
+        """Send a command; a dead worker tears the whole env down.
+
+        Without this, a worker that crashed between commands would
+        surface as a raw ``BrokenPipeError`` with the pool (and any
+        shared-memory segments) still live behind it.
+        """
+        try:
+            conn.send_bytes(data)
+        except (BrokenPipeError, OSError) as exc:
+            self._pool = None
+            self._hard_close()
+            raise RuntimeError(
+                "a VectorEnv worker process died unexpectedly"
+            ) from exc
+
+    def _send_legacy(self, conn, obj) -> None:
+        """Pickled fallback send with the same dead-worker teardown."""
+        try:
+            conn.send(obj)
+        except (BrokenPipeError, OSError) as exc:
+            self._pool = None
+            self._hard_close()
+            raise RuntimeError(
+                "a VectorEnv worker process died unexpectedly"
+            ) from exc
+
+    def _recv_group(self) -> list:
+        """One reply per worker, draining *every* pipe before raising.
+
+        Raising on the first worker error would leave the other
+        workers' replies queued in their pipes, desynchronizing the
+        protocol for every later command (and poisoning a pooled env).
+        Application errors (ST_ERR) therefore drain the whole group
+        first; a dead worker has already torn the env down inside
+        :meth:`_recv_raw`, so there is nothing left to drain.
+        """
+        replies: list = []
+        first_error: Exception | None = None
+        for w, conn in enumerate(self._conns):
+            if self._closed and first_error is not None:
+                break  # a dead worker hard-closed us mid-drain
+            try:
+                replies.append(self._recv_raw(conn, w))
+            except RuntimeError as exc:
+                replies.append(None)
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return replies
+
+    def _recv_handshake(self, conn):
         try:
             reply = conn.recv()
         except (EOFError, OSError) as exc:
             raise RuntimeError(
-                "a VectorEnv worker process died unexpectedly"
+                "a VectorEnv worker process died during construction"
             ) from exc
         if reply[0] == "error":
             raise RuntimeError(f"VectorEnv worker failed: {reply[1]}")
         return reply
+
+    def _recv_raw(self, conn, worker_index: int):
+        """One reply: binary record, shm-slot view, or legacy tuple.
+
+        A worker that died mid-command makes the env unusable, so the
+        pool is torn down (segments unlinked, processes reaped) before
+        the error propagates -- a crash can never leak ``/dev/shm``
+        residue behind an exception.
+        """
+        try:
+            raw = conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            self._pool = None
+            self._hard_close()
+            raise RuntimeError(
+                "a VectorEnv worker process died unexpectedly"
+            ) from exc
+        first = raw[0]
+        if first == vt.ST_SHM and len(raw) == 1:
+            return self._read_slot(worker_index)
+        if first == vt.ST_ERR:
+            raise RuntimeError(f"VectorEnv worker failed: {vt.decode_error(raw)}")
+        if first == vt.PICKLE_PROTO:
+            reply = pickle.loads(raw)
+            if reply[0] == "error":
+                raise RuntimeError(f"VectorEnv worker failed: {reply[1]}")
+            return reply
+        return raw
 
     def _worker_of(self, lane: int) -> tuple[int, int]:
         """(worker index, local lane index) owning a global lane."""
@@ -403,12 +640,14 @@ class ProcessVectorEnv(BaseVectorEnv):
     # -- lockstep interface --------------------------------------------
     def reset(self, seed=_UNSET) -> list:
         has_seed = seed is not _UNSET
+        cmd = vt.encode_reset_cmd(has_seed, seed if has_seed else None)
         for conn in self._conns:
-            conn.send(("reset", has_seed, seed if has_seed else None))
+            self._send_bytes(conn, cmd)
+        replies = self._recv_group()
         observations: list = []
         infos: list = []
-        for conn in self._conns:
-            _, obs, reset_infos = self._recv(conn)
+        for reply, (lo, hi) in zip(replies, self._bounds):
+            obs, reset_infos = vt.decode_reset_reply(reply, hi - lo, self._dims)
             observations.extend(obs)
             infos.extend(reset_infos)
         self.reset_infos = infos
@@ -416,8 +655,9 @@ class ProcessVectorEnv(BaseVectorEnv):
 
     def reset_env(self, i: int, seed: int | None = None):
         w, local = self._worker_of(i)
-        self._conns[w].send(("reset_env", local, seed))
-        _, obs, info = self._recv(self._conns[w])
+        self._send_bytes(self._conns[w], vt.encode_reset_env_cmd(local, seed))
+        reply = self._recv_raw(self._conns[w], w)
+        obs, info = vt.decode_reset_env_reply(reply, self._dims)
         self.reset_infos[i] = info
         return obs
 
@@ -430,56 +670,334 @@ class ProcessVectorEnv(BaseVectorEnv):
                     f"expected {self.num_envs} mask entries, got {len(mask)}"
                 )
         for conn, (lo, hi) in zip(self._conns, self._bounds):
-            conn.send(("step", actions[lo:hi],
-                       None if mask is None else mask[lo:hi]))
+            group_mask = None if mask is None else mask[lo:hi]
+            try:
+                self._send_bytes(
+                    conn, vt.encode_step_cmd(actions[lo:hi], group_mask))
+            except vt.EncodeError:
+                # exotic action payload: pickle this one command
+                self._send_legacy(conn, ("step", actions[lo:hi], group_mask))
         return self._collect_step()
 
     def _collect_step(self) -> VecStep:
+        replies = self._recv_group()
         observations: list = []
         infos: list = []
         rewards = np.empty(self.num_envs)
         dones = np.empty(self.num_envs, dtype=bool)
-        for conn, (lo, hi) in zip(self._conns, self._bounds):
-            _, obs, rew, done, info, reset_infos = self._recv(conn)
+        for reply, (lo, hi) in zip(replies, self._bounds):
+            if isinstance(reply, tuple):  # legacy pickled fallback
+                _, obs, rew, done, info, reset_infos = reply
+                self.reset_infos[lo:hi] = reset_infos
+            else:
+                obs, rew, done, info, changed = vt.decode_step_reply(
+                    reply, hi - lo, self._dims)
+                for local_i, reset_info in changed:
+                    self.reset_infos[lo + local_i] = reset_info
             observations.extend(obs)
             infos.extend(info)
             rewards[lo:hi] = rew
             dones[lo:hi] = done
-            self.reset_infos[lo:hi] = reset_infos
         return VecStep(observations, rewards, dones, infos)
 
     def action_masks(self) -> np.ndarray:
         for conn in self._conns:
-            conn.send(("masks",))
+            self._send_bytes(conn, _MASKS_CMD)
         rows = []
-        for conn in self._conns:
-            _, masks = self._recv(conn)
-            rows.append(masks)
+        for reply, (lo, hi) in zip(self._recv_group(), self._bounds):
+            if isinstance(reply, tuple):
+                rows.append(reply[1])
+            else:
+                rows.append(vt.decode_masks_reply(reply, hi - lo, self._dims))
         return np.concatenate(rows, axis=0)
+
+    # -- persistent-pool interface -------------------------------------
+    def relane(self, specs, *, seed: int | None = None,
+               auto_reset: bool = True) -> "ProcessVectorEnv":
+        """Rebuild every lane from ``specs`` on the live worker pool.
+
+        Equivalent to closing this env and constructing
+        ``from_specs(specs, seed=seed, auto_reset=auto_reset)`` -- same
+        per-lane construction seeds, zeroed episode counts, fresh
+        ``reset_infos`` -- but without re-spawning processes or
+        re-importing the world. ``specs`` must match ``num_envs``
+        (lane counts are part of the pool geometry; :class:`VecPool`
+        spawns a new pool when the width changes).
+        """
+        from repro.scenarios.serialization import spec_to_dict
+
+        if self._closed:
+            raise RuntimeError("cannot relane a closed vector env")
+        specs = list(specs)
+        if len(specs) != self.num_envs:
+            raise ValueError(
+                f"relane needs {self.num_envs} specs, got {len(specs)}"
+            )
+        payload = {"specs": [spec_to_dict(s) for s in specs]}
+        body = json.dumps(
+            {"payload": payload, "seed": seed, "auto_reset": auto_reset}
+        ).encode("utf-8")
+        cmd = bytes((vt.OP_RELANE,)) + body
+        for conn in self._conns:
+            self._send_bytes(conn, cmd)
+        self._finish_relane(specs, payload)
+        self._auto_reset = auto_reset
+        return self
+
+    def rebuild_lane(self, i: int, spec, *, seed: int | None = None) -> None:
+        """Rebuild one lane in place from ``spec`` (live pool).
+
+        The lane's episode count restarts at zero, and with
+        ``seed=None`` the lane draws its construction seed from the
+        pool's base-seed schedule, exactly as at construction time.
+        """
+        from repro.scenarios.serialization import spec_to_dict
+
+        if self._closed:
+            raise RuntimeError("cannot rebuild a lane of a closed vector env")
+        if self._lane_specs is None:
+            raise ValueError(
+                "rebuild_lane needs a spec-built vector env "
+                "(from_spec/from_specs); this one was built from a raw config"
+            )
+        w, local = self._worker_of(i)
+        body = json.dumps(
+            {"lane": local, "spec": spec_to_dict(spec), "seed": seed}
+        ).encode("utf-8")
+        self._send_bytes(self._conns[w], bytes((vt.OP_RELANE,)) + body)
+        lo, hi = self._bounds[w]
+        reply = self._recv_raw(self._conns[w], w)
+        dims, reset_infos = vt.decode_relane_reply(reply, hi - lo)
+        self._check_dims(dims)
+        self.reset_infos[lo:hi] = reset_infos
+        self._lane_specs[i] = spec
+        self._lane_configs = None
+        # keep construction metadata honest: the payload (what a future
+        # relane/template build starts from) and the lazily built
+        # template must reflect the rebuilt lane
+        self._payload = {"specs": [spec_to_dict(s) for s in self._lane_specs]}
+        self._template_env = None
+
+    def _finish_relane(self, specs: list, payload: dict) -> None:
+        replies = self._recv_group()
+        reset_infos: list = []
+        dims_seen: list[vt.Dims] = []
+        for reply, (lo, hi) in zip(replies, self._bounds):
+            dims, infos = vt.decode_relane_reply(reply, hi - lo)
+            dims_seen.append(dims)
+            reset_infos.extend(infos)
+        if any(dims != dims_seen[0] for dims in dims_seen[1:]):
+            raise ValueError(
+                "relane specs disagree on the action space; all lanes of a "
+                "vector env must share a topology"
+            )
+        # a relane may legitimately move the pool to a different network
+        # preset; the workers' agreed geometry becomes the new contract
+        self._dims = dims_seen[0]
+        self.reset_infos = reset_infos
+        self._payload = payload
+        self._lane_specs = list(specs)
+        self._lane_configs = None
+        self._template_env = None
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
+        """Release the env; a pool-owned env is only *released*.
+
+        For a standalone env this terminates the workers and unlinks
+        any shared-memory segments. For an env handed out by a
+        :class:`VecPool` it is a no-op soft release -- the pool keeps
+        the workers alive for the next ``acquire`` and its own
+        ``close()`` performs the real teardown.
+        """
+        if self._pool is not None and not self._closed:
+            return
+        self._hard_close()
+
+    def shutdown(self) -> None:
+        """Terminate the workers even if a pool owns this env."""
+        self._pool = None
+        self._hard_close()
+
+    def _hard_close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns:
+        self._pool = None
+        try:
+            for conn in self._conns:
+                try:
+                    conn.send_bytes(_CLOSE_CMD)
+                except (BrokenPipeError, OSError):
+                    pass
+            for conn in self._conns:
+                try:
+                    if conn.poll(1.0):
+                        conn.recv_bytes()
+                except (EOFError, OSError):
+                    pass
+                conn.close()
+            for proc in self._procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+        finally:
+            self._teardown_shm()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self._hard_close()
+        except Exception:
+            pass
+
+
+class ShmVectorEnv(ProcessVectorEnv):
+    """Process backend whose replies travel through shared memory.
+
+    Every worker owns a fixed slot in one preallocated
+    ``multiprocessing.shared_memory`` slab and parks its encoded reply
+    record there (observations, rewards, dones, structured infos,
+    masks); the pipe then carries a single acknowledgement byte, which
+    doubles as the write barrier. The parent decodes straight out of
+    the slab into fresh objects, so callers may hold onto results
+    across steps. Records larger than the slot (pathological alert
+    floods) spill over to the pipe transparently.
+
+    The parent is the single owner of the slab: it is unlinked from
+    every teardown path (``close()``, constructor failure, worker
+    crash, finalizer), so no ``/dev/shm`` residue survives the env.
+    """
+
+    _uses_shm = True
+
+    def _setup_shm(self, slot_bytes: int) -> dict:
+        from multiprocessing import shared_memory
+
+        if slot_bytes < 4096:
+            raise ValueError("slot_bytes must be at least 4096")
+        self._slot_bytes = slot_bytes
+        self._slab = shared_memory.SharedMemory(
+            create=True, size=len(self._bounds) * slot_bytes)
+        return {"name": self._slab.name, "slot_bytes": slot_bytes}
+
+    def _teardown_shm(self) -> None:
+        slab = getattr(self, "_slab", None)
+        if slab is None:
+            return
+        self._slab = None
+        try:
+            slab.close()
+        finally:
             try:
-                conn.send(("close",))
-            except (BrokenPipeError, OSError):
+                slab.unlink()
+            except FileNotFoundError:  # pragma: no cover
                 pass
-        for conn in self._conns:
+
+    def _read_slot(self, worker_index: int):
+        buf = self._slab.buf
+        lo = worker_index * self._slot_bytes
+        (length,) = vt._U32.unpack_from(buf, lo)
+        # decoding copies every field out of the slab (frombuffer +
+        # astype/copy), so handing out a transient view is safe
+        return memoryview(buf)[lo + 4:lo + 4 + length]
+
+
+# ----------------------------------------------------------------------
+# persistent pools
+# ----------------------------------------------------------------------
+class VecPool:
+    """A cache of live worker-pool vector envs, re-laned instead of
+    re-spawned.
+
+    :meth:`acquire` hands out a :class:`ProcessVectorEnv` /
+    :class:`ShmVectorEnv` for a batch of scenario specs. When a live
+    pool with the same geometry (backend, lane count, worker count)
+    already exists, its workers are re-laned onto the new specs --
+    bit-identical to a fresh construction, without paying process
+    startup -- otherwise a new pool is spawned and cached. Envs handed
+    out by a pool treat ``close()`` as a soft release, so existing
+    ``with venv:`` call sites work unchanged; the pool's own
+    :meth:`close` (or the interpreter exit hook on
+    :func:`default_pool`) performs the real teardown.
+
+    The CEM attacker oracle and the self-play loop are the intended
+    users: one pool serves every generation of every round. ``spawns``
+    and ``reuses`` count pool constructions and re-lanings -- a healthy
+    CEM run reports ``spawns == 1``.
+    """
+
+    def __init__(self, max_pools: int = 4):
+        if max_pools < 1:
+            raise ValueError("max_pools must be >= 1")
+        self.max_pools = max_pools
+        self._pools: "OrderedDict[tuple, ProcessVectorEnv]" = OrderedDict()
+        self._closed = False
+        self.spawns = 0
+        self.reuses = 0
+
+    def acquire(self, specs, *, seed: int | None = None,
+                backend: str = "process", num_workers: int | None = None,
+                auto_reset: bool = True, record_truth: bool = True,
+                start_method: str | None = None) -> ProcessVectorEnv:
+        """A ready vector env over ``specs``, reusing live workers."""
+        if self._closed:
+            raise RuntimeError("cannot acquire from a closed VecPool")
+        if backend not in ("process", "shm"):
+            raise ValueError(
+                f"VecPool backs worker-pool backends, not {backend!r}"
+            )
+        specs = list(specs)
+        if not specs:
+            raise ValueError("acquire needs at least one spec")
+        key = (backend, len(specs), num_workers, record_truth, start_method)
+        venv = self._pools.get(key)
+        if venv is not None and not venv._closed:
             try:
-                if conn.poll(1.0):
-                    conn.recv()
-            except (EOFError, OSError):
-                pass
-            conn.close()
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=1.0)
-        self._teardown_shm()
+                venv.relane(specs, seed=seed, auto_reset=auto_reset)
+                self.reuses += 1
+                self._pools.move_to_end(key)
+                return venv
+            except RuntimeError:
+                # dead or wedged pool; fall through and respawn
+                venv.shutdown()
+        cls = ProcessVectorEnv if backend == "process" else ShmVectorEnv
+        venv = cls.from_specs(
+            specs, seed=seed, auto_reset=auto_reset,
+            record_truth=record_truth, num_workers=num_workers,
+            start_method=start_method,
+        )
+        venv._pool = self
+        self.spawns += 1
+        old = self._pools.pop(key, None)
+        if old is not None:
+            old.shutdown()
+        self._pools[key] = venv
+        while len(self._pools) > self.max_pools:
+            _, evicted = self._pools.popitem(last=False)
+            evicted.shutdown()
+        return venv
+
+    @property
+    def stats(self) -> dict:
+        return {"spawns": self.spawns, "reuses": self.reuses,
+                "live_pools": len(self._pools)}
+
+    def __len__(self) -> int:
+        return len(self._pools)
+
+    def close(self) -> None:
+        """Terminate every cached pool (idempotent)."""
+        self._closed = True
+        pools, self._pools = list(self._pools.values()), OrderedDict()
+        for venv in pools:
+            venv.shutdown()
+
+    def __enter__(self) -> "VecPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __del__(self):  # pragma: no cover - best-effort cleanup
         try:
@@ -488,69 +1006,19 @@ class ProcessVectorEnv(BaseVectorEnv):
             pass
 
 
-class ShmVectorEnv(ProcessVectorEnv):
-    """Process backend exchanging numeric batches via shared memory.
+_DEFAULT_POOL: VecPool | None = None
 
-    Rewards, dones, and action-mask batches live in three
-    ``multiprocessing.shared_memory`` segments written in place by the
-    workers; only observations and info dicts are pickled through the
-    pipes. The pipe acknowledgement doubles as the write barrier, and
-    the parent copies batches out of the buffers before returning them,
-    so callers may hold onto results across steps.
+
+def default_pool() -> VecPool:
+    """The process-wide :class:`VecPool` behind ``reuse_pool=True``.
+
+    Created on first use and closed at interpreter exit; callers that
+    want deterministic teardown should hold their own :class:`VecPool`.
     """
+    global _DEFAULT_POOL
+    if _DEFAULT_POOL is None or _DEFAULT_POOL._closed:
+        import atexit
 
-    _uses_shm = True
-
-    def _setup_shm(self) -> dict:
-        from multiprocessing import shared_memory
-
-        n, a = self.num_envs, self._template.n_actions
-        self._shm = {
-            "rewards": shared_memory.SharedMemory(create=True, size=max(1, n * 8)),
-            "dones": shared_memory.SharedMemory(create=True, size=max(1, n)),
-            "masks": shared_memory.SharedMemory(create=True, size=max(1, n * a)),
-        }
-        self._shm_rewards = np.ndarray((n,), dtype=np.float64,
-                                       buffer=self._shm["rewards"].buf)
-        self._shm_dones = np.ndarray((n,), dtype=bool,
-                                     buffer=self._shm["dones"].buf)
-        self._shm_masks = np.ndarray((n, a), dtype=bool,
-                                     buffer=self._shm["masks"].buf)
-        return {
-            "rewards": self._shm["rewards"].name,
-            "dones": self._shm["dones"].name,
-            "masks": self._shm["masks"].name,
-            "num_envs": n,
-            "n_actions": a,
-        }
-
-    def _teardown_shm(self) -> None:
-        shm = getattr(self, "_shm", None)
-        if not shm:
-            return
-        self._shm = {}
-        for segment in shm.values():
-            try:
-                segment.close()
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
-
-    def _collect_step(self) -> VecStep:
-        observations: list = []
-        infos: list = []
-        for conn, (lo, hi) in zip(self._conns, self._bounds):
-            _, obs, info, reset_infos = self._recv(conn)
-            observations.extend(obs)
-            infos.extend(info)
-            self.reset_infos[lo:hi] = reset_infos
-        # the acks above are the write barrier; copy out of the buffers
-        return VecStep(observations, self._shm_rewards.copy(),
-                       self._shm_dones.copy(), infos)
-
-    def action_masks(self) -> np.ndarray:
-        for conn in self._conns:
-            conn.send(("masks",))
-        for conn in self._conns:
-            self._recv(conn)
-        return self._shm_masks.copy()
+        _DEFAULT_POOL = VecPool()
+        atexit.register(_DEFAULT_POOL.close)
+    return _DEFAULT_POOL

@@ -261,6 +261,25 @@ class VectorEnv(BaseVectorEnv):
         self.reset_infos = [_reset_info(env) for env in self.envs]
         return obs
 
+    def replace_env(self, i: int, env: InasimEnv) -> None:
+        """Swap lane ``i``'s environment for a freshly built one.
+
+        The persistent worker pools use this to re-lane a live group
+        (``rebuild_lane``): the lane's episode count restarts at zero so
+        its reseed schedule matches a freshly constructed vector env,
+        and its reset info reflects the new environment's initial state.
+        """
+        if env.n_actions != self.n_actions:
+            raise ValueError(
+                "replacement environment changes the action space "
+                f"({env.n_actions} != {self.n_actions}); rebuild the whole "
+                "vector env instead"
+            )
+        self.envs[i] = env
+        self._episode_counts[i] = 0
+        self._last_obs[i] = None
+        self.reset_infos[i] = _reset_info(env)
+
     def reset_env(self, i: int, seed: int | None = None) -> Observation:
         """Reset one lane explicitly (manual episode scheduling).
 

@@ -13,7 +13,7 @@ corrections can all be computed offline from the same log.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,96 @@
+"""The CI benchmark-regression gate (benchmarks/compare_bench_throughput.py).
+
+The comparator is CI-load-bearing: a bug that always passes would
+silently disable the throughput gate, one that always fails would block
+every PR. Pin the verdict logic on synthetic reports.
+"""
+
+import importlib.util
+import pathlib
+
+_spec = importlib.util.spec_from_file_location(
+    "compare_bench_throughput",
+    pathlib.Path(__file__).parent.parent
+    / "benchmarks"
+    / "compare_bench_throughput.py",
+)
+_mod = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_mod)
+compare = _mod.compare
+
+
+def _report(sync, process, shm):
+    return {
+        "results": [
+            {"network": "paper", "backend": "sync", "num_envs": 16,
+             "aggregate_steps_per_s": sync},
+            {"network": "paper", "backend": "process", "num_envs": 16,
+             "aggregate_steps_per_s": process},
+            {"network": "paper", "backend": "shm", "num_envs": 16,
+             "aggregate_steps_per_s": shm},
+        ]
+    }
+
+
+BASE = _report(40_000.0, 20_000.0, 20_000.0)
+
+
+class TestBenchGate:
+    def test_identical_reports_pass(self):
+        status, lines = compare(BASE, BASE)
+        assert status == 0
+
+    def test_within_tolerance_passes(self):
+        status, _ = compare(_report(40_000, 15_000, 19_000), BASE,
+                            max_regression=0.30)
+        assert status == 0
+
+    def test_parallel_regression_fails(self):
+        status, lines = compare(_report(40_000, 10_000, 20_000), BASE,
+                                max_regression=0.30)
+        assert status == 1
+        assert any("FAIL" in line and "process" in line for line in lines)
+
+    def test_slow_host_is_calibrated_away(self):
+        """Half-speed host, same code: every cell scales together."""
+        status, _ = compare(_report(20_000, 10_000, 10_000), BASE,
+                            max_regression=0.30)
+        assert status == 0
+
+    def test_calibration_cell_excluded_from_aggregate(self):
+        """A host just inside the drift allowance must not fail the
+        aggregate through the sync cell's raw ratio (only calibrated
+        per-cell ratios feed the geomean)."""
+        status, lines = compare(_report(16_400, 7_500, 7_500), BASE,
+                                max_regression=0.30, max_host_drift=0.60)
+        assert status == 0, lines
+
+    def test_slow_host_masks_nothing_relative(self):
+        """Half-speed host AND a real transport regression still fails."""
+        status, _ = compare(_report(20_000, 5_000, 10_000), BASE,
+                            max_regression=0.30)
+        assert status == 1
+
+    def test_catastrophic_sync_drop_fails(self):
+        status, lines = compare(_report(10_000, 5_000, 5_000), BASE,
+                                max_host_drift=0.60)
+        assert status == 1
+        assert any("host-drift" in line for line in lines)
+
+    def test_no_overlap_is_unusable(self):
+        status, _ = compare({"results": []}, BASE)
+        assert status == 2
+
+    def test_missing_calibration_cell_is_unusable(self):
+        tiny_only = {"results": [
+            {"network": "tiny", "backend": "sync", "num_envs": 4,
+             "aggregate_steps_per_s": 1.0},
+        ]}
+        merged = {"results": BASE["results"] + tiny_only["results"]}
+        status, _ = compare(tiny_only, merged)
+        assert status == 2
+
+    def test_uncalibrated_mode_compares_raw(self):
+        status, _ = compare(_report(20_000, 10_000, 10_000), BASE,
+                            calibrate=False)
+        assert status == 1

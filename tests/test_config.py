@@ -5,8 +5,6 @@ import pytest
 from repro.config import (
     APTConfig,
     RewardConfig,
-    SimConfig,
-    TopologyConfig,
     paper_network,
     small_network,
     tiny_network,

@@ -16,14 +16,13 @@ from repro.dbn import (
     action_category,
     canonical_states,
     collect_episode,
-    fit_tables,
     mu_bucket,
     validate_dbn,
 )
 from repro.dbn.states import N_ACTION_CATEGORIES, N_SCAN_TYPES
 from repro.defenders import SemiRandomPolicy
 from repro.net.nodes import Condition
-from repro.sim.observations import Alert, AlertSource, Observation, ScanResult
+from repro.sim.observations import Alert, Observation, ScanResult
 from repro.sim.orchestrator import DefenderAction, DefenderActionType
 
 _S = CanonicalState

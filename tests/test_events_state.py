@@ -1,6 +1,5 @@
 """Tests for the event queue and the dynamic network state."""
 
-import numpy as np
 import pytest
 
 from repro.config import tiny_network

@@ -6,7 +6,6 @@ just the modules in isolation.
 """
 
 import numpy as np
-import pytest
 
 import repro
 from repro.config import tiny_network

@@ -7,7 +7,6 @@ import repro
 from repro.attacker import FSMAttacker, Phase, apt1, apt2
 from repro.attacker.fsm import phase_sequence
 from repro.config import APTConfig, tiny_network
-from repro.sim.orchestrator import DefenderAction, DefenderActionType
 
 
 class TestPhaseSequence:

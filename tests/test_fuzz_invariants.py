@@ -8,7 +8,6 @@ preservation, and determinism under fuzzing.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.config import IDSConfig, RewardConfig, tiny_network
 from repro.net import Condition, build_topology
-from repro.net.topology import L1_OPS, L2_OPS
+from repro.net.topology import L1_OPS
 from repro.sim.apt_actions import APTActionRequest, APTActionType
 from repro.sim.ids import IDSModule
 from repro.sim.observations import AlertSource

@@ -1,6 +1,5 @@
 """Tests for defender actions: scans, mitigations, quarantine."""
 
-import numpy as np
 import pytest
 
 from repro.config import tiny_network

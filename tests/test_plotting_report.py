@@ -1,6 +1,5 @@
 """Tests for ASCII plotting and markdown report generation."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

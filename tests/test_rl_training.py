@@ -19,7 +19,7 @@ from repro.rl import (
 )
 from repro.rl.dqn import valid_action_mask
 from repro.rl.pretrain import PretrainConfig
-from repro.sim.orchestrator import DefenderAction, DefenderActionType
+from repro.sim.orchestrator import DefenderActionType
 
 _T = DefenderActionType
 

@@ -1,6 +1,5 @@
 """Tests for episode trace recording, serialization, and replay."""
 
-import numpy as np
 import pytest
 
 import repro
@@ -8,7 +7,6 @@ from repro.config import tiny_network
 from repro.defenders import NoopPolicy, PlaybookPolicy, SemiRandomPolicy
 from repro.sim.trace import (
     EpisodeTrace,
-    TraceStep,
     record_episode,
     verify_determinism,
 )

@@ -4,7 +4,6 @@ protocol, and the size-invariance contract."""
 import numpy as np
 import pytest
 
-import repro
 from repro.config import TopologyConfig, SimConfig, small_network, tiny_network
 from repro.net.topology import build_topology
 from repro.rl import AttentionQNetwork, DQNConfig, QNetConfig

@@ -29,7 +29,6 @@ from repro.scenarios.registry import REGISTRY
 from repro.sim.vec_backends import (
     AUTO_MIN_ENVS,
     ProcessVectorEnv,
-    ShmVectorEnv,
     resolve_backend,
 )
 from repro.sim.vec_env import VectorEnv
