@@ -1,14 +1,26 @@
 """Packaging for the DSN 2022 attack-mitigation reproduction."""
 
 import pathlib
+import re
 
 from setuptools import find_packages, setup
 
-_README = pathlib.Path(__file__).parent / "README.md"
+_HERE = pathlib.Path(__file__).parent
+_README = _HERE / "README.md"
+
+
+def _version() -> str:
+    """Single-source the version from ``repro.__version__``."""
+    text = (_HERE / "src" / "repro" / "__init__.py").read_text()
+    match = re.search(r'^__version__ = "([^"]+)"$', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("no __version__ in src/repro/__init__.py")
+    return match.group(1)
+
 
 setup(
     name="repro-inasim",
-    version="1.1.0",
+    version=_version(),
     description=(
         "Reproduction of 'Autonomous Attack Mitigation for Industrial "
         "Control Systems' (Mern et al., DSN 2022): the INASIM simulator, "

@@ -42,7 +42,7 @@ from repro.scenarios import (
     register,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "APTConfig",

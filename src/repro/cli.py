@@ -13,7 +13,13 @@ Commands cover the full reproduction workflow without writing Python:
 * ``repro fit-dbn`` -- learn DBN tables from random-policy episodes;
 * ``repro trace`` -- record an episode trace to JSONL;
 * ``repro config`` -- dump a preset's JSON (edit, then pass anywhere
-  via ``--config``).
+  via ``--config``);
+* ``repro serve`` -- the long-lived evaluation service (HTTP/JSON jobs
+  over a shared worker pool, SQLite run store);
+* ``repro submit`` -- send an evaluation/simulation/self-play job to a
+  running server (optionally waiting for the result);
+* ``repro runs list`` / ``repro runs show`` -- query the run store
+  (works offline, straight from the SQLite file).
 
 Every command accepts ``--scenario <id>`` (a registry entry, see
 ``repro scenarios``), ``--preset {paper,small,tiny}``, or ``--config
@@ -414,6 +420,193 @@ def cmd_selfplay(args) -> int:
     return 1 if failures else 0
 
 
+# ----------------------------------------------------------------------
+# serving
+# ----------------------------------------------------------------------
+def cmd_serve(args) -> int:
+    """Run the evaluation service until SIGINT/SIGTERM or POST /shutdown."""
+    import asyncio
+    import signal
+
+    from repro.serve import EvalService, ServeServer
+
+    async def _main() -> None:
+        service = EvalService(
+            args.db,
+            default_backend=args.pool_backend,
+            max_queue=args.max_queue,
+            workers=args.workers,
+            num_workers=args.num_workers,
+        )
+        server = ServeServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(f"repro serve listening on http://{server.host}:{server.port}")
+        print(f"  run store: {args.db}  backend: {args.pool_backend}  "
+              f"max queue: {args.max_queue}  job workers: {args.workers}",
+              file=sys.stderr)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await server.serve_forever()
+        print(f"drained; {service.store.path} holds "
+              f"{len(service.jobs())} run(s) from this session",
+              file=sys.stderr)
+
+    asyncio.run(_main())
+    return 0
+
+
+def _submit_payload(args) -> dict:
+    """The job JSON for ``repro submit`` (spec-by-id or inline spec)."""
+    payload: dict = {
+        "kind": args.kind,
+        "policy": args.policy,
+        "episodes": args.episodes,
+        "seed": args.seed,
+    }
+    if args.scenario:
+        payload["scenario"] = args.scenario
+    else:
+        # inline-spec submission: bridge the preset/--config into a
+        # ScenarioSpec and ship it in the payload itself
+        from repro.scenarios.serialization import spec_to_dict
+        from repro.scenarios.spec import spec_for_config
+
+        config = _resolve_config(args)
+        try:
+            spec = spec_for_config(config, f"submit-{args.preset}")
+        except ValueError as exc:
+            raise SystemExit(
+                f"cannot express this config as an inline scenario: {exc}"
+            )
+        payload["spec"] = spec_to_dict(spec)
+    if args.max_steps:
+        payload["max_steps"] = args.max_steps
+    if args.num_envs > 1:
+        payload["num_envs"] = args.num_envs
+    if args.backend:
+        payload["backend"] = args.backend
+    if args.num_workers:
+        payload["num_workers"] = args.num_workers
+    if args.tag:
+        payload["tags"] = list(args.tag)
+    if args.dbn:
+        payload["dbn"] = args.dbn
+    if args.qnet:
+        payload["qnet"] = args.qnet
+    if args.kind == "selfplay":
+        payload["cem_iterations"] = args.cem_iterations
+        payload["cem_population"] = args.cem_population
+        payload["fitness_episodes"] = args.fitness_episodes
+    return payload
+
+
+def cmd_submit(args) -> int:
+    from repro.serve.client import (
+        JobFailedError,
+        ServeClient,
+        ServeError,
+        ServeQueueFullError,
+    )
+
+    client = ServeClient(args.host, args.port)
+    try:
+        job = client.submit(_submit_payload(args))
+    except ServeQueueFullError as exc:
+        raise SystemExit(f"server busy (backpressure): {exc}")
+    except ServeError as exc:
+        raise SystemExit(f"submission rejected: {exc}")
+    except (ConnectionRefusedError, OSError) as exc:
+        raise SystemExit(
+            f"no server at {args.host}:{args.port} ({exc}); "
+            "start one with 'repro serve'"
+        )
+    print(f"job {job['job_id']} {job['status']} "
+          f"({job['kind']} of {job['scenario']} / {job['policy']})")
+    if not args.wait:
+        return 0
+    try:
+        job = client.wait(job["job_id"], timeout=args.timeout)
+    except JobFailedError as exc:
+        job = exc.job
+        print(f"job {job['job_id']} finished: {job['status']}"
+              + (f" ({job['error']})" if job.get("error") else ""))
+        return 1
+    print(f"job {job['job_id']} finished: {job['status']}")
+    for name, value in (job.get("metrics") or {}).items():
+        if isinstance(value, (list, tuple)) and len(value) == 2:
+            print(f"  {name:<22} {value[0]:>12.2f} +- {value[1]:.2f}")
+        elif isinstance(value, float):
+            print(f"  {name:<22} {value:>12.2f}")
+        else:
+            print(f"  {name:<22} {value}")
+    return 0
+
+
+def _open_store(args):
+    import os
+
+    from repro.serve.store import RunStore
+
+    if not os.path.exists(args.db):
+        raise SystemExit(
+            f"no run store at {args.db!r} (a server creates one; "
+            "point --db at its file)"
+        )
+    return RunStore(args.db)
+
+
+def cmd_runs_list(args) -> int:
+    with _open_store(args) as store:
+        runs = store.list_runs(scenario=args.scenario, status=args.status,
+                               kind=args.kind, tag=args.tag,
+                               limit=args.limit)
+    if not runs:
+        print("no matching runs")
+        return 1
+    print(f"{'run':<14} {'kind':<9} {'status':<10} {'scenario':<26} "
+          f"{'policy':<9} {'seed':>5} {'eps':>4} {'wall':>8}  tags")
+    for run in runs:
+        wall = f"{run['wall_time']:.2f}s" if run["wall_time"] else "-"
+        print(f"{run['run_id']:<14} {run['kind']:<9} {run['status']:<10} "
+              f"{str(run['scenario_id']):<26} {str(run['policy']):<9} "
+              f"{str(run['seed']):>5} {str(run['episodes']):>4} {wall:>8}  "
+              f"{','.join(run['tags'])}")
+    return 0
+
+
+def cmd_runs_show(args) -> int:
+    with _open_store(args) as store:
+        run = store.get_run(args.run_id)
+        episodes = store.episodes_of(args.run_id)
+    if run is None:
+        raise SystemExit(f"unknown run {args.run_id!r}")
+    for key in ("run_id", "kind", "status", "scenario_id", "policy", "seed",
+                "episodes", "code_version", "wall_time", "error"):
+        if run.get(key) is not None:
+            print(f"{key:<14} {run[key]}")
+    if run.get("tags"):
+        print(f"{'tags':<14} {','.join(run['tags'])}")
+    if run.get("metrics"):
+        print("metrics")
+        for name, value in run["metrics"].items():
+            if isinstance(value, list) and len(value) == 2:
+                print(f"  {name:<22} {value[0]:>12.2f} +- {value[1]:.2f}")
+            else:
+                print(f"  {name:<22} {value}")
+    if episodes:
+        print(f"episode records ({len(episodes)})")
+        for episode in episodes:
+            wall = (f"{episode['wall_time']:.3f}s"
+                    if episode["wall_time"] is not None else "-")
+            print(f"  [{episode['episode_index']:>3}] seed="
+                  f"{episode['seed']} wall={wall} {episode['detail']}")
+    return 0
+
+
 def cmd_scenarios(args) -> int:
     from repro.scenarios import list_scenarios
 
@@ -459,6 +652,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Autonomous Attack Mitigation for "
                     "Industrial Control Systems' (DSN 2022).",
     )
+    from repro import __version__
+
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("topology", help="print a network inventory")
@@ -559,6 +756,73 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("config", help="print a preset as editable JSON")
     _add_common(p)
     p.set_defaults(func=cmd_config)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the evaluation service (HTTP/JSON jobs, SQLite run store)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="listen port (0 picks an ephemeral one; default: 8642)")
+    p.add_argument("--db", default="repro_runs.sqlite",
+                   help="SQLite run-store path (default: repro_runs.sqlite)")
+    p.add_argument("--pool-backend", choices=("sync", "process", "shm", "auto"),
+                   default="sync", dest="pool_backend",
+                   help="vector-env backend jobs draw from the shared pool "
+                        "(default: sync)")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="queued-job limit before submissions get 429 "
+                        "(default: 64)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="concurrent job executors (default: 1; episode "
+                        "parallelism comes from the pool, not from here)")
+    p.add_argument("--num-workers", type=int, default=None,
+                   help="worker processes per pooled vector env")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="send a job to a running server")
+    _add_common(p, episodes_default=1)
+    p.add_argument("--kind", default="evaluate",
+                   choices=("evaluate", "simulate", "selfplay"))
+    p.add_argument("--policy", default="playbook",
+                   choices=("noop", "playbook", "random", "expert", "acso"))
+    p.add_argument("--num-envs", type=int, default=1,
+                   help="fan the job's episodes over N pooled lanes")
+    p.add_argument("--backend", choices=("sync", "process", "shm", "auto"),
+                   default=None,
+                   help="override the server's pool backend for this job")
+    p.add_argument("--num-workers", type=int, default=None)
+    p.add_argument("--tag", action="append", default=None, metavar="TAG",
+                   help="attach a tag to the recorded run (repeatable)")
+    p.add_argument("--cem-iterations", type=int, default=2)
+    p.add_argument("--cem-population", type=int, default=4)
+    p.add_argument("--fitness-episodes", type=int, default=1)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job finishes and print its metrics")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="--wait limit in seconds (default: 300)")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("runs", help="query the run store")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+
+    q = runs_sub.add_parser("list", help="list recorded runs, newest first")
+    q.add_argument("--db", default="repro_runs.sqlite")
+    q.add_argument("--scenario", default=None)
+    q.add_argument("--status", default=None,
+                   choices=("queued", "running", "done", "error", "cancelled"))
+    q.add_argument("--kind", default=None,
+                   choices=("evaluate", "simulate", "selfplay"))
+    q.add_argument("--tag", default=None)
+    q.add_argument("--limit", type=int, default=50)
+    q.set_defaults(func=cmd_runs_list)
+
+    q = runs_sub.add_parser("show", help="one run with its episode records")
+    q.add_argument("run_id")
+    q.add_argument("--db", default="repro_runs.sqlite")
+    q.set_defaults(func=cmd_runs_show)
 
     return parser
 

@@ -7,7 +7,7 @@ step, and average number of compromised nodes per hour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.utils.stats import mean_stderr
 
@@ -29,6 +29,9 @@ class EpisodeMetrics:
     avg_nodes_compromised: float
     steps: int
     seed: int | None = None
+    #: wall-clock seconds the episode took; measurement metadata, so it
+    #: is excluded from equality (vec-vs-single parity compares records)
+    wall_time: float | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,7 @@ batch and each lane's aggregate equals the single-env
 from __future__ import annotations
 
 import copy
+import time
 
 from repro.eval.metrics import EpisodeMetrics, aggregate
 
@@ -30,6 +31,7 @@ __all__ = [
 def run_episode(env, policy, seed: int | None = None,
                 max_steps: int | None = None) -> EpisodeMetrics:
     """Run one full episode and compute the paper's metrics."""
+    started = time.perf_counter()
     obs = env.reset(seed=seed)
     policy.reset(env)
     gamma = env.config.reward.gamma
@@ -57,16 +59,25 @@ def run_episode(env, policy, seed: int | None = None,
         avg_nodes_compromised=total_compromised / steps,
         steps=t,
         seed=seed,
+        wall_time=time.perf_counter() - started,
     )
 
 
 def evaluate_policy(env, policy, episodes: int, seed: int = 0,
-                    max_steps: int | None = None):
-    """Run ``episodes`` seeded episodes; returns (aggregate, per-episode)."""
-    results = [
-        run_episode(env, policy, seed=seed + i, max_steps=max_steps)
-        for i in range(episodes)
-    ]
+                    max_steps: int | None = None, on_episode=None):
+    """Run ``episodes`` seeded episodes; returns (aggregate, per-episode).
+
+    ``on_episode(index, metrics)`` — when given — fires as each episode
+    completes; the evaluation service uses it for progress reporting,
+    incremental run-store writes, and cooperative cancellation (an
+    exception raised inside the callback aborts the loop).
+    """
+    results = []
+    for i in range(episodes):
+        metrics = run_episode(env, policy, seed=seed + i, max_steps=max_steps)
+        results.append(metrics)
+        if on_episode is not None:
+            on_episode(i, metrics)
     return aggregate(results), results
 
 
@@ -74,7 +85,7 @@ class _Lane:
     """Bookkeeping for one VectorEnv slot running episode ``ep``."""
 
     __slots__ = ("ep", "obs", "discounted", "discount", "cost",
-                 "compromised", "t", "info")
+                 "compromised", "t", "info", "started")
 
     def __init__(self, ep: int, obs):
         self.ep = ep
@@ -85,6 +96,7 @@ class _Lane:
         self.compromised = 0
         self.t = 0
         self.info: dict = {}
+        self.started = time.perf_counter()
 
     def metrics(self, seed: int) -> EpisodeMetrics:
         steps = max(self.t, 1)
@@ -95,6 +107,7 @@ class _Lane:
             avg_nodes_compromised=self.compromised / steps,
             steps=self.t,
             seed=seed,
+            wall_time=time.perf_counter() - self.started,
         )
 
 
@@ -109,7 +122,7 @@ def _policy_factory(policy):
 
 
 def evaluate_policy_per_lane(venv, policy, episodes: int, seed: int = 0,
-                             max_steps: int | None = None):
+                             max_steps: int | None = None, on_episode=None):
     """Run ``episodes`` seeded episodes on *every* lane of ``venv``.
 
     Unlike :func:`evaluate_policy_vec` (which fans one environment's
@@ -123,6 +136,11 @@ def evaluate_policy_per_lane(venv, policy, episodes: int, seed: int = 0,
     the batched engine behind the adversarial loops: attacker
     populations and CEM candidate batches are scored in one lockstep
     pass instead of sequential episode loops.
+
+    Each record carries its episode seed and wall-clock time (lane
+    start to completion under lockstep stepping), so consumers like
+    the run store read them off the record instead of re-deriving
+    them. ``on_episode(lane, index, metrics)`` fires per completion.
     """
     make_policy = _policy_factory(policy)
     n = venv.num_envs
@@ -175,6 +193,8 @@ def evaluate_policy_per_lane(venv, policy, episodes: int, seed: int = 0,
                 lane.info = info
                 if step.dones[i] or lane.t >= horizons[i]:
                     results[i][lane.ep] = lane.metrics(seed + lane.ep)
+                    if on_episode is not None:
+                        on_episode(i, lane.ep, results[i][lane.ep])
                     start(i)
     finally:
         venv.auto_reset = was_auto_reset
@@ -184,7 +204,7 @@ def evaluate_policy_per_lane(venv, policy, episodes: int, seed: int = 0,
 
 
 def evaluate_policy_vec(venv, policy, episodes: int, seed: int = 0,
-                        max_steps: int | None = None):
+                        max_steps: int | None = None, on_episode=None):
     """Batched :func:`evaluate_policy`: fan episodes over a VectorEnv.
 
     Episode ``i`` runs with seed ``seed + i`` against its own clone of
@@ -192,6 +212,8 @@ def evaluate_policy_vec(venv, policy, episodes: int, seed: int = 0,
     factory), so for deterministic policies the (aggregate, per-episode)
     result matches the single-env path exactly. Lanes are stepped in
     lockstep; each picks up the next pending episode as it finishes.
+    ``on_episode(index, metrics)`` fires as episodes complete (in
+    completion order, not index order).
     """
     make_policy = _policy_factory(policy)
     n = venv.num_envs
@@ -240,6 +262,8 @@ def evaluate_policy_vec(venv, policy, episodes: int, seed: int = 0,
                 lane.info = info
                 if step.dones[i] or lane.t >= horizon:
                     results[lane.ep] = lane.metrics(seed + lane.ep)
+                    if on_episode is not None:
+                        on_episode(lane.ep, results[lane.ep])
                     start(i)
     finally:
         venv.auto_reset = was_auto_reset

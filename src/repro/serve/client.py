@@ -1,0 +1,154 @@
+"""Blocking JSON client for a running ``repro serve`` instance.
+
+Built on :mod:`http.client` (stdlib only, one connection per request —
+the server closes connections after each response). This is what the
+``repro submit`` / ``repro runs`` CLI verbs and the test-suite speak;
+anything else that talks HTTP+JSON works just as well (``curl`` included).
+
+Error mapping mirrors the server's contract:
+
+* 400 -> :class:`ServeRequestError` (malformed job payload)
+* 404 -> :class:`ServeNotFoundError`
+* 429 -> :class:`ServeQueueFullError` (backpressure; retry later)
+* 503 -> :class:`ServeClosingError` (server draining for shutdown)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+__all__ = [
+    "ServeClient",
+    "ServeError",
+    "ServeRequestError",
+    "ServeNotFoundError",
+    "ServeQueueFullError",
+    "ServeClosingError",
+    "JobFailedError",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class for client-visible service errors."""
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = status
+
+
+class ServeRequestError(ServeError):
+    """The server rejected the payload (HTTP 400)."""
+
+
+class ServeNotFoundError(ServeError):
+    """Unknown job/run/endpoint (HTTP 404)."""
+
+
+class ServeQueueFullError(ServeError):
+    """The job queue is full (HTTP 429); back off and retry."""
+
+
+class ServeClosingError(ServeError):
+    """The server is shutting down (HTTP 503)."""
+
+
+class JobFailedError(ServeError):
+    """A waited-on job finished in a non-``done`` state."""
+
+    def __init__(self, job: dict):
+        super().__init__(
+            f"job {job.get('job_id')} finished as {job.get('status')!r}"
+            + (f": {job['error']}" if job.get("error") else "")
+        )
+        self.job = job
+
+
+_ERROR_TYPES = {
+    400: ServeRequestError,
+    404: ServeNotFoundError,
+    429: ServeQueueFullError,
+    503: ServeClosingError,
+}
+
+
+class ServeClient:
+    """Talk to ``repro serve`` at ``host:port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642, *,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = None if payload is None else json.dumps(payload)
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read().decode("utf-8") or "{}")
+            if response.status >= 400:
+                error_type = _ERROR_TYPES.get(response.status, ServeError)
+                raise error_type(data.get("error", f"HTTP {response.status}"),
+                                 response.status)
+            return data
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def submit(self, payload: dict) -> dict:
+        """Submit a job; returns its snapshot (``job_id`` keyed)."""
+        return self._request("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def runs(self, *, scenario: str | None = None, status: str | None = None,
+             kind: str | None = None, tag: str | None = None,
+             limit: int = 50) -> list[dict]:
+        query = "&".join(
+            f"{key}={value}"
+            for key, value in (("scenario", scenario), ("status", status),
+                               ("kind", kind), ("tag", tag), ("limit", limit))
+            if value is not None
+        )
+        return self._request("GET", f"/runs?{query}")["runs"]
+
+    def run(self, run_id: str) -> dict:
+        """One run row, with its episode records attached."""
+        return self._request("GET", f"/runs/{run_id}")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    # -- conveniences --------------------------------------------------
+    def wait(self, job_id: str, *, timeout: float = 120.0,
+             poll: float = 0.05, raise_on_failure: bool = True) -> dict:
+        """Poll until a job reaches a terminal state; returns its snapshot."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] in ("done", "error", "cancelled"):
+                if job["status"] != "done" and raise_on_failure:
+                    raise JobFailedError(job)
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['status']!r} after {timeout}s"
+                )
+            time.sleep(poll)

@@ -1,0 +1,419 @@
+"""The long-lived evaluation service behind ``repro serve``.
+
+:class:`EvalService` is the job engine: submissions land in a bounded
+:class:`asyncio.Queue` (overflow is *rejected*, not buffered — the
+HTTP layer turns :class:`QueueFullError` into a 429), a fixed group of
+worker tasks drains it, and each job executes on a thread-pool executor
+so the event loop stays responsive while episodes run. All jobs share
+one :class:`~repro.sim.vec_backends.VecPool`: worker-pool backends are
+acquired from it under the service's pool lock, so a burst of queued
+jobs re-lanes one persistent set of worker processes instead of
+spawning a pool per job.
+
+Every job is recorded in the :class:`~repro.serve.store.RunStore` from
+the moment it is accepted: the run row is created at submit time
+(status ``queued``), episodes append as they complete (progress is
+readable mid-run), and the terminal status (``done`` / ``error`` /
+``cancelled``) lands with aggregate metrics and wall time. Results are
+produced by the same :mod:`repro.eval.runner` functions the one-shot
+CLI uses, so a served evaluation is bit-identical to ``repro
+simulate``/``repro evaluate`` for the same scenario, seed, and policy.
+
+Graceful shutdown (:meth:`EvalService.shutdown`) stops accepting
+submissions, cancels still-queued jobs, drains the jobs already
+in flight, then closes the pool and the store — no orphaned worker
+processes or shared-memory segments survive the service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve.jobs import JobCancelled, JobRequest, build_policy, parse_job
+from repro.serve.store import RunStore, new_run_id
+
+__all__ = ["EvalService", "Job", "QueueFullError", "ServiceClosedError"]
+
+
+class QueueFullError(RuntimeError):
+    """The job queue is at capacity; the submission was rejected (429)."""
+
+
+class ServiceClosedError(RuntimeError):
+    """The service is shutting down; no new submissions (503)."""
+
+
+class Job:
+    """One accepted job: request, live status, and progress counters."""
+
+    __slots__ = ("id", "request", "status", "created_at", "started_at",
+                 "finished_at", "error", "metrics", "completed", "total",
+                 "cancel_event")
+
+    def __init__(self, job_id: str, request: JobRequest, total: int):
+        self.id = job_id
+        self.request = request
+        self.status = "queued"
+        self.created_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.error: str | None = None
+        self.metrics: dict | None = None
+        self.completed = 0
+        self.total = total
+        self.cancel_event = threading.Event()
+
+    def snapshot(self) -> dict:
+        """A JSON-compatible view for the HTTP API."""
+        return {
+            "job_id": self.id,
+            "kind": self.request.kind,
+            "scenario": self.request.scenario_label,
+            "policy": self.request.policy,
+            "seed": self.request.seed,
+            "status": self.status,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "progress": {"completed": self.completed, "total": self.total},
+            "metrics": self.metrics,
+            "error": self.error,
+            "tags": list(self.request.tags),
+        }
+
+
+def _aggregate_dict(aggregate) -> dict:
+    return dataclasses.asdict(aggregate)
+
+
+class EvalService:
+    """Asyncio job service over a shared worker pool and a run store.
+
+    Parameters
+    ----------
+    store:
+        A :class:`RunStore` or a path to create one at.
+    default_backend:
+        Backend for jobs that do not name one (``sync``, ``process``,
+        ``shm``, or ``auto``).
+    max_queue:
+        Queue depth bound; submissions beyond it raise
+        :class:`QueueFullError` (backpressure, not buffering).
+    workers:
+        Concurrent job executors. The default of 1 serializes episode
+        work through the shared pool — parallelism comes from the
+        pool's worker *processes*, and exactly one pool serves any
+        burst of same-geometry jobs. Raising it lets sync-backend jobs
+        overlap; pooled jobs still serialize on the pool lock.
+    pool:
+        A shared :class:`~repro.sim.vec_backends.VecPool`; the service
+        creates (and owns) one when omitted.
+    """
+
+    def __init__(self, store: RunStore | str, *,
+                 default_backend: str = "sync", max_queue: int = 64,
+                 workers: int = 1, num_workers: int | None = None,
+                 pool=None):
+        from repro.sim.vec_backends import VecPool
+
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if default_backend not in ("sync", "process", "shm", "auto"):
+            raise ValueError(f"unknown backend {default_backend!r}")
+        self.store = store if isinstance(store, RunStore) else RunStore(store)
+        self.default_backend = default_backend
+        self.max_queue = max_queue
+        self.num_workers = num_workers
+        self._owns_pool = pool is None
+        self.pool = VecPool() if pool is None else pool
+        self._pool_lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._queue: asyncio.Queue | None = None
+        self._worker_tasks: list[asyncio.Task] = []
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._n_workers = workers
+        self._closing = False
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        """Create the queue and spawn the worker-task group."""
+        if self._queue is not None:
+            raise RuntimeError("service already started")
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._worker_tasks = [
+            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self._n_workers)
+        ]
+
+    async def shutdown(self) -> None:
+        """Drain in-flight jobs, cancel queued ones, release resources."""
+        if self._closed:
+            return
+        self._closing = True
+        if self._queue is not None:
+            # queued jobs are cancelled (their worker skips them);
+            # running jobs finish — that is the drain
+            for job in self._jobs.values():
+                if job.status == "queued":
+                    job.cancel_event.set()
+            for _ in self._worker_tasks:
+                await self._queue.put(None)
+            await asyncio.gather(*self._worker_tasks)
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        if self._owns_pool:
+            self.pool.close()
+        self.store.close()
+
+    @property
+    def closing(self) -> bool:
+        return self._closing
+
+    # -- submission / queries -----------------------------------------
+    def queue_depth(self) -> int:
+        return 0 if self._queue is None else self._queue.qsize()
+
+    def submit(self, payload: dict) -> Job:
+        """Validate, persist, and enqueue a job (event-loop thread only).
+
+        Raises :class:`~repro.serve.jobs.JobError` on a malformed
+        payload, :class:`QueueFullError` when the queue is at capacity,
+        and :class:`ServiceClosedError` during shutdown.
+        """
+        import repro
+
+        if self._closing or self._queue is None:
+            raise ServiceClosedError("service is not accepting jobs")
+        request = parse_job(payload)
+        total = (request.cem_iterations if request.kind == "selfplay"
+                 else request.episodes)
+        job = Job(new_run_id(), request, total)
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            raise QueueFullError(
+                f"job queue is full ({self.max_queue} pending)"
+            ) from None
+        self._jobs[job.id] = job
+        self.store.create_run(
+            request.kind,
+            run_id=job.id,
+            scenario_id=request.scenario_label,
+            spec=request.spec,
+            policy=request.policy,
+            seed=request.seed,
+            episodes=total,
+            tags=request.tags,
+            detail=request.to_payload(),
+            code_version=repro.__version__,
+        )
+        return job
+
+    def job(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        return sorted(self._jobs.values(), key=lambda j: j.created_at)
+
+    def cancel(self, job_id: str) -> Job | None:
+        """Flag a job for cancellation (queued or running)."""
+        job = self._jobs.get(job_id)
+        if job is not None and job.status in ("queued", "running"):
+            job.cancel_event.set()
+        return job
+
+    # -- worker loop ---------------------------------------------------
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            if job is None:
+                return
+            if job.cancel_event.is_set():
+                job.status = "cancelled"
+                job.finished_at = time.time()
+                self.store.cancel_run(job.id)
+                continue
+            await loop.run_in_executor(self._executor, self._run_job, job)
+
+    # -- synchronous execution (executor threads) ----------------------
+    def _run_job(self, job: Job) -> None:
+        job.status = "running"
+        job.started_at = time.time()
+        self.store.mark_running(job.id)
+        try:
+            if job.request.kind == "selfplay":
+                metrics = self._execute_selfplay(job)
+            else:
+                metrics = self._execute_evaluation(job)
+        except JobCancelled:
+            job.status = "cancelled"
+            self.store.cancel_run(job.id)
+        except Exception as exc:
+            job.status = "error"
+            job.error = f"{type(exc).__name__}: {exc}"
+            traceback.print_exc()
+            self.store.fail_run(job.id, job.error)
+        else:
+            job.status = "done"
+            job.metrics = metrics
+            self.store.finish_run(job.id, metrics)
+        finally:
+            job.finished_at = time.time()
+
+    def _resolve_run(self, request: JobRequest):
+        """(spec, config) with ``max_steps`` folded into the horizon,
+        exactly as the CLI's ``_resolve_config`` does."""
+        spec = request.resolve_spec()
+        config = spec.build_config()
+        if request.max_steps:
+            config = config.with_tmax(min(config.tmax, request.max_steps))
+        return spec, config
+
+    def _on_episode(self, job: Job):
+        def on_episode(ep: int, metrics) -> None:
+            self.store.record_episode(
+                job.id, ep, dataclasses.asdict(metrics),
+                seed=metrics.seed, wall_time=metrics.wall_time,
+            )
+            job.completed += 1
+            if job.cancel_event.is_set():
+                raise JobCancelled(job.id)
+
+        return on_episode
+
+    def _execute_evaluation(self, job: Job) -> dict:
+        import repro
+        from repro.eval.runner import evaluate_policy, evaluate_policy_vec
+        from repro.sim.vec_backends import normalize_backend
+
+        request = job.request
+        spec, config = self._resolve_run(request)
+        policy = build_policy(request, config)
+        on_episode = self._on_episode(job)
+
+        if request.num_envs == 1:
+            env = spec.build_env(config=config, seed=request.seed)
+            aggregate, _ = evaluate_policy(
+                env, policy, request.episodes, seed=request.seed,
+                max_steps=request.max_steps, on_episode=on_episode,
+            )
+            return _aggregate_dict(aggregate)
+
+        backend = normalize_backend(request.backend or self.default_backend,
+                                    request.num_envs, request.num_workers)
+        run_spec = spec.with_overrides(horizon=config.tmax)
+        if backend == "sync":
+            venv = repro.make_vec(run_spec, request.num_envs,
+                                  seed=request.seed)
+            with venv:
+                aggregate, _ = evaluate_policy_vec(
+                    venv, policy, request.episodes, seed=request.seed,
+                    max_steps=request.max_steps, on_episode=on_episode,
+                )
+            return _aggregate_dict(aggregate)
+        # worker-pool backends share the service's VecPool; the pool
+        # lock serializes jobs on it (one burst -> one spawned pool)
+        with self._pool_lock:
+            venv = self.pool.acquire(
+                [run_spec] * request.num_envs, seed=request.seed,
+                backend=backend, num_workers=request.num_workers
+                or self.num_workers,
+            )
+            try:
+                aggregate, _ = evaluate_policy_vec(
+                    venv, policy, request.episodes, seed=request.seed,
+                    max_steps=request.max_steps, on_episode=on_episode,
+                )
+            finally:
+                venv.close()  # soft release back to the pool
+        return _aggregate_dict(aggregate)
+
+    def _execute_selfplay(self, job: Job) -> dict:
+        """CEM attacker best-response search against the job's defender.
+
+        The service's standing form of the adversarial loop: the
+        fixed-defender exploitability probe. Each CEM generation is one
+        vectorized fan-out; generation records land in the episode
+        table, the exploitability estimate in the run metrics.
+        """
+        import numpy as np
+
+        from repro.adversarial import (
+            AttackerParameterSpace,
+            CrossEntropySearch,
+        )
+        from repro.adversarial.best_response import (
+            attack_utility,
+            make_defender_fitness_vec,
+        )
+        from repro.eval.runner import evaluate_policy
+        from repro.sim.vec_backends import normalize_backend
+
+        request = job.request
+        spec, config = self._resolve_run(request)
+        defender = build_policy(request, config)
+
+        env = spec.build_env(config=config, seed=request.seed)
+        baseline_agg, _ = evaluate_policy(
+            env, defender, request.fitness_episodes, seed=request.seed,
+            max_steps=request.max_steps,
+        )
+        baseline_utility = attack_utility(baseline_agg)
+
+        backend = normalize_backend(request.backend or self.default_backend,
+                                    request.cem_population,
+                                    request.num_workers)
+        run_spec = spec.with_overrides(horizon=config.tmax)
+        pooled = backend in ("process", "shm")
+        base_fitness = make_defender_fitness_vec(
+            run_spec, defender, episodes=request.fitness_episodes,
+            seed=request.seed, max_steps=request.max_steps, backend=backend,
+            num_workers=request.num_workers or self.num_workers,
+            pool=self.pool if pooled else None, reuse_pool=False,
+        )
+        generation = 0
+
+        def fitness(attackers):
+            nonlocal generation
+            if job.cancel_event.is_set():
+                raise JobCancelled(job.id)
+            fits = np.asarray(base_fitness(attackers), dtype=float)
+            self.store.record_episode(
+                job.id, generation,
+                {"mean_fitness": float(fits.mean()),
+                 "best_fitness": float(fits.max()),
+                 "candidates": len(attackers)},
+                seed=request.seed,
+            )
+            generation += 1
+            job.completed += 1
+            return fits
+
+        search = CrossEntropySearch(
+            AttackerParameterSpace(base=config.apt),
+            population=request.cem_population, seed=request.seed,
+            batch_fitness_fn=fitness,
+        )
+        if pooled:
+            with self._pool_lock:
+                result = search.run(iterations=request.cem_iterations)
+        else:
+            result = search.run(iterations=request.cem_iterations)
+        return {
+            "baseline_utility": baseline_utility,
+            "best_response_utility": result.best_fitness,
+            "exploitability": result.best_fitness - baseline_utility,
+            "evaluations": result.evaluations,
+            "best_attacker": dataclasses.asdict(result.best_config),
+        }

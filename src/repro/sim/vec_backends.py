@@ -48,6 +48,7 @@ import json
 import multiprocessing as mp
 import os
 import pickle
+import threading
 from collections import OrderedDict
 from typing import Sequence
 
@@ -392,6 +393,7 @@ class ProcessVectorEnv(BaseVectorEnv):
         self._auto_reset = auto_reset
         self._closed = False
         self._pool: "VecPool | None" = None
+        self._pool_leased = False
         self._procs: list = []
         self._conns: list = []
         self._slab = None
@@ -806,11 +808,12 @@ class ProcessVectorEnv(BaseVectorEnv):
 
         For a standalone env this terminates the workers and unlinks
         any shared-memory segments. For an env handed out by a
-        :class:`VecPool` it is a no-op soft release -- the pool keeps
-        the workers alive for the next ``acquire`` and its own
-        ``close()`` performs the real teardown.
+        :class:`VecPool` it is a soft release -- the lease returns to
+        the pool, the workers stay alive for the next ``acquire``, and
+        the pool's own ``close()`` performs the real teardown.
         """
         if self._pool is not None and not self._closed:
+            self._pool.release(self)
             return
         self._hard_close()
 
@@ -921,10 +924,23 @@ class VecPool:
     :meth:`close` (or the interpreter exit hook on
     :func:`default_pool`) performs the real teardown.
 
-    The CEM attacker oracle and the self-play loop are the intended
-    users: one pool serves every generation of every round. ``spawns``
-    and ``reuses`` count pool constructions and re-lanings -- a healthy
+    The CEM attacker oracle, the self-play loop, and the ``repro
+    serve`` job service are the intended users: one pool serves every
+    generation of every round (or every queued job). ``spawns`` and
+    ``reuses`` count pool constructions and re-lanings -- a healthy
     CEM run reports ``spawns == 1``.
+
+    **Thread safety.** Every pool operation (acquire, release, close,
+    stats) holds one internal lock, so concurrent acquisitions cannot
+    corrupt the cache or double-spawn, and eviction never tears down
+    an env that is currently checked out (the cache may temporarily
+    exceed ``max_pools`` until leases are released). Note the pinned
+    *sequential* semantics are unchanged: re-acquiring a geometry
+    without releasing it first re-lanes the same env (the caller is
+    assumed to have abandoned it). Threads that share one pool must
+    therefore use distinct geometries or serialize their use of each
+    env -- the serve layer holds its own job-level lock for exactly
+    this reason.
     """
 
     def __init__(self, max_pools: int = 4):
@@ -932,6 +948,7 @@ class VecPool:
             raise ValueError("max_pools must be >= 1")
         self.max_pools = max_pools
         self._pools: "OrderedDict[tuple, ProcessVectorEnv]" = OrderedDict()
+        self._lock = threading.RLock()
         self._closed = False
         self.spawns = 0
         self.reuses = 0
@@ -941,8 +958,6 @@ class VecPool:
                 auto_reset: bool = True, record_truth: bool = True,
                 start_method: str | None = None) -> ProcessVectorEnv:
         """A ready vector env over ``specs``, reusing live workers."""
-        if self._closed:
-            raise RuntimeError("cannot acquire from a closed VecPool")
         if backend not in ("process", "shm"):
             raise ValueError(
                 f"VecPool backs worker-pool backends, not {backend!r}"
@@ -950,46 +965,74 @@ class VecPool:
         specs = list(specs)
         if not specs:
             raise ValueError("acquire needs at least one spec")
-        key = (backend, len(specs), num_workers, record_truth, start_method)
-        venv = self._pools.get(key)
-        if venv is not None and not venv._closed:
-            try:
-                venv.relane(specs, seed=seed, auto_reset=auto_reset)
-                self.reuses += 1
-                self._pools.move_to_end(key)
-                return venv
-            except RuntimeError:
-                # dead or wedged pool; fall through and respawn
-                venv.shutdown()
-        cls = ProcessVectorEnv if backend == "process" else ShmVectorEnv
-        venv = cls.from_specs(
-            specs, seed=seed, auto_reset=auto_reset,
-            record_truth=record_truth, num_workers=num_workers,
-            start_method=start_method,
-        )
-        venv._pool = self
-        self.spawns += 1
-        old = self._pools.pop(key, None)
-        if old is not None:
-            old.shutdown()
-        self._pools[key] = venv
-        while len(self._pools) > self.max_pools:
-            _, evicted = self._pools.popitem(last=False)
-            evicted.shutdown()
-        return venv
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot acquire from a closed VecPool")
+            key = (backend, len(specs), num_workers, record_truth,
+                   start_method)
+            venv = self._pools.get(key)
+            if venv is not None and not venv._closed:
+                try:
+                    venv.relane(specs, seed=seed, auto_reset=auto_reset)
+                    self.reuses += 1
+                    self._pools.move_to_end(key)
+                    venv._pool_leased = True
+                    return venv
+                except RuntimeError:
+                    # dead or wedged pool; fall through and respawn
+                    venv.shutdown()
+            cls = ProcessVectorEnv if backend == "process" else ShmVectorEnv
+            venv = cls.from_specs(
+                specs, seed=seed, auto_reset=auto_reset,
+                record_truth=record_truth, num_workers=num_workers,
+                start_method=start_method,
+            )
+            venv._pool = self
+            venv._pool_leased = True
+            self.spawns += 1
+            old = self._pools.pop(key, None)
+            if old is not None:
+                old.shutdown()
+            self._pools[key] = venv
+            self._evict_over_budget()
+            return venv
+
+    def release(self, venv: ProcessVectorEnv) -> None:
+        """Return a lease (the soft ``close()`` of a pooled env)."""
+        with self._lock:
+            venv._pool_leased = False
+            self._evict_over_budget()
+
+    def _evict_over_budget(self) -> None:
+        """Evict LRU entries beyond ``max_pools`` -- but never one that
+        is checked out; those wait for their :meth:`release`."""
+        excess = len(self._pools) - self.max_pools
+        if excess <= 0:
+            return
+        for key, venv in list(self._pools.items()):
+            if excess <= 0:
+                break
+            if venv._pool_leased and not venv._closed:
+                continue
+            del self._pools[key]
+            venv.shutdown()
+            excess -= 1
 
     @property
     def stats(self) -> dict:
-        return {"spawns": self.spawns, "reuses": self.reuses,
-                "live_pools": len(self._pools)}
+        with self._lock:
+            return {"spawns": self.spawns, "reuses": self.reuses,
+                    "live_pools": len(self._pools)}
 
     def __len__(self) -> int:
-        return len(self._pools)
+        with self._lock:
+            return len(self._pools)
 
     def close(self) -> None:
         """Terminate every cached pool (idempotent)."""
-        self._closed = True
-        pools, self._pools = list(self._pools.values()), OrderedDict()
+        with self._lock:
+            self._closed = True
+            pools, self._pools = list(self._pools.values()), OrderedDict()
         for venv in pools:
             venv.shutdown()
 
@@ -1007,18 +1050,21 @@ class VecPool:
 
 
 _DEFAULT_POOL: VecPool | None = None
+_DEFAULT_POOL_LOCK = threading.Lock()
 
 
 def default_pool() -> VecPool:
     """The process-wide :class:`VecPool` behind ``reuse_pool=True``.
 
-    Created on first use and closed at interpreter exit; callers that
-    want deterministic teardown should hold their own :class:`VecPool`.
+    Created on first use (thread-safely) and closed at interpreter
+    exit; callers that want deterministic teardown should hold their
+    own :class:`VecPool`.
     """
     global _DEFAULT_POOL
-    if _DEFAULT_POOL is None or _DEFAULT_POOL._closed:
-        import atexit
+    with _DEFAULT_POOL_LOCK:
+        if _DEFAULT_POOL is None or _DEFAULT_POOL._closed:
+            import atexit
 
-        _DEFAULT_POOL = VecPool()
-        atexit.register(_DEFAULT_POOL.close)
-    return _DEFAULT_POOL
+            _DEFAULT_POOL = VecPool()
+            atexit.register(_DEFAULT_POOL.close)
+        return _DEFAULT_POOL

@@ -22,7 +22,30 @@ class TestParser:
         assert commands == {
             "topology", "simulate", "evaluate", "fig6", "fig10",
             "fit-dbn", "trace", "config", "scenarios", "selfplay",
+            "serve", "submit", "runs",
         }
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_version_single_sourced(self):
+        """setup.py must carry no literal version of its own."""
+        import pathlib
+        import re
+
+        import repro
+
+        setup_py = (pathlib.Path(__file__).parent.parent
+                    / "setup.py").read_text()
+        assert 'version="' not in setup_py
+        init_py = (pathlib.Path(repro.__file__)).read_text()
+        match = re.search(r'^__version__ = "([^"]+)"$', init_py, re.MULTILINE)
+        assert match and match.group(1) == repro.__version__
 
     def test_unknown_preset_rejected(self):
         with pytest.raises(SystemExit):
@@ -257,3 +280,63 @@ class TestSelfplay:
             for sid in ("selfplay/cli-a-base", "selfplay/cli-a-r1-br1",
                         "selfplay/cli-b-r1-br1"):
                 REGISTRY.unregister(sid)
+
+
+class TestRunsCli:
+    @pytest.fixture()
+    def store_path(self, tmp_path):
+        from repro.serve.store import RunStore
+
+        path = tmp_path / "runs.sqlite"
+        with RunStore(path) as store:
+            rid = store.create_run(
+                "evaluate", scenario_id="inasim-tiny-v1", policy="playbook",
+                seed=7, episodes=2, tags=["cli-test"],
+            )
+            store.mark_running(rid)
+            store.record_episode(rid, 0, {"steps": 5}, seed=7, wall_time=0.1)
+            store.record_episode(rid, 1, {"steps": 5}, seed=8, wall_time=0.1)
+            store.finish_run(rid, {"discounted_return": [1.0, 0.0]})
+            store.create_run("selfplay", scenario_id="inasim-tiny-v1",
+                             policy="playbook", seed=1)
+        return str(path), rid
+
+    def test_runs_list(self, capsys, store_path):
+        path, rid = store_path
+        assert main(["runs", "list", "--db", path]) == 0
+        out = capsys.readouterr().out
+        assert rid in out and "cli-test" in out
+        assert "selfplay" in out
+
+    def test_runs_list_filters(self, capsys, store_path):
+        path, rid = store_path
+        assert main(["runs", "list", "--db", path, "--status", "done"]) == 0
+        out = capsys.readouterr().out
+        assert rid in out and "queued" not in out
+        # filter that matches nothing exits 1
+        assert main(["runs", "list", "--db", path,
+                     "--tag", "absent"]) == 1
+
+    def test_runs_show(self, capsys, store_path):
+        path, rid = store_path
+        assert main(["runs", "show", rid, "--db", path]) == 0
+        out = capsys.readouterr().out
+        assert rid in out
+        assert "episode records (2)" in out
+        assert "discounted_return" in out
+
+    def test_runs_show_unknown_id(self, store_path):
+        path, _ = store_path
+        with pytest.raises(SystemExit):
+            main(["runs", "show", "nope", "--db", path])
+
+    def test_runs_missing_db(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["runs", "list", "--db", str(tmp_path / "absent.sqlite")])
+
+    def test_submit_without_server_fails_cleanly(self):
+        # port 1 is never listening; the client maps the socket error
+        # to a friendly SystemExit instead of a traceback
+        with pytest.raises(SystemExit):
+            main(["submit", "--scenario", "inasim-tiny-v1",
+                  "--port", "1", "--host", "127.0.0.1"])

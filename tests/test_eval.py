@@ -157,3 +157,71 @@ class TestEvaluatePolicyPerLane:
         venv = repro.make_vec("inasim-tiny-v1", 1, seed=0, horizon=5)
         with pytest.raises(TypeError):
             evaluate_policy_per_lane(venv, "not-a-policy", episodes=1)
+
+
+class TestEpisodeTelemetry:
+    """Every evaluation path surfaces per-episode seed and wall time,
+    and the telemetry stays out of metric equality."""
+
+    def test_run_episode_records_wall_time(self, env):
+        metrics = run_episode(env, NoopPolicy(), seed=0, max_steps=5)
+        assert metrics.wall_time is not None and metrics.wall_time > 0
+        assert metrics.seed == 0
+
+    def test_wall_time_excluded_from_equality(self):
+        a = EpisodeMetrics(1.0, 0, 0.0, 0.0, steps=5, seed=1, wall_time=0.1)
+        b = EpisodeMetrics(1.0, 0, 0.0, 0.0, steps=5, seed=1, wall_time=9.9)
+        assert a == b
+
+    def test_single_env_seeds_and_wall_times(self, env):
+        _, records = evaluate_policy(env, NoopPolicy(), episodes=3, seed=7,
+                                     max_steps=5)
+        assert [r.seed for r in records] == [7, 8, 9]
+        assert all(r.wall_time > 0 for r in records)
+
+    def test_vec_seeds_and_wall_times(self):
+        from repro.eval import evaluate_policy_vec
+
+        venv = repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=8)
+        with venv:
+            _, records = evaluate_policy_vec(venv, NoopPolicy(), episodes=4,
+                                             seed=3)
+        assert [r.seed for r in records] == [3, 4, 5, 6]
+        assert all(r.wall_time > 0 for r in records)
+
+    def test_per_lane_seeds_and_wall_times(self):
+        from repro.eval import evaluate_policy_per_lane
+
+        venv = repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=8)
+        with venv:
+            results = evaluate_policy_per_lane(venv, NoopPolicy(),
+                                               episodes=2, seed=5)
+        for _, records in results:
+            assert [r.seed for r in records] == [5, 6]
+            assert all(r.wall_time > 0 for r in records)
+
+    def test_on_episode_callback_order_and_abort(self, env):
+        seen = []
+        evaluate_policy(env, NoopPolicy(), episodes=3, seed=0, max_steps=5,
+                        on_episode=lambda i, m: seen.append((i, m.seed)))
+        assert seen == [(0, 0), (1, 1), (2, 2)]
+
+        class Stop(Exception):
+            pass
+
+        def abort(i, metrics):
+            raise Stop()
+
+        with pytest.raises(Stop):
+            evaluate_policy(env, NoopPolicy(), episodes=3, seed=0,
+                            max_steps=5, on_episode=abort)
+
+    def test_vec_on_episode_callback(self):
+        from repro.eval import evaluate_policy_vec
+
+        venv = repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=8)
+        seen = []
+        with venv:
+            evaluate_policy_vec(venv, NoopPolicy(), episodes=4, seed=0,
+                                on_episode=lambda i, m: seen.append(i))
+        assert sorted(seen) == [0, 1, 2, 3]

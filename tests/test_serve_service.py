@@ -1,0 +1,347 @@
+"""Tests for the evaluation service: job validation, the HTTP surface,
+the shared pool, backpressure, cancellation, and graceful shutdown."""
+
+import asyncio
+import queue
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    EvalService,
+    ServeClient,
+    ServeNotFoundError,
+    ServeQueueFullError,
+    ServeRequestError,
+    ServeServer,
+    ServiceClosedError,
+    parse_job,
+)
+from repro.serve.jobs import JobError
+from repro.serve.store import RunStore
+
+TINY = "inasim-tiny-v1"
+
+
+# ----------------------------------------------------------------------
+# payload validation (no server needed)
+# ----------------------------------------------------------------------
+class TestParseJob:
+    def test_minimal(self):
+        request = parse_job({"scenario": TINY})
+        assert request.kind == "evaluate"
+        assert request.policy == "playbook"
+        assert request.scenario_label == TINY
+
+    def test_inline_spec(self):
+        from repro.scenarios import get_scenario
+        from repro.scenarios.serialization import spec_to_dict
+
+        payload = {"spec": spec_to_dict(get_scenario(TINY)), "seed": 5}
+        request = parse_job(payload)
+        assert request.resolve_spec().scenario_id == TINY
+
+    @pytest.mark.parametrize("payload,match", [
+        ({}, "exactly one of"),
+        ({"scenario": TINY, "spec": {}}, "exactly one of"),
+        ({"scenario": TINY, "kind": "train"}, "unknown job kind"),
+        ({"scenario": TINY, "policy": "magic"}, "unknown policy"),
+        ({"scenario": TINY, "policy": "expert"}, "needs a 'dbn'"),
+        ({"scenario": TINY, "episodes": 0}, "positive integer"),
+        ({"scenario": TINY, "episodes": "two"}, "positive integer"),
+        ({"scenario": TINY, "num_envs": -1}, "positive integer"),
+        ({"scenario": TINY, "backend": "gpu"}, "unknown backend"),
+        ({"scenario": TINY, "tags": "prod"}, "list of strings"),
+        ({"scenario": TINY, "frobnicate": 1}, "unknown job fields"),
+        ({"spec": {"bogus": True}}, "invalid inline spec"),
+        ({"scenario": TINY, "kind": "selfplay", "cem_population": 1},
+         "cem_population"),
+    ])
+    def test_rejections(self, payload, match):
+        with pytest.raises(JobError, match=match):
+            parse_job(payload)
+
+    def test_to_payload_round_trip(self):
+        payload = {"kind": "selfplay", "scenario": TINY, "seed": 9,
+                   "cem_population": 6, "tags": ["t"]}
+        assert parse_job(parse_job(payload).to_payload()).to_payload() \
+            == parse_job(payload).to_payload()
+
+
+# ----------------------------------------------------------------------
+# a live server on an ephemeral port, driven from the test thread
+# ----------------------------------------------------------------------
+class ServerHandle:
+    """Runs ServeServer inside a dedicated event-loop thread."""
+
+    def __init__(self, db_path, **service_kwargs):
+        self.db_path = str(db_path)
+        self.service_kwargs = service_kwargs
+        self.service = None
+        self.client = None
+        self._ready = queue.Queue()
+        self._stopped = False
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def main():
+            self.service = EvalService(self.db_path, **self.service_kwargs)
+            server = ServeServer(self.service, port=0)
+            await server.start()
+            self._ready.put(server.port)
+            await server.serve_forever()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # pragma: no cover
+            self._ready.put(exc)
+
+    def __enter__(self):
+        self._thread.start()
+        port = self._ready.get(timeout=30)
+        if isinstance(port, BaseException):
+            raise port
+        self.client = ServeClient(port=port, timeout=30)
+        return self
+
+    def __exit__(self, *exc_info):
+        if self._stopped:
+            return
+        self._stopped = True
+        try:
+            self.client.shutdown()
+        except OSError:
+            pass
+        self._thread.join(timeout=60)
+        assert not self._thread.is_alive(), "server failed to drain"
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with ServerHandle(tmp_path / "runs.sqlite", max_queue=8) as handle:
+        yield handle
+
+
+class TestServeEndToEnd:
+    def test_health(self, server):
+        health = server.client.health()
+        assert health["status"] == "ok"
+        assert health["max_queue"] == 8
+        assert health["pool"] == {"spawns": 0, "reuses": 0, "live_pools": 0}
+
+    def test_served_evaluation_matches_one_shot(self, server):
+        """The acceptance bar: served == one-shot, bit for bit."""
+        from repro.defenders import PlaybookPolicy
+        from repro.eval import evaluate_policy
+        from repro.scenarios import get_scenario
+
+        job = server.client.submit({
+            "kind": "evaluate", "scenario": TINY, "policy": "playbook",
+            "episodes": 3, "seed": 11, "max_steps": 40,
+        })
+        done = server.client.wait(job["job_id"], timeout=120)
+        assert done["progress"] == {"completed": 3, "total": 3}
+
+        # the one-shot reference, exactly as the CLI resolves it:
+        # --max-steps folds into the config horizon before building
+        spec = get_scenario(TINY)
+        config = spec.build_config()
+        config = config.with_tmax(min(config.tmax, 40))
+        env = spec.build_env(config=config, seed=11)
+        aggregate, records = evaluate_policy(
+            env, PlaybookPolicy(), 3, seed=11, max_steps=40)
+        served = done["metrics"]
+        for name in ("discounted_return", "final_plcs_offline",
+                     "avg_it_cost", "avg_nodes_compromised"):
+            assert served[name] == list(getattr(aggregate, name))
+
+        # per-episode rows carry the seeds and wall times
+        run = server.client.run(job["job_id"])
+        seeds = [e["seed"] for e in run["episode_records"]]
+        assert seeds == [11, 12, 13]
+        assert all(e["wall_time"] > 0 for e in run["episode_records"])
+        assert [e["detail"]["discounted_return"]
+                for e in run["episode_records"]] \
+            == [r.discounted_return for r in records]
+
+    def test_vectorized_job_matches_single(self, server):
+        argv = {"kind": "evaluate", "scenario": TINY, "policy": "playbook",
+                "episodes": 2, "seed": 3, "max_steps": 30}
+        single = server.client.wait(
+            server.client.submit(argv)["job_id"], timeout=120)
+        vec = server.client.wait(
+            server.client.submit({**argv, "num_envs": 2,
+                                  "backend": "sync"})["job_id"], timeout=120)
+        assert single["metrics"] == vec["metrics"]
+
+    def test_selfplay_job(self, server):
+        job = server.client.submit({
+            "kind": "selfplay", "scenario": TINY, "policy": "playbook",
+            "seed": 1, "cem_iterations": 1, "cem_population": 2,
+            "fitness_episodes": 1, "max_steps": 15,
+        })
+        done = server.client.wait(job["job_id"], timeout=300)
+        metrics = done["metrics"]
+        assert metrics["evaluations"] == 2
+        assert metrics["exploitability"] == pytest.approx(
+            metrics["best_response_utility"] - metrics["baseline_utility"])
+        run = server.client.run(job["job_id"])
+        assert len(run["episode_records"]) == 1  # one CEM generation
+        assert run["episode_records"][0]["detail"]["candidates"] == 2
+
+    def test_bad_payload_is_400(self, server):
+        with pytest.raises(ServeRequestError):
+            server.client.submit({"scenario": TINY, "policy": "magic"})
+        with pytest.raises(ServeRequestError):
+            server.client.submit({})
+
+    def test_unknown_ids_are_404(self, server):
+        with pytest.raises(ServeNotFoundError):
+            server.client.job("nope")
+        with pytest.raises(ServeNotFoundError):
+            server.client.run("nope")
+        with pytest.raises(ServeNotFoundError):
+            server.client._request("GET", "/bogus")
+
+    def test_failed_job_lands_as_error_run(self, server):
+        job = server.client.submit({"scenario": "no-such-scenario-v0"})
+        done = server.client.wait(job["job_id"], timeout=60,
+                                  raise_on_failure=False)
+        assert done["status"] == "error"
+        assert "unknown scenario" in done["error"]
+        assert server.client.run(job["job_id"])["status"] == "error"
+
+    def test_runs_survive_restart(self, server, tmp_path):
+        job = server.client.submit({"scenario": TINY, "episodes": 1,
+                                    "max_steps": 10, "tags": ["restart"]})
+        server.client.wait(job["job_id"], timeout=60)
+        server.__exit__()  # full drain + store close
+
+        # cold reopen: the run is still there, queryable by tag
+        with RunStore(server.db_path) as store:
+            rows = store.list_runs(tag="restart")
+            assert len(rows) == 1
+            assert rows[0]["run_id"] == job["job_id"]
+            assert rows[0]["status"] == "done"
+            assert rows[0]["metrics"] is not None
+
+        # restart a fresh server on the same store; history intact
+        with ServerHandle(server.db_path) as reborn:
+            runs = reborn.client.runs(tag="restart")
+            assert [r["run_id"] for r in runs] == [job["job_id"]]
+
+
+class TestBackpressureAndCancel:
+    def _slow_payload(self, seed=0):
+        return {"kind": "evaluate", "scenario": TINY, "policy": "playbook",
+                "episodes": 500, "seed": seed}
+
+    def _wait_status(self, client, job_id, status, timeout=30):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if client.job(job_id)["status"] == status:
+                return
+            time.sleep(0.02)
+        raise AssertionError(f"job {job_id} never reached {status!r}")
+
+    def test_queue_overflow_rejected_not_deadlocked(self, tmp_path):
+        with ServerHandle(tmp_path / "runs.sqlite", max_queue=2) as server:
+            client = server.client
+            blocker = client.submit(self._slow_payload())
+            self._wait_status(client, blocker["job_id"], "running")
+            queued = [client.submit(self._slow_payload(seed=s))
+                      for s in (1, 2)]
+            with pytest.raises(ServeQueueFullError):
+                client.submit(self._slow_payload(seed=3))
+            assert client.health()["queue_depth"] == 2
+
+            # cancelling clears the backlog; the server is not wedged
+            for job in (blocker, *queued):
+                client.cancel(job["job_id"])
+            for job in (blocker, *queued):
+                done = client.wait(job["job_id"], timeout=60,
+                                   raise_on_failure=False)
+                assert done["status"] == "cancelled"
+            accepted = client.submit({"scenario": TINY, "episodes": 1,
+                                      "max_steps": 10})
+            client.wait(accepted["job_id"], timeout=60)
+
+    def test_cancelled_run_recorded(self, tmp_path):
+        with ServerHandle(tmp_path / "runs.sqlite") as server:
+            client = server.client
+            job = client.submit(self._slow_payload())
+            self._wait_status(client, job["job_id"], "running")
+            client.cancel(job["job_id"])
+            done = client.wait(job["job_id"], timeout=60,
+                               raise_on_failure=False)
+            assert done["status"] == "cancelled"
+            run = client.run(job["job_id"])
+            assert run["status"] == "cancelled"
+            # the episodes that did finish before the flag are recorded
+            assert len(run["episode_records"]) == done["progress"]["completed"]
+
+    def test_shutdown_rejects_new_jobs(self, tmp_path):
+        server = ServerHandle(tmp_path / "runs.sqlite").__enter__()
+        try:
+            service = server.service
+            job = server.client.submit({"scenario": TINY, "episodes": 1,
+                                        "max_steps": 10})
+            server.client.wait(job["job_id"], timeout=60)
+        finally:
+            server.__exit__()
+        with pytest.raises(ServiceClosedError):
+            service.submit({"scenario": TINY})
+        # graceful shutdown closed the owned pool and the store
+        assert service.pool.stats["live_pools"] == 0
+        assert service._executor._shutdown
+
+
+class TestSharedPool:
+    def test_eight_jobs_one_pool(self, tmp_path):
+        """Acceptance bar: >= 8 simultaneous pooled jobs, ONE pool."""
+        import multiprocessing
+
+        before = {p.pid for p in multiprocessing.active_children()}
+        with ServerHandle(tmp_path / "runs.sqlite", max_queue=16,
+                          default_backend="process") as server:
+            client = server.client
+            jobs = [client.submit({
+                "kind": "evaluate", "scenario": TINY, "policy": "playbook",
+                "episodes": 1, "seed": s, "max_steps": 15,
+                "num_envs": 2, "num_workers": 2,
+            }) for s in range(8)]
+            for job in jobs:
+                done = client.wait(job["job_id"], timeout=300)
+                assert done["status"] == "done"
+            pool = client.health()["pool"]
+            assert pool["spawns"] == 1, pool
+            assert pool["reuses"] == 7, pool
+            assert pool["live_pools"] == 1, pool
+
+            # all eight runs landed in the store with distinct seeds
+            runs = client.runs(kind="evaluate", limit=20)
+            assert sorted(r["seed"] for r in runs) == list(range(8))
+        # drain left no orphaned worker processes behind
+        leaked = {p.pid for p in multiprocessing.active_children()} - before
+        assert not leaked
+
+
+class TestServeSmoke:
+    """The CI smoke-tier job: in-process server, tiny-net submission,
+    poll to completion, assert the run row — all under a hard timeout."""
+
+    def test_smoke(self, tmp_path):
+        deadline = time.monotonic() + 120  # hard cap
+        with ServerHandle(tmp_path / "runs.sqlite") as server:
+            job = server.client.submit({
+                "kind": "evaluate", "scenario": TINY, "policy": "playbook",
+                "episodes": 1, "seed": 0, "max_steps": 10,
+            })
+            done = server.client.wait(
+                job["job_id"], timeout=max(1.0, deadline - time.monotonic()))
+            assert done["status"] == "done"
+            run = server.client.run(job["job_id"])
+            assert run["status"] == "done"
+            assert run["metrics"]["discounted_return"][0] != 0
+        assert time.monotonic() < deadline

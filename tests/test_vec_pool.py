@@ -456,3 +456,66 @@ class TestPooledCEM:
                               reuse_pool=True)
         assert venv._pool is vec_backends._DEFAULT_POOL
         vec_backends._DEFAULT_POOL.close()
+
+
+class TestPoolThreadSafety:
+    """The serve layer shares one VecPool across executor threads; the
+    pool must survive concurrent acquire/release without eviction ever
+    tearing down an env another thread is still stepping."""
+
+    def test_eviction_never_touches_leased_envs(self):
+        pool = VecPool(max_pools=1)
+        a = pool.acquire(_specs(2, horizon=5), seed=0,
+                         backend="process", num_workers=2)
+        b = pool.acquire(_specs(3, horizon=5), seed=0,
+                         backend="process", num_workers=2)
+        try:
+            # both checked out: over budget, but neither may be evicted
+            assert len(pool) == 2
+            assert not a._closed and not b._closed
+            a.reset(seed=0)
+            a.step(None)  # still fully usable
+        finally:
+            a.close()  # release -> eviction may now trim the excess
+        assert len(pool) == 1
+        assert a._closed
+        assert not b._closed
+        b.close()
+        pool.close()
+        assert not [c for c in mp.active_children() if c.is_alive()]
+
+    def test_threaded_acquire_release_hammer(self):
+        """Threads with distinct geometries hammering one small pool:
+        every acquire must hand back a live env, eviction churn and all."""
+        import threading
+
+        pool = VecPool(max_pools=2)
+        errors = []
+
+        def worker(k):
+            try:
+                for i in range(3):
+                    venv = pool.acquire(_specs(2 + k, horizon=5), seed=i,
+                                        backend="process", num_workers=2)
+                    try:
+                        assert not venv._closed
+                        venv.reset(seed=i)
+                        venv.step(None)
+                        venv.step(None)
+                    finally:
+                        venv.close()
+            except Exception as exc:  # pragma: no cover
+                errors.append((k, exc))
+
+        threads = [threading.Thread(target=worker, args=(k,))
+                   for k in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        assert not any(t.is_alive() for t in threads)
+        assert len(pool) <= 2  # budget holds once everything is released
+        pool.close()
+        assert len(pool) == 0
+        assert not [c for c in mp.active_children() if c.is_alive()]
