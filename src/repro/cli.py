@@ -437,6 +437,9 @@ def cmd_serve(args) -> int:
             max_queue=args.max_queue,
             workers=args.workers,
             num_workers=args.num_workers,
+            job_retries=args.job_retries,
+            step_timeout=args.step_timeout,
+            requeue_interrupted=args.requeue_interrupted,
         )
         server = ServeServer(service, host=args.host, port=args.port)
         await server.start()
@@ -497,6 +500,10 @@ def _submit_payload(args) -> dict:
         payload["dbn"] = args.dbn
     if args.qnet:
         payload["qnet"] = args.qnet
+    if args.retries is not None:
+        payload["retries"] = args.retries
+    if args.step_timeout is not None:
+        payload["step_timeout"] = args.step_timeout
     if args.kind == "selfplay":
         payload["cem_iterations"] = args.cem_iterations
         payload["cem_population"] = args.cem_population
@@ -778,6 +785,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "parallelism comes from the pool, not from here)")
     p.add_argument("--num-workers", type=int, default=None,
                    help="worker processes per pooled vector env")
+    p.add_argument("--job-retries", type=int, default=2, dest="job_retries",
+                   help="re-runs granted to a job that dies to a worker "
+                        "fault (default: 2)")
+    p.add_argument("--step-timeout", type=float, default=None,
+                   dest="step_timeout", metavar="SECONDS",
+                   help="per-step watchdog on pooled jobs; a wedged worker "
+                        "is killed and its lanes recovered (default: off)")
+    p.add_argument("--requeue-interrupted", action="store_true",
+                   dest="requeue_interrupted",
+                   help="resubmit runs a crashed server left 'running' "
+                        "(they are always marked 'interrupted' at startup)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit", help="send a job to a running server")
@@ -794,6 +812,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--num-workers", type=int, default=None)
     p.add_argument("--tag", action="append", default=None, metavar="TAG",
                    help="attach a tag to the recorded run (repeatable)")
+    p.add_argument("--retries", type=int, default=None,
+                   help="re-runs if the job dies to a worker fault "
+                        "(default: the server's --job-retries)")
+    p.add_argument("--step-timeout", type=float, default=None,
+                   dest="step_timeout", metavar="SECONDS",
+                   help="per-step watchdog for this job's pooled env "
+                        "(default: the server's --step-timeout)")
     p.add_argument("--cem-iterations", type=int, default=2)
     p.add_argument("--cem-population", type=int, default=4)
     p.add_argument("--fitness-episodes", type=int, default=1)

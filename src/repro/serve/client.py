@@ -11,12 +11,19 @@ Error mapping mirrors the server's contract:
 * 404 -> :class:`ServeNotFoundError`
 * 429 -> :class:`ServeQueueFullError` (backpressure; retry later)
 * 503 -> :class:`ServeClosingError` (server draining for shutdown)
+
+Transient failures — 429 backpressure and connection-level errors
+(refused/reset/broken pipe/timeout, e.g. the server restarting) — are
+retried with exponential backoff and jitter up to ``retries`` times
+before surfacing; 400/404/503 are never retried. :meth:`ServeClient.wait`
+polls with a backoff too, so long jobs do not hammer the server.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 
 __all__ = [
@@ -73,18 +80,33 @@ _ERROR_TYPES = {
 }
 
 
+#: connection-level failures worth retrying (server restarting, socket
+#: cut mid-response); anything protocol-level surfaces immediately
+_TRANSIENT_ERRORS = (ConnectionRefusedError, ConnectionResetError,
+                     BrokenPipeError, TimeoutError)
+
+
 class ServeClient:
-    """Talk to ``repro serve`` at ``host:port``."""
+    """Talk to ``repro serve`` at ``host:port``.
+
+    ``retries``/``backoff``/``backoff_cap`` govern the transient-error
+    retry loop: attempt ``n`` sleeps ``min(cap, backoff * 2**n)`` plus
+    up to 25% jitter. ``retries=0`` disables retrying entirely.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8642, *,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0, retries: int = 3,
+                 backoff: float = 0.2, backoff_cap: float = 5.0):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
 
     # -- transport -----------------------------------------------------
-    def _request(self, method: str, path: str,
-                 payload: dict | None = None) -> dict:
+    def _request_once(self, method: str, path: str,
+                      payload: dict | None = None) -> dict:
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
@@ -100,6 +122,19 @@ class ServeClient:
             return data
         finally:
             conn.close()
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except (ServeQueueFullError, *_TRANSIENT_ERRORS):
+                if attempt >= self.retries:
+                    raise
+                delay = min(self.backoff_cap, self.backoff * 2 ** attempt)
+                time.sleep(delay * (1.0 + random.random() * 0.25))
+                attempt += 1
 
     # -- endpoints -----------------------------------------------------
     def health(self) -> dict:
@@ -138,12 +173,20 @@ class ServeClient:
 
     # -- conveniences --------------------------------------------------
     def wait(self, job_id: str, *, timeout: float = 120.0,
-             poll: float = 0.05, raise_on_failure: bool = True) -> dict:
-        """Poll until a job reaches a terminal state; returns its snapshot."""
+             poll: float = 0.05, max_poll: float = 1.0,
+             raise_on_failure: bool = True) -> dict:
+        """Poll until a job reaches a terminal state; returns its snapshot.
+
+        The poll interval starts at ``poll`` and grows 1.5x per probe
+        up to ``max_poll`` — snappy for short jobs, gentle on the
+        server for long ones. ``interrupted`` (a server crash marked by
+        the reconciling restart) counts as terminal.
+        """
         deadline = time.monotonic() + timeout
+        interval = poll
         while True:
             job = self.job(job_id)
-            if job["status"] in ("done", "error", "cancelled"):
+            if job["status"] in ("done", "error", "cancelled", "interrupted"):
                 if job["status"] != "done" and raise_on_failure:
                     raise JobFailedError(job)
                 return job
@@ -151,4 +194,5 @@ class ServeClient:
                 raise TimeoutError(
                     f"job {job_id} still {job['status']!r} after {timeout}s"
                 )
-            time.sleep(poll)
+            time.sleep(interval)
+            interval = min(max_poll, interval * 1.5)

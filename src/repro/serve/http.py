@@ -7,7 +7,8 @@ JSON-only:
 ====== ========================== ===========================================
 Method Path                       Meaning
 ====== ========================== ===========================================
-GET    /health                    liveness + queue depth + pool stats
+GET    /health                    liveness + queue depth + pool + fault stats
+GET    /healthz                   alias of /health (probe convention)
 POST   /jobs                      submit a job (202; 400/429/503 on reject)
 GET    /jobs                      live job table (this process's lifetime)
 GET    /jobs/<id>                 one job's status + progress
@@ -153,13 +154,14 @@ class ServeServer:
     def _dispatch(self, method: str, parts: list[str], query: dict,
                   body: bytes) -> tuple[int, dict]:
         service = self.service
-        if parts == ["health"] and method == "GET":
+        if parts in (["health"], ["healthz"]) and method == "GET":
             return 200, {
                 "status": "closing" if service.closing else "ok",
                 "version": repro.__version__,
                 "queue_depth": service.queue_depth(),
                 "max_queue": service.max_queue,
                 "pool": service.pool.stats,
+                "faults": service.fault_summary(),
                 "jobs": len(service.jobs()),
             }
         if parts == ["jobs"] and method == "POST":
@@ -194,7 +196,8 @@ class ServeServer:
         if parts == ["shutdown"] and method == "POST":
             self.request_shutdown()
             return 202, {"status": "shutting down"}
-        if parts and parts[0] in ("health", "jobs", "runs", "shutdown"):
+        if parts and parts[0] in ("health", "healthz", "jobs", "runs",
+                                  "shutdown"):
             return 405, {"error": f"{method} not allowed on /{'/'.join(parts)}"}
         return 404, {"error": f"no such endpoint: /{'/'.join(parts)}"}
 

@@ -62,6 +62,9 @@ class JobRequest:
     tags: list[str] = field(default_factory=list)
     dbn: str | None = None            # DBN tables artifact (expert/acso)
     qnet: str | None = None           # Q-network artifact (acso)
+    # fault-tolerance knobs (None -> the service defaults)
+    step_timeout: float | None = None  # per-step worker watchdog, seconds
+    retries: int | None = None         # re-runs granted after worker faults
     # selfplay knobs
     cem_iterations: int = 2
     cem_population: int = 4
@@ -88,8 +91,8 @@ class JobRequest:
         payload: dict = {"kind": self.kind}
         for key in ("scenario", "spec", "policy", "episodes", "seed",
                     "max_steps", "num_envs", "backend", "num_workers",
-                    "tags", "dbn", "qnet", "cem_iterations",
-                    "cem_population", "fitness_episodes"):
+                    "tags", "dbn", "qnet", "step_timeout", "retries",
+                    "cem_iterations", "cem_population", "fitness_episodes"):
             value = getattr(self, key)
             if value not in (None, [], JobRequest.__dataclass_fields__[key].default):
                 payload[key] = value
@@ -143,6 +146,13 @@ def parse_job(payload: dict) -> JobRequest:
     _require(isinstance(request.tags, list)
              and all(isinstance(t, str) for t in request.tags),
              "'tags' must be a list of strings")
+    _require(request.step_timeout is None
+             or (isinstance(request.step_timeout, (int, float))
+                 and request.step_timeout > 0),
+             "'step_timeout' must be a positive number of seconds")
+    _require(request.retries is None
+             or (isinstance(request.retries, int) and request.retries >= 0),
+             "'retries' must be a non-negative integer")
     if request.kind == "selfplay":
         for knob in ("cem_iterations", "cem_population", "fitness_episodes"):
             _require(isinstance(getattr(request, knob), int)

@@ -23,12 +23,26 @@ Graceful shutdown (:meth:`EvalService.shutdown`) stops accepting
 submissions, cancels still-queued jobs, drains the jobs already
 in flight, then closes the pool and the store — no orphaned worker
 processes or shared-memory segments survive the service.
+
+**Fault tolerance.** Pooled jobs run under the vector backends' worker
+supervision (deterministic in-place recovery; see
+:mod:`repro.sim.vec_supervisor`), so most worker deaths never surface —
+they are counted per job and in the service-wide totals
+(:meth:`EvalService.fault_summary`, exposed on ``/healthz``). A job
+that still dies to a :class:`~repro.sim.vec_backends.WorkerDiedError`
+is retried from scratch with exponential backoff and jitter, up to the
+job's ``retries`` (or the service's ``job_retries``) budget; retried
+episodes simply re-record over the aborted attempt's rows. At startup
+the store is reconciled: runs a crashed server stranded ``running``
+become ``interrupted`` and — with ``requeue_interrupted`` — are
+resubmitted from their recorded request payloads.
 """
 
 from __future__ import annotations
 
 import asyncio
 import dataclasses
+import random
 import threading
 import time
 import traceback
@@ -53,7 +67,7 @@ class Job:
 
     __slots__ = ("id", "request", "status", "created_at", "started_at",
                  "finished_at", "error", "metrics", "completed", "total",
-                 "cancel_event")
+                 "cancel_event", "worker_faults", "retries_used")
 
     def __init__(self, job_id: str, request: JobRequest, total: int):
         self.id = job_id
@@ -67,6 +81,8 @@ class Job:
         self.completed = 0
         self.total = total
         self.cancel_event = threading.Event()
+        self.worker_faults = 0   # worker deaths this job rode through
+        self.retries_used = 0    # whole-job re-runs after fatal faults
 
     def snapshot(self) -> dict:
         """A JSON-compatible view for the HTTP API."""
@@ -81,6 +97,8 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "progress": {"completed": self.completed, "total": self.total},
+            "faults": {"worker_faults": self.worker_faults,
+                       "retries_used": self.retries_used},
             "metrics": self.metrics,
             "error": self.error,
             "tags": list(self.request.tags),
@@ -113,18 +131,37 @@ class EvalService:
     pool:
         A shared :class:`~repro.sim.vec_backends.VecPool`; the service
         creates (and owns) one when omitted.
+    job_retries:
+        Whole-job re-runs granted when a job dies to a worker fault
+        (a job's own ``retries`` field overrides this).
+    retry_backoff:
+        Base delay before the first retry; doubles per attempt
+        (capped at 5s) with up to 25% jitter.
+    step_timeout:
+        Default per-step watchdog for pooled jobs, in seconds (a job's
+        ``step_timeout`` overrides it; ``None`` disables).
+    supervise:
+        Arm worker supervision on pooled jobs (on by default; turning
+        it off restores fail-fast workers, leaving only job retries).
+    requeue_interrupted:
+        At startup, resubmit runs a crashed server stranded
+        ``running``, from their recorded request payloads.
     """
 
     def __init__(self, store: RunStore | str, *,
                  default_backend: str = "sync", max_queue: int = 64,
                  workers: int = 1, num_workers: int | None = None,
-                 pool=None):
+                 pool=None, job_retries: int = 2, retry_backoff: float = 0.1,
+                 step_timeout: float | None = None, supervise: bool = True,
+                 requeue_interrupted: bool = False):
         from repro.sim.vec_backends import VecPool
 
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if job_retries < 0:
+            raise ValueError("job_retries must be >= 0")
         if default_backend not in ("sync", "process", "shm", "auto"):
             raise ValueError(f"unknown backend {default_backend!r}")
         self.store = store if isinstance(store, RunStore) else RunStore(store)
@@ -143,10 +180,18 @@ class EvalService:
         self._n_workers = workers
         self._closing = False
         self._closed = False
+        self.job_retries = job_retries
+        self.retry_backoff = retry_backoff
+        self.step_timeout = step_timeout
+        self.supervise = supervise
+        self.requeue_interrupted = requeue_interrupted
+        self._fault_lock = threading.Lock()
+        self._fault_totals = {"worker_faults": 0, "job_retries": 0,
+                              "jobs_interrupted": 0, "jobs_requeued": 0}
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
-        """Create the queue and spawn the worker-task group."""
+        """Create the queue, reconcile the store, spawn the workers."""
         if self._queue is not None:
             raise RuntimeError("service already started")
         self._queue = asyncio.Queue(maxsize=self.max_queue)
@@ -154,6 +199,24 @@ class EvalService:
             asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
             for i in range(self._n_workers)
         ]
+        stranded = self.store.reconcile_interrupted()
+        if stranded:
+            with self._fault_lock:
+                self._fault_totals["jobs_interrupted"] += len(stranded)
+        if self.requeue_interrupted:
+            for run in stranded:
+                payload = dict(run.get("detail") or {})
+                if not payload:
+                    continue
+                payload["tags"] = list(payload.get("tags", [])) + [
+                    f"requeued:{run['run_id']}"
+                ]
+                try:
+                    self.submit(payload)
+                except Exception:
+                    continue  # malformed legacy payload or full queue
+                with self._fault_lock:
+                    self._fault_totals["jobs_requeued"] += 1
 
     async def shutdown(self) -> None:
         """Drain in-flight jobs, cancel queued ones, release resources."""
@@ -178,6 +241,18 @@ class EvalService:
     @property
     def closing(self) -> bool:
         return self._closing
+
+    def fault_summary(self) -> dict:
+        """Service-lifetime fault counters (the ``/healthz`` payload)."""
+        with self._fault_lock:
+            return dict(self._fault_totals)
+
+    def _note_faults(self, job: Job, count: int) -> None:
+        if count <= 0:
+            return
+        job.worker_faults += count
+        with self._fault_lock:
+            self._fault_totals["worker_faults"] += count
 
     # -- submission / queries -----------------------------------------
     def queue_depth(self) -> int:
@@ -252,10 +327,7 @@ class EvalService:
         job.started_at = time.time()
         self.store.mark_running(job.id)
         try:
-            if job.request.kind == "selfplay":
-                metrics = self._execute_selfplay(job)
-            else:
-                metrics = self._execute_evaluation(job)
+            metrics = self._execute_with_retries(job)
         except JobCancelled:
             job.status = "cancelled"
             self.store.cancel_run(job.id)
@@ -263,13 +335,52 @@ class EvalService:
             job.status = "error"
             job.error = f"{type(exc).__name__}: {exc}"
             traceback.print_exc()
-            self.store.fail_run(job.id, job.error)
+            self.store.fail_run(job.id, job.error,
+                                faults=job.worker_faults)
         else:
             job.status = "done"
             job.metrics = metrics
-            self.store.finish_run(job.id, metrics)
+            self.store.finish_run(job.id, metrics,
+                                  faults=job.worker_faults)
         finally:
             job.finished_at = time.time()
+
+    def _execute_with_retries(self, job: Job) -> dict:
+        """Run a job, re-running it from scratch on fatal worker faults.
+
+        Supervision recovers most worker deaths in place (they only
+        show up in the fault counters); this loop is the backstop for
+        the unrecoverable ones — each attempt restarts the episode
+        sequence from episode 0, which is safe because episode records
+        are keyed writes and the final metrics replace the aborted
+        attempt's entirely.
+        """
+        from repro.sim.vec_backends import WorkerDiedError
+
+        budget = (job.request.retries if job.request.retries is not None
+                  else self.job_retries)
+        attempt = 0
+        while True:
+            try:
+                if job.request.kind == "selfplay":
+                    return self._execute_selfplay(job)
+                return self._execute_evaluation(job)
+            except WorkerDiedError:
+                if job.request.kind == "selfplay":
+                    # pooled evaluations count faults at the venv; the
+                    # selfplay fitness pool is internal, so count here
+                    self._note_faults(job, 1)
+                if job.cancel_event.is_set():
+                    raise JobCancelled(job.id) from None
+                if attempt >= budget:
+                    raise
+                attempt += 1
+                job.retries_used = attempt
+                job.completed = 0  # the re-run restarts the count
+                with self._fault_lock:
+                    self._fault_totals["job_retries"] += 1
+                delay = min(5.0, self.retry_backoff * 2 ** (attempt - 1))
+                time.sleep(delay * (1.0 + random.random() * 0.25))
 
     def _resolve_run(self, request: JobRequest):
         """(spec, config) with ``max_steps`` folded into the horizon,
@@ -330,12 +441,22 @@ class EvalService:
                 backend=backend, num_workers=request.num_workers
                 or self.num_workers,
             )
+            venv.configure_supervision(
+                enabled=self.supervise,
+                step_timeout=(request.step_timeout
+                              if request.step_timeout is not None
+                              else self.step_timeout),
+            )
+            faults_before = venv.fault_stats["faults"]
             try:
                 aggregate, _ = evaluate_policy_vec(
                     venv, policy, request.episodes, seed=request.seed,
                     max_steps=request.max_steps, on_episode=on_episode,
                 )
             finally:
+                # worker deaths supervision absorbed are still faults
+                self._note_faults(
+                    job, venv.fault_stats["faults"] - faults_before)
                 venv.close()  # soft release back to the pool
         return _aggregate_dict(aggregate)
 

@@ -18,9 +18,14 @@ Design points:
   rather than scribbled on.
 * **Append-only data.** ``runs`` and ``episodes`` rows are never
   deleted; the only in-place mutation is the run's status lifecycle
-  (``queued -> running -> done/error/cancelled``) and its closing
-  timestamps/metrics. Free-form detail travels in JSON columns, so the
-  schema does not chase every new job field.
+  (``queued -> running -> done/error/cancelled``, or ``interrupted``
+  when a reopening store finds rows a crashed server left ``running``)
+  and its closing timestamps/metrics. Free-form detail travels in JSON
+  columns, so the schema does not chase every new job field.
+* **Crash accounting.** Since v2 every run carries a ``faults``
+  column — the number of worker-process faults the job survived — and
+  :meth:`RunStore.reconcile_interrupted` runs at service startup so a
+  killed server never leaves phantom ``running`` rows behind.
 
 The store is thread-safe: one connection guarded by a lock, with a
 busy timeout so independent handles on the same file (WAL) retry
@@ -37,10 +42,12 @@ import uuid
 
 __all__ = ["RunStore", "SCHEMA_VERSION", "RUN_STATUSES", "new_run_id"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: the run status lifecycle; terminal states are never left
-RUN_STATUSES = ("queued", "running", "done", "error", "cancelled")
+#: (``interrupted`` marks runs stranded ``running`` by a server crash)
+RUN_STATUSES = ("queued", "running", "done", "error", "cancelled",
+                "interrupted")
 
 #: each entry migrates user_version i -> i+1
 _MIGRATIONS = [
@@ -78,6 +85,10 @@ _MIGRATIONS = [
         detail        TEXT NOT NULL,  -- JSON EpisodeMetrics / round record
         PRIMARY KEY (run_id, lane, episode_index)
     );
+    """,
+    # 1 -> 2: per-run worker-fault count (fault-tolerant execution)
+    """
+    ALTER TABLE runs ADD COLUMN faults INTEGER NOT NULL DEFAULT 0;
     """,
 ]
 
@@ -166,35 +177,68 @@ class RunStore:
     def record_episode(self, run_id: str, episode_index: int, detail: dict, *,
                        lane: int = 0, seed: int | None = None,
                        wall_time: float | None = None) -> None:
-        """Append one completed episode (or self-play round) record."""
+        """Append one completed episode (or self-play round) record.
+
+        ``INSERT OR REPLACE``: a job retried after a worker fault
+        re-runs its episodes from scratch, and the fresh record simply
+        supersedes the one from the aborted attempt."""
         with self._lock, self._conn:
             self._conn.execute(
-                "INSERT INTO episodes (run_id, lane, episode_index, seed,"
-                " wall_time, recorded_at, detail) VALUES (?,?,?,?,?,?,?)",
+                "INSERT OR REPLACE INTO episodes (run_id, lane,"
+                " episode_index, seed, wall_time, recorded_at, detail)"
+                " VALUES (?,?,?,?,?,?,?)",
                 (run_id, lane, episode_index, seed, wall_time, time.time(),
                  json.dumps(detail, sort_keys=True)),
             )
 
     def _finish(self, run_id: str, status: str, *, metrics: dict | None,
-                error: str | None) -> None:
+                error: str | None, faults: int = 0) -> None:
         with self._lock, self._conn:
             self._conn.execute(
                 "UPDATE runs SET status=?, finished_at=?,"
                 " wall_time=CASE WHEN started_at IS NULL THEN NULL"
                 " ELSE ? - started_at END,"
-                " metrics=?, error=? WHERE run_id=?",
+                " metrics=?, error=?, faults=? WHERE run_id=?",
                 (status, time.time(), time.time(),
-                 _json_or_none(metrics), error, run_id),
+                 _json_or_none(metrics), error, int(faults), run_id),
             )
 
-    def finish_run(self, run_id: str, metrics: dict | None = None) -> None:
-        self._finish(run_id, "done", metrics=metrics, error=None)
+    def finish_run(self, run_id: str, metrics: dict | None = None, *,
+                   faults: int = 0) -> None:
+        self._finish(run_id, "done", metrics=metrics, error=None,
+                     faults=faults)
 
-    def fail_run(self, run_id: str, error: str) -> None:
-        self._finish(run_id, "error", metrics=None, error=error)
+    def fail_run(self, run_id: str, error: str, *, faults: int = 0) -> None:
+        self._finish(run_id, "error", metrics=None, error=error,
+                     faults=faults)
 
     def cancel_run(self, run_id: str) -> None:
         self._finish(run_id, "cancelled", metrics=None, error=None)
+
+    def reconcile_interrupted(self) -> list[dict]:
+        """Mark runs a dead server stranded ``running`` as ``interrupted``.
+
+        Called at service startup (and usable from the CLI): any row
+        still ``running`` cannot actually be running — this process
+        just opened the store — so it is flagged rather than left as a
+        phantom forever. Returns the affected rows (decoded), so the
+        caller can requeue them from their stored request payloads.
+        """
+        with self._lock, self._conn:
+            rows = self._conn.execute(
+                "SELECT * FROM runs WHERE status='running'"
+            ).fetchall()
+            stranded = [self._decode_run(row) for row in rows]
+            if stranded:
+                self._conn.executemany(
+                    "UPDATE runs SET status='interrupted', finished_at=?,"
+                    " error=COALESCE(error, 'server exited mid-run')"
+                    " WHERE run_id=?",
+                    [(time.time(), run["run_id"]) for run in stranded],
+                )
+        for run in stranded:
+            run["status"] = "interrupted"
+        return stranded
 
     # -- reads ---------------------------------------------------------
     @staticmethod

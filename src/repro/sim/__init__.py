@@ -21,8 +21,9 @@ from repro.sim.orchestrator import (
 from repro.sim.reward import RewardModule
 from repro.sim.state import NetworkState
 from repro.sim.trace import EpisodeTrace, TraceStep, record_episode, verify_determinism
-from repro.sim.vec_backends import ProcessVectorEnv, ShmVectorEnv
+from repro.sim.vec_backends import ProcessVectorEnv, ShmVectorEnv, WorkerDiedError
 from repro.sim.vec_env import BaseVectorEnv, VecStep, VectorEnv
+from repro.sim.vec_supervisor import SupervisionConfig
 
 __all__ = [
     "APT_ACTION_SPECS",
@@ -55,4 +56,6 @@ __all__ = [
     "VectorEnv",
     "ProcessVectorEnv",
     "ShmVectorEnv",
+    "SupervisionConfig",
+    "WorkerDiedError",
 ]

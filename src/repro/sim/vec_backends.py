@@ -40,6 +40,22 @@ cores. ``repro.make_vec(id, n, backend="process")`` is the front door.
 Shared-memory segments are released from every exit path -- happy-path
 ``close()``, constructor failures, worker crashes mid-command, and the
 finalizer -- so a dying pool cannot leave ``/dev/shm`` residue.
+
+**Fault tolerance.** Worker death is supervised, not fatal: the parent
+keeps a per-lane action journal (:mod:`repro.sim.vec_supervisor`),
+detects faults at every pipe boundary (EOF, send failure, optional
+per-step timeout, CRC frame mismatch), respawns the dead worker from
+the serialized payload, and replays each lane's recorded history
+against it — recovered trajectories are bit-identical to fault-free
+ones because lane seeding follows the fixed ``seed + i + N * episode``
+schedule and the engines are deterministic. Restarts are budgeted with
+exponential backoff; a worker that keeps dying is folded into the
+parent process (its lane slice runs sync) as a last resort. When a
+slice cannot be reconstructed (unseeded lanes, journal overflow) or
+supervision is disabled, the old fail-fast contract applies: teardown
+plus :class:`WorkerDiedError`. The chaos harness
+(:mod:`repro.testing.faults`) drives these paths for real in tests and
+CI.
 """
 
 from __future__ import annotations
@@ -49,6 +65,7 @@ import multiprocessing as mp
 import os
 import pickle
 import threading
+import time
 from collections import OrderedDict
 from typing import Sequence
 
@@ -56,11 +73,18 @@ import numpy as np
 
 from repro.sim import vec_transport as vt
 from repro.sim.vec_env import BaseVectorEnv, VecStep, VectorEnv, _UNSET
+from repro.sim.vec_supervisor import (
+    SupervisionConfig,
+    WorkerSupervisor,
+    apply_restore,
+)
 
 __all__ = [
     "ProcessVectorEnv",
     "ShmVectorEnv",
     "VecPool",
+    "WorkerDiedError",
+    "SupervisionConfig",
     "default_pool",
     "resolve_backend",
     "normalize_backend",
@@ -77,6 +101,17 @@ _MASKS_CMD = bytes((vt.OP_MASKS,))
 _CLOSE_CMD = bytes((vt.OP_CLOSE,))
 _OK_REPLY = bytes((vt.ST_OK,))
 _SHM_ACK = bytes((vt.ST_SHM,))
+
+
+class WorkerDiedError(RuntimeError):
+    """A worker process died and its lanes could not be (or were
+    configured not to be) recovered. The env has been torn down; the
+    message always contains "died" for compatibility with callers that
+    matched the old fail-fast error."""
+
+
+class _RespawnError(Exception):
+    """Internal: one respawn attempt failed; burns a restart budget unit."""
 
 
 def resolve_backend(num_envs: int, num_workers: int | None = None,
@@ -145,38 +180,33 @@ def _build_envs(payload: dict, seeds: list[int | None], record_truth: bool,
             for s in seeds]
 
 
-class _Worker:
-    """One lane group of the logical vector env, driven over a pipe.
+class _LaneGroupExecutor:
+    """Command executor over one lane slice of the logical vector env.
 
-    The command loop speaks the binary protocol of
-    :mod:`repro.sim.vec_transport`; messages whose first byte is the
-    pickle PROTO opcode are decoded as legacy pickled commands (the
-    parent's fallback for unencodable action payloads). Replies go
-    through the shared-memory slot when one was configured and the
-    record fits, otherwise straight down the pipe.
+    Pure compute: decodes a command, drives the worker-local
+    :class:`VectorEnv`, returns the encoded reply record (or a legacy
+    tuple for payloads the wire format cannot express). It runs in two
+    places: inside every worker process (wrapped by :class:`_Worker`,
+    which owns the pipe/shm transport), and inside the *parent* when a
+    repeatedly-failing worker is degraded to in-process execution —
+    identical semantics either way, which is what makes the degrade
+    path bit-exact. The optional ``injector``
+    (:class:`repro.testing.faults.FaultInjector`) arms the chaos
+    harness on the step/relane paths; the parent's degraded executors
+    never inject.
     """
 
-    def __init__(self, conn, payload: dict, lane_lo: int, lane_hi: int,
+    def __init__(self, payload: dict, lane_lo: int, lane_hi: int,
                  total_envs: int, base_seed: int | None, auto_reset: bool,
-                 record_truth: bool, shm_spec: dict | None):
-        self.conn = conn
+                 record_truth: bool, injector=None):
+        self.payload = payload
         self.lane_lo = lane_lo
         self.lane_hi = lane_hi
         self.total_envs = total_envs
         self.record_truth = record_truth
-        self.shm = None
-        self.slot_lo = 0
-        self.slot_bytes = 0
-        if shm_spec is not None:
-            from multiprocessing import shared_memory
-
-            # Workers (forked or spawned) share the parent's resource
-            # tracker, where attaching re-registers the name as a set
-            # dedup no-op; the parent's teardown is the single owner of
-            # the segment, so workers only attach and close.
-            self.shm = shared_memory.SharedMemory(name=shm_spec["name"])
-            self.slot_bytes = shm_spec["slot_bytes"]
-            self.slot_lo = shm_spec["worker_index"] * self.slot_bytes
+        self.injector = injector
+        self.closed = False
+        self.corrupt_reply = False
         self.venv = self._build_group(payload, base_seed, auto_reset)
 
     # -- construction / relane ----------------------------------------
@@ -215,25 +245,37 @@ class _Worker:
                 seed = venv._base_seed + self.lane_lo + local_i
             env = spec.build_env(seed=seed, record_truth=self.record_truth)
             venv.replace_env(local_i, env)
+            if "specs" in self.payload:
+                specs = list(self.payload["specs"])
+                specs[self.lane_lo + local_i] = msg["spec"]
+                self.payload = {**self.payload, "specs": specs}
         else:
+            self.payload = msg["payload"]
             self.venv = self._build_group(
                 msg["payload"], msg.get("seed"),
                 bool(msg.get("auto_reset", True)),
             )
         return vt.encode_relane_reply(self.dims, self.venv.reset_infos)
 
-    # -- replies -------------------------------------------------------
-    def reply(self, record) -> None:
-        if self.shm is not None and len(record) + 4 <= self.slot_bytes:
-            buf = self.shm.buf
-            lo = self.slot_lo
-            vt._U32.pack_into(buf, lo, len(record))
-            buf[lo + 4:lo + 4 + len(record)] = record
-            self.conn.send_bytes(_SHM_ACK)
-        else:
-            self.conn.send_bytes(record)
+    # -- deterministic recovery ---------------------------------------
+    def _rebuild_env(self, local_i: int, seed):
+        from repro.scenarios.serialization import spec_from_dict
 
-    def do_step(self, actions, mask) -> None:
+        spec = spec_from_dict(self.payload["specs"][self.lane_lo + local_i])
+        return spec.build_env(seed=seed, record_truth=self.record_truth)
+
+    def restore(self, states) -> bytes:
+        build = self._rebuild_env if "specs" in self.payload else None
+        apply_restore(self.venv, states, build_env=build)
+        return _OK_REPLY
+
+    # -- commands ------------------------------------------------------
+    def do_step(self, actions, mask):
+        injector = self.injector
+        if injector is not None:
+            # chaos harness: may kill this process, wedge the step, or
+            # flag this reply for post-seal corruption
+            self.corrupt_reply = injector.on_step()
         venv = self.venv
         step = venv.step(actions, mask=mask)
         changed = []
@@ -246,70 +288,144 @@ class _Worker:
                 if step.dones[i] and (mask is None or mask[i])
             ]
         try:
-            record = vt.encode_step_reply(step.observations, step.rewards,
-                                          step.dones, step.infos, changed)
+            return vt.encode_step_reply(step.observations, step.rewards,
+                                        step.dones, step.infos, changed)
         except vt.EncodeError:
             # un-encodable payload (e.g. a custom env wrapper smuggling
             # objects into info): legacy pickled reply for this step
-            self.conn.send(("ok", step.observations, step.rewards,
-                            step.dones, step.infos, list(venv.reset_infos)))
-            return
-        self.reply(record)
+            return ("ok", step.observations, step.rewards,
+                    step.dones, step.infos, list(venv.reset_infos))
 
-    # -- command loop --------------------------------------------------
+    def handle(self, raw):
+        """One binary command -> one reply (record bytes or legacy tuple)."""
+        try:
+            op = raw[0]
+            if op == vt.OP_STEP:
+                actions, mask = vt.decode_step_cmd(raw, self.venv.num_envs)
+                return self.do_step(actions, mask)
+            if op == vt.OP_MASKS:
+                return vt.encode_masks_reply(self.venv.action_masks())
+            if op == vt.OP_RESET:
+                has_seed, seed = vt.decode_reset_cmd(raw)
+                obs = self.venv.reset(seed) if has_seed else self.venv.reset()
+                return vt.encode_reset_reply(obs, self.venv.reset_infos)
+            if op == vt.OP_RESET_ENV:
+                local_i, seed = vt.decode_reset_env_cmd(raw)
+                obs = self.venv.reset_env(local_i, seed=seed)
+                return vt.encode_reset_env_reply(
+                    obs, self.venv.reset_infos[local_i])
+            if op == vt.OP_AUTO_RESET:
+                self.venv.auto_reset = bool(raw[1])
+                return _OK_REPLY
+            if op == vt.OP_RELANE:
+                if self.injector is not None:
+                    self.injector.on_relane()
+                msg = json.loads(bytes(raw[1:]).decode("utf-8"))
+                return self.relane(msg)
+            if op == vt.OP_RESTORE:
+                states = vt.decode_restore_cmd(raw, self.venv.num_envs)
+                return self.restore(states)
+            if op == vt.OP_CLOSE:
+                self.closed = True
+                return _OK_REPLY
+            if op == vt.PICKLE_PROTO:
+                return self.handle_legacy(pickle.loads(raw))
+            return vt.encode_error(f"unknown opcode 0x{op:02x}")
+        except Exception as exc:
+            return vt.encode_error(f"{type(exc).__name__}: {exc}")
+
+    def handle_legacy(self, command):
+        """A pickled-tuple command (the fallback for unencodable payloads)."""
+        try:
+            if command[0] == "step":
+                return self.do_step(command[1], command[2])
+            if command[0] == "restore":
+                return self.restore(command[1])
+            if command[0] == "close":
+                self.closed = True
+                return _OK_REPLY
+            return vt.encode_error(f"unknown legacy command {command[0]!r}")
+        except Exception as exc:
+            return vt.encode_error(f"{type(exc).__name__}: {exc}")
+
+
+class _Worker:
+    """Transport shell around a :class:`_LaneGroupExecutor` in a worker
+    process: pipe command loop, shared-memory reply slot, optional CRC
+    frame sealing (and the chaos harness's post-seal byte corruption).
+    """
+
+    def __init__(self, conn, executor: _LaneGroupExecutor,
+                 shm_spec: dict | None, frame_check: bool):
+        self.conn = conn
+        self.executor = executor
+        self.frame_check = frame_check
+        self.shm = None
+        self.slot_lo = 0
+        self.slot_bytes = 0
+        if shm_spec is not None:
+            from multiprocessing import shared_memory
+
+            # Workers (forked or spawned) share the parent's resource
+            # tracker, where attaching re-registers the name as a set
+            # dedup no-op; the parent's teardown is the single owner of
+            # the segment, so workers only attach and close.
+            self.shm = shared_memory.SharedMemory(name=shm_spec["name"])
+            self.slot_bytes = shm_spec["slot_bytes"]
+            self.slot_lo = shm_spec["worker_index"] * self.slot_bytes
+        self._ack = (vt.seal_frame(bytearray(_SHM_ACK)) if frame_check
+                     else _SHM_ACK)
+
+    @property
+    def dims(self) -> vt.Dims:
+        return self.executor.dims
+
+    def reply(self, record) -> None:
+        # errors and one-byte acks go straight down the pipe even on the
+        # shm backend, so the parent never mistakes a slab ack for a
+        # successful restore/close acknowledgement
+        direct = len(record) <= 1 or record[0] == vt.ST_ERR
+        if self.frame_check:
+            record = vt.seal_frame(record)
+        if self.executor.corrupt_reply:
+            # chaos harness: flip one byte *after* sealing so the parent
+            # sees a CRC mismatch on a really-delivered frame
+            self.executor.corrupt_reply = False
+            record = bytearray(record)
+            record[len(record) // 2] ^= 0xFF
+        if (not direct and self.shm is not None
+                and len(record) + 4 <= self.slot_bytes):
+            buf = self.shm.buf
+            lo = self.slot_lo
+            vt._U32.pack_into(buf, lo, len(record))
+            buf[lo + 4:lo + 4 + len(record)] = record
+            self.conn.send_bytes(self._ack)
+        else:
+            self.conn.send_bytes(record)
+
     def run(self) -> None:
         conn = self.conn
+        executor = self.executor
         while True:
             try:
                 raw = conn.recv_bytes()
             except (EOFError, OSError):
                 break
+            result = executor.handle(raw)
             try:
-                op = raw[0]
-                if op == vt.OP_STEP:
-                    actions, mask = vt.decode_step_cmd(raw, self.venv.num_envs)
-                    self.do_step(actions, mask)
-                elif op == vt.OP_MASKS:
-                    self.reply(vt.encode_masks_reply(self.venv.action_masks()))
-                elif op == vt.OP_RESET:
-                    has_seed, seed = vt.decode_reset_cmd(raw)
-                    obs = (self.venv.reset(seed) if has_seed
-                           else self.venv.reset())
-                    self.reply(vt.encode_reset_reply(obs,
-                                                     self.venv.reset_infos))
-                elif op == vt.OP_RESET_ENV:
-                    local_i, seed = vt.decode_reset_env_cmd(raw)
-                    obs = self.venv.reset_env(local_i, seed=seed)
-                    self.reply(vt.encode_reset_env_reply(
-                        obs, self.venv.reset_infos[local_i]))
-                elif op == vt.OP_AUTO_RESET:
-                    self.venv.auto_reset = bool(raw[1])
-                    conn.send_bytes(_OK_REPLY)
-                elif op == vt.OP_RELANE:
-                    msg = json.loads(bytes(raw[1:]).decode("utf-8"))
-                    self.reply(self.relane(msg))
-                elif op == vt.OP_CLOSE:
-                    conn.send_bytes(_OK_REPLY)
-                    break
-                elif op == vt.PICKLE_PROTO:
-                    command = pickle.loads(raw)
-                    if command[0] == "step":
-                        self.do_step(command[1], command[2])
-                    elif command[0] == "close":
-                        conn.send_bytes(_OK_REPLY)
-                        break
+                if isinstance(result, tuple):
+                    if self.frame_check:
+                        # the parent unseals every frame, so even the
+                        # pickled fallback must carry a CRC trailer
+                        self.reply(bytearray(pickle.dumps(result)))
                     else:
-                        conn.send_bytes(vt.encode_error(
-                            f"unknown legacy command {command[0]!r}"))
+                        conn.send(result)
                 else:
-                    conn.send_bytes(vt.encode_error(
-                        f"unknown opcode 0x{op:02x}"))
-            except Exception as exc:
-                try:
-                    conn.send_bytes(
-                        vt.encode_error(f"{type(exc).__name__}: {exc}"))
-                except (BrokenPipeError, OSError):
-                    break
+                    self.reply(result)
+            except (BrokenPipeError, OSError):
+                break
+            if executor.closed:
+                break
         if self.shm is not None:
             self.shm.close()
         conn.close()
@@ -317,12 +433,25 @@ class _Worker:
 
 def _worker_main(conn, payload: dict, lane_lo: int, lane_hi: int,
                  total_envs: int, base_seed: int | None, auto_reset: bool,
-                 record_truth: bool, shm_spec: dict | None) -> None:
+                 record_truth: bool, shm_spec: dict | None,
+                 worker_index: int = 0, num_workers: int = 1,
+                 frame_check: bool = False) -> None:
     """Process entry point: build the lane group, then serve commands."""
     try:
-        worker = _Worker(conn, payload, lane_lo, lane_hi, total_envs,
-                         base_seed, auto_reset, record_truth, shm_spec)
-        conn.send(("ready", tuple(worker.dims), worker.venv.reset_infos))
+        injector = None
+        try:
+            from repro.testing.faults import FaultInjector, plan_from_env
+
+            plan = plan_from_env()
+            if plan is not None:
+                injector = FaultInjector(plan, worker_index, num_workers)
+        except Exception:
+            injector = None  # a broken fault plan must never break real runs
+        executor = _LaneGroupExecutor(payload, lane_lo, lane_hi, total_envs,
+                                      base_seed, auto_reset, record_truth,
+                                      injector=injector)
+        worker = _Worker(conn, executor, shm_spec, frame_check)
+        conn.send(("ready", tuple(worker.dims), executor.venv.reset_infos))
     except Exception as exc:  # construction failure: report, bail out
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
         conn.close()
@@ -370,7 +499,9 @@ class ProcessVectorEnv(BaseVectorEnv):
                  auto_reset: bool = True, record_truth: bool = True,
                  num_workers: int | None = None,
                  start_method: str | None = None,
-                 slot_bytes: int = DEFAULT_SLOT_BYTES):
+                 slot_bytes: int = DEFAULT_SLOT_BYTES,
+                 supervision: "SupervisionConfig | bool | None" = None,
+                 frame_check: bool | None = None):
         if num_envs < 1:
             raise ValueError("num_envs must be >= 1")
         if not ("spec" in payload or "config" in payload or "specs" in payload):
@@ -394,8 +525,6 @@ class ProcessVectorEnv(BaseVectorEnv):
         self._closed = False
         self._pool: "VecPool | None" = None
         self._pool_leased = False
-        self._procs: list = []
-        self._conns: list = []
         self._slab = None
         self._dims: vt.Dims | None = None
 
@@ -403,28 +532,35 @@ class ProcessVectorEnv(BaseVectorEnv):
             num_workers = min(num_envs, os.cpu_count() or 1)
         num_workers = max(1, min(num_workers, num_envs))
         self._bounds = _partition(num_envs, num_workers)
+        self._procs: list = [None] * num_workers
+        self._conns: list = [None] * num_workers
+        #: degraded workers: a parent-side executor replaces the process
+        self._local: list = [None] * num_workers
+        #: the single in-flight command per worker, re-sent after recovery
+        self._inflight: list = [None] * num_workers
+
+        if supervision is None or supervision is True:
+            sup_config = SupervisionConfig()
+        elif supervision is False:
+            sup_config = SupervisionConfig(enabled=False)
+        else:
+            sup_config = supervision
+        self._sup = WorkerSupervisor(sup_config, num_envs, num_workers, seed)
+        if frame_check is None:
+            from repro.testing.faults import frame_check_from_env
+
+            frame_check = frame_check_from_env()
+        self._frame_check = bool(frame_check)
 
         if start_method is None:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
-        ctx = mp.get_context(start_method)
+        self._ctx = mp.get_context(start_method)
 
         try:
-            shm_spec = self._setup_shm(slot_bytes)
-            for w, (lo, hi) in enumerate(self._bounds):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                worker_spec = (None if shm_spec is None
-                               else {**shm_spec, "worker_index": w})
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, payload, lo, hi, num_envs, seed,
-                          auto_reset, record_truth, worker_spec),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._procs.append(proc)
-                self._conns.append(parent_conn)
+            self._shm_base = self._setup_shm(slot_bytes)
+            for w in range(num_workers):
+                self._launch_worker(w)
             self.reset_infos = []
             for conn in self._conns:
                 _, dims, reset_infos = self._recv_handshake(conn)
@@ -535,38 +671,59 @@ class ProcessVectorEnv(BaseVectorEnv):
     def auto_reset(self, value: bool) -> None:
         value = bool(value)
         self._auto_reset = value
+        if self._closed:
+            return  # nothing to sync; lets cleanup paths restore the flag
         cmd = bytes((vt.OP_AUTO_RESET, 1 if value else 0))
-        for conn in self._conns:
-            self._send_bytes(conn, cmd)
+        for w in range(len(self._bounds)):
+            self._dispatch(w, cmd)
         self._recv_group()
 
+    # -- supervision ---------------------------------------------------
+    @property
+    def fault_stats(self) -> dict:
+        """Monotonic fault counters: ``faults``, ``restarts``,
+        ``timeouts``, ``corrupt_frames``, ``degraded_workers``,
+        ``last_fault``. Pooled callers snapshot before/after a job to
+        attribute faults to it."""
+        stats = dict(self._sup.stats)
+        stats["degraded_workers"] = list(stats["degraded_workers"])
+        return stats
+
+    def configure_supervision(self, **kwargs) -> "ProcessVectorEnv":
+        """Adjust :class:`SupervisionConfig` knobs on the live env
+        (e.g. ``step_timeout=30.0`` per serve job, ``enabled=False`` to
+        restore the fail-fast contract)."""
+        config = self._sup.config
+        for key, value in kwargs.items():
+            if not hasattr(config, key):
+                raise TypeError(f"unknown supervision option {key!r}")
+            setattr(config, key, value)
+        return self
+
     # -- plumbing ------------------------------------------------------
-    def _send_bytes(self, conn, data) -> None:
-        """Send a command; a dead worker tears the whole env down.
+    def _dispatch(self, w: int, cmd, legacy: bool = False) -> None:
+        """Deliver one command to worker ``w``, tracking it in flight.
 
-        Without this, a worker that crashed between commands would
-        surface as a raw ``BrokenPipeError`` with the pool (and any
-        shared-memory segments) still live behind it.
+        The in-flight command is what a respawned worker re-executes
+        after its deterministic restore, so a fault at any point
+        between send and reply is recoverable. Degraded (in-parent)
+        workers execute lazily at receive time.
         """
+        if self._closed:
+            raise WorkerDiedError(
+                "a VectorEnv worker process died unexpectedly "
+                "(env already torn down)"
+            )
+        self._inflight[w] = (cmd, legacy)
+        if self._local[w] is not None:
+            return
         try:
-            conn.send_bytes(data)
+            if legacy:
+                self._conns[w].send(cmd)
+            else:
+                self._conns[w].send_bytes(cmd)
         except (BrokenPipeError, OSError) as exc:
-            self._pool = None
-            self._hard_close()
-            raise RuntimeError(
-                "a VectorEnv worker process died unexpectedly"
-            ) from exc
-
-    def _send_legacy(self, conn, obj) -> None:
-        """Pickled fallback send with the same dead-worker teardown."""
-        try:
-            conn.send(obj)
-        except (BrokenPipeError, OSError) as exc:
-            self._pool = None
-            self._hard_close()
-            raise RuntimeError(
-                "a VectorEnv worker process died unexpectedly"
-            ) from exc
+            self._recover_worker(w, f"send failed ({type(exc).__name__})")
 
     def _recv_group(self) -> list:
         """One reply per worker, draining *every* pipe before raising.
@@ -575,16 +732,17 @@ class ProcessVectorEnv(BaseVectorEnv):
         workers' replies queued in their pipes, desynchronizing the
         protocol for every later command (and poisoning a pooled env).
         Application errors (ST_ERR) therefore drain the whole group
-        first; a dead worker has already torn the env down inside
-        :meth:`_recv_raw`, so there is nothing left to drain.
+        first; an unrecoverable dead worker has already torn the env
+        down inside :meth:`_recv_worker`, so there is nothing left to
+        drain.
         """
         replies: list = []
         first_error: Exception | None = None
-        for w, conn in enumerate(self._conns):
+        for w in range(len(self._bounds)):
             if self._closed and first_error is not None:
                 break  # a dead worker hard-closed us mid-drain
             try:
-                replies.append(self._recv_raw(conn, w))
+                replies.append(self._recv_worker(w))
             except RuntimeError as exc:
                 replies.append(None)
                 if first_error is None:
@@ -604,33 +762,227 @@ class ProcessVectorEnv(BaseVectorEnv):
             raise RuntimeError(f"VectorEnv worker failed: {reply[1]}")
         return reply
 
-    def _recv_raw(self, conn, worker_index: int):
-        """One reply: binary record, shm-slot view, or legacy tuple.
+    def _recv_worker(self, w: int):
+        """One reply from worker ``w``: binary record, shm-slot view,
+        or legacy tuple.
 
-        A worker that died mid-command makes the env unusable, so the
-        pool is torn down (segments unlinked, processes reaped) before
-        the error propagates -- a crash can never leak ``/dev/shm``
-        residue behind an exception.
+        Every fault signal lands here — pipe EOF, step timeout, CRC
+        mismatch — and flows into :meth:`_recover_worker`, which either
+        brings a fresh worker to the exact pre-fault state (and re-sends
+        the in-flight command, so this loop simply waits again) or
+        tears the env down and raises :class:`WorkerDiedError`.
         """
-        try:
-            raw = conn.recv_bytes()
-        except (EOFError, OSError) as exc:
-            self._pool = None
-            self._hard_close()
-            raise RuntimeError(
-                "a VectorEnv worker process died unexpectedly"
-            ) from exc
-        first = raw[0]
-        if first == vt.ST_SHM and len(raw) == 1:
-            return self._read_slot(worker_index)
+        while True:
+            if self._local[w] is not None:
+                cmd, legacy = self._inflight[w]
+                executor = self._local[w]
+                body = (executor.handle_legacy(cmd) if legacy
+                        else executor.handle(cmd))
+                return self._finish_reply(body)
+            conn = self._conns[w]
+            config = self._sup.config
+            timeout = config.step_timeout if config.enabled else None
+            try:
+                if timeout is not None and not conn.poll(timeout):
+                    self._sup.stats["timeouts"] += 1
+                    self._recover_worker(w, f"no reply within {timeout}s")
+                    continue
+                raw = conn.recv_bytes()
+            except (EOFError, OSError) as exc:
+                self._recover_worker(w, f"pipe closed ({type(exc).__name__})")
+                continue
+            if self._frame_check:
+                try:
+                    raw = vt.open_frame(raw)
+                except vt.FrameError as exc:
+                    self._sup.stats["corrupt_frames"] += 1
+                    self._recover_worker(w, str(exc))
+                    continue
+            if raw[0] == vt.ST_SHM and len(raw) == 1:
+                body = self._read_slot(w)
+                if self._frame_check:
+                    try:
+                        body = vt.open_frame(body)
+                    except vt.FrameError as exc:
+                        self._sup.stats["corrupt_frames"] += 1
+                        self._recover_worker(w, str(exc))
+                        continue
+            else:
+                body = raw
+            return self._finish_reply(body)
+
+    @staticmethod
+    def _finish_reply(body):
+        """Shared reply postprocessing: application errors and the
+        legacy pickled fallback (which, under frame checking, may even
+        arrive through the shm slab)."""
+        if isinstance(body, tuple):  # a degraded executor's legacy reply
+            return body
+        first = body[0]
         if first == vt.ST_ERR:
-            raise RuntimeError(f"VectorEnv worker failed: {vt.decode_error(raw)}")
+            raise RuntimeError(
+                f"VectorEnv worker failed: {vt.decode_error(body)}")
         if first == vt.PICKLE_PROTO:
-            reply = pickle.loads(raw)
+            reply = pickle.loads(body)
             if reply[0] == "error":
                 raise RuntimeError(f"VectorEnv worker failed: {reply[1]}")
             return reply
-        return raw
+        return body
+
+    # -- fault recovery ------------------------------------------------
+    def _fail(self, reason: str) -> None:
+        """The fail-fast path: tear everything down and raise."""
+        self._pool = None
+        self._hard_close()
+        raise WorkerDiedError(
+            f"a VectorEnv worker process died unexpectedly ({reason})"
+        )
+
+    def _reap_worker(self, w: int) -> None:
+        conn = self._conns[w]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._conns[w] = None
+        proc = self._procs[w]
+        if proc is not None:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+                if proc.is_alive():  # pragma: no cover - stuck in a syscall
+                    proc.kill()
+                    proc.join(timeout=1.0)
+            else:
+                proc.join(timeout=1.0)
+            self._procs[w] = None
+
+    def _recover_worker(self, w: int, reason: str) -> None:
+        """Replace a dead/wedged worker, restoring its lanes bit-exactly.
+
+        Falls back to the old fail-fast contract (teardown +
+        :class:`WorkerDiedError`) when supervision is off or the slice's
+        history cannot be reconstructed; falls forward to the degrade
+        path (the slice runs in-parent) when the restart budget runs
+        out.
+        """
+        sup = self._sup
+        lo, hi = self._bounds[w]
+        sup.record_fault(w, reason)
+        self._reap_worker(w)
+        if self._closed:
+            raise WorkerDiedError(
+                f"a VectorEnv worker process died unexpectedly ({reason})"
+            )
+        if not (sup.config.enabled and sup.slice_recoverable(lo, hi)):
+            self._fail(reason)
+        config = sup.config
+        while True:
+            if sup.restarts[w] >= config.max_restarts:
+                if config.degrade:
+                    self._degrade_worker(w)
+                    return
+                self._fail(f"restart budget exhausted after: {reason}")
+            sup.restarts[w] += 1
+            sup.stats["restarts"] += 1
+            delay = min(config.backoff_cap,
+                        config.backoff_base * (2 ** (sup.restarts[w] - 1)))
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                self._respawn_worker(w)
+                return
+            except _RespawnError:
+                self._reap_worker(w)
+
+    def _respawn_worker(self, w: int) -> None:
+        """One respawn attempt: fresh process, deterministic restore,
+        re-sent in-flight command. Any failure raises
+        :class:`_RespawnError` and burns a restart budget unit."""
+        lo, hi = self._bounds[w]
+        try:
+            self._launch_worker(w)
+            _, dims, _ = self._recv_handshake(self._conns[w])
+            self._check_dims(vt.Dims(*dims))
+        except RuntimeError as exc:
+            raise _RespawnError(str(exc)) from exc
+        states = self._sup.restore_states(lo, hi)
+        try:
+            restore_cmd, legacy = vt.encode_restore_cmd(states), False
+        except vt.EncodeError:
+            # journaled actions the wire format cannot express: pickle
+            restore_cmd, legacy = ("restore", states), True
+        conn = self._conns[w]
+        try:
+            if legacy:
+                conn.send(restore_cmd)
+            else:
+                conn.send_bytes(restore_cmd)
+            raw = conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise _RespawnError(
+                f"died during restore ({type(exc).__name__})") from exc
+        if self._frame_check:
+            try:
+                raw = vt.open_frame(raw)
+            except vt.FrameError as exc:
+                raise _RespawnError(str(exc)) from exc
+        if raw[0] == vt.ST_ERR:
+            raise _RespawnError(f"restore failed: {vt.decode_error(raw)}")
+        if self._inflight[w] is not None:
+            cmd, cmd_legacy = self._inflight[w]
+            try:
+                if cmd_legacy:
+                    conn.send(cmd)
+                else:
+                    conn.send_bytes(cmd)
+            except (BrokenPipeError, OSError) as exc:
+                raise _RespawnError(
+                    f"died re-sending command ({type(exc).__name__})"
+                ) from exc
+
+    def _degrade_worker(self, w: int) -> None:
+        """Last resort: fold the slice into the parent process.
+
+        The slice's executor is the same class the worker process runs,
+        restored from the same journal — execution becomes sync (the
+        parallelism is gone) but trajectories stay bit-identical. No
+        injector is attached, so a degraded slice is also immune to the
+        chaos harness.
+        """
+        lo, hi = self._bounds[w]
+        try:
+            executor = _LaneGroupExecutor(
+                self._payload, lo, hi, self.num_envs, self._sup.base_seed,
+                self._auto_reset, self._record_truth,
+            )
+            executor.restore(self._sup.restore_states(lo, hi))
+            self._check_dims(executor.dims)
+        except Exception as exc:
+            self._fail(f"degrade failed: {type(exc).__name__}: {exc}")
+        self._local[w] = executor
+        self._sup.stats["degraded_workers"].append(w)
+
+    def _launch_worker(self, w: int) -> None:
+        """Spawn worker ``w``'s process and pipe (no handshake; the
+        caller collects it — in bulk at construction, inline on
+        respawn)."""
+        lo, hi = self._bounds[w]
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        worker_spec = (None if self._shm_base is None
+                       else {**self._shm_base, "worker_index": w})
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._payload, lo, hi, self.num_envs,
+                  self._sup.base_seed, self._auto_reset, self._record_truth,
+                  worker_spec, w, len(self._bounds), self._frame_check),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[w] = proc
+        self._conns[w] = parent_conn
 
     def _worker_of(self, lane: int) -> tuple[int, int]:
         """(worker index, local lane index) owning a global lane."""
@@ -643,8 +995,8 @@ class ProcessVectorEnv(BaseVectorEnv):
     def reset(self, seed=_UNSET) -> list:
         has_seed = seed is not _UNSET
         cmd = vt.encode_reset_cmd(has_seed, seed if has_seed else None)
-        for conn in self._conns:
-            self._send_bytes(conn, cmd)
+        for w in range(len(self._bounds)):
+            self._dispatch(w, cmd)
         replies = self._recv_group()
         observations: list = []
         infos: list = []
@@ -653,14 +1005,16 @@ class ProcessVectorEnv(BaseVectorEnv):
             observations.extend(obs)
             infos.extend(reset_infos)
         self.reset_infos = infos
+        self._sup.note_full_reset(has_seed, seed if has_seed else None)
         return observations
 
     def reset_env(self, i: int, seed: int | None = None):
         w, local = self._worker_of(i)
-        self._send_bytes(self._conns[w], vt.encode_reset_env_cmd(local, seed))
-        reply = self._recv_raw(self._conns[w], w)
+        self._dispatch(w, vt.encode_reset_env_cmd(local, seed))
+        reply = self._recv_worker(w)
         obs, info = vt.decode_reset_env_reply(reply, self._dims)
         self.reset_infos[i] = info
+        self._sup.note_reset_env(i, seed)
         return obs
 
     def step(self, actions=None, mask: Sequence[bool] | None = None) -> VecStep:
@@ -671,15 +1025,18 @@ class ProcessVectorEnv(BaseVectorEnv):
                 raise ValueError(
                     f"expected {self.num_envs} mask entries, got {len(mask)}"
                 )
-        for conn, (lo, hi) in zip(self._conns, self._bounds):
+        for w, (lo, hi) in enumerate(self._bounds):
             group_mask = None if mask is None else mask[lo:hi]
             try:
-                self._send_bytes(
-                    conn, vt.encode_step_cmd(actions[lo:hi], group_mask))
+                self._dispatch(w, vt.encode_step_cmd(actions[lo:hi],
+                                                     group_mask))
             except vt.EncodeError:
                 # exotic action payload: pickle this one command
-                self._send_legacy(conn, ("step", actions[lo:hi], group_mask))
-        return self._collect_step()
+                self._dispatch(w, ("step", actions[lo:hi], group_mask),
+                               legacy=True)
+        result = self._collect_step()
+        self._sup.note_step(actions, mask, result.dones, self._auto_reset)
+        return result
 
     def _collect_step(self) -> VecStep:
         replies = self._recv_group()
@@ -703,8 +1060,8 @@ class ProcessVectorEnv(BaseVectorEnv):
         return VecStep(observations, rewards, dones, infos)
 
     def action_masks(self) -> np.ndarray:
-        for conn in self._conns:
-            self._send_bytes(conn, _MASKS_CMD)
+        for w in range(len(self._bounds)):
+            self._dispatch(w, _MASKS_CMD)
         rows = []
         for reply, (lo, hi) in zip(self._recv_group(), self._bounds):
             if isinstance(reply, tuple):
@@ -740,10 +1097,11 @@ class ProcessVectorEnv(BaseVectorEnv):
             {"payload": payload, "seed": seed, "auto_reset": auto_reset}
         ).encode("utf-8")
         cmd = bytes((vt.OP_RELANE,)) + body
-        for conn in self._conns:
-            self._send_bytes(conn, cmd)
+        for w in range(len(self._bounds)):
+            self._dispatch(w, cmd)
         self._finish_relane(specs, payload)
         self._auto_reset = auto_reset
+        self._sup.note_relane(seed)
         return self
 
     def rebuild_lane(self, i: int, spec, *, seed: int | None = None) -> None:
@@ -766,9 +1124,9 @@ class ProcessVectorEnv(BaseVectorEnv):
         body = json.dumps(
             {"lane": local, "spec": spec_to_dict(spec), "seed": seed}
         ).encode("utf-8")
-        self._send_bytes(self._conns[w], bytes((vt.OP_RELANE,)) + body)
+        self._dispatch(w, bytes((vt.OP_RELANE,)) + body)
         lo, hi = self._bounds[w]
-        reply = self._recv_raw(self._conns[w], w)
+        reply = self._recv_worker(w)
         dims, reset_infos = vt.decode_relane_reply(reply, hi - lo)
         self._check_dims(dims)
         self.reset_infos[lo:hi] = reset_infos
@@ -779,6 +1137,7 @@ class ProcessVectorEnv(BaseVectorEnv):
         # template must reflect the rebuilt lane
         self._payload = {"specs": [spec_to_dict(s) for s in self._lane_specs]}
         self._template_env = None
+        self._sup.note_rebuild(i, seed)
 
     def _finish_relane(self, specs: list, payload: dict) -> None:
         replies = self._recv_group()
@@ -829,24 +1188,41 @@ class ProcessVectorEnv(BaseVectorEnv):
         self._pool = None
         try:
             for conn in self._conns:
+                if conn is None:
+                    continue
                 try:
                     conn.send_bytes(_CLOSE_CMD)
                 except (BrokenPipeError, OSError):
                     pass
-            for conn in self._conns:
+            for w, conn in enumerate(self._conns):
+                if conn is None:
+                    continue
+                # a bounded grace period: a healthy worker acks CLOSE in
+                # microseconds; one that stays silent is wedged (or mid
+                # crash) and gets terminated instead of a long join —
+                # eviction of a hung pool must not block its caller.
+                graceful = False
                 try:
-                    if conn.poll(1.0):
+                    if conn.poll(0.25):
                         conn.recv_bytes()
+                        graceful = True
                 except (EOFError, OSError):
-                    pass
+                    graceful = True  # already dead: join returns at once
                 conn.close()
-            for proc in self._procs:
-                proc.join(timeout=5.0)
+                proc = self._procs[w]
+                if proc is None:
+                    continue
+                if graceful:
+                    proc.join(timeout=2.0)
                 if proc.is_alive():
                     proc.terminate()
                     proc.join(timeout=1.0)
+                    if proc.is_alive():  # pragma: no cover
+                        proc.kill()
+                        proc.join(timeout=1.0)
         finally:
             self._teardown_shm()
+            self._local = [None] * len(self._bounds)
 
     def __del__(self):  # pragma: no cover - best-effort cleanup
         try:

@@ -297,6 +297,31 @@ class VectorEnv(BaseVectorEnv):
         self.reset_infos[i] = _reset_info(self.envs[i])
         return obs
 
+    # -- deterministic lane recovery -----------------------------------
+    def restore_reset(self, i: int, seed: int | None) -> Observation:
+        """Reset lane ``i`` to ``seed`` without touching the episode
+        schedule.
+
+        Worker recovery replays a lane's journaled history against a
+        fresh group: the supervisor already knows the exact seed and
+        episode count, so unlike :meth:`reset_env` nothing is derived or
+        advanced here.
+        """
+        obs = self.envs[i].reset(seed=seed)
+        self._last_obs[i] = obs
+        self.reset_infos[i] = _reset_info(self.envs[i])
+        return obs
+
+    def replay_action(self, i: int, action) -> None:
+        """Re-apply one journaled action to lane ``i``.
+
+        No auto-reset and no reward/done bookkeeping: the journal never
+        spans an auto-reset boundary (it is cleared when a lane rolls
+        over), so replay always lands exactly on the pre-fault state.
+        """
+        obs, _, _, _ = self.envs[i].step(action)
+        self._last_obs[i] = obs
+
     # ------------------------------------------------------------------
     def step(self, actions=None, mask: Sequence[bool] | None = None) -> VecStep:
         """Advance all (unmasked) environments by one hour.

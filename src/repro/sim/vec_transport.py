@@ -36,6 +36,7 @@ can even be re-laned onto a different network preset.
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Any, NamedTuple
 
 import numpy as np
@@ -47,6 +48,7 @@ from repro.sim.reward import RewardBreakdown
 __all__ = [
     "Dims",
     "EncodeError",
+    "FrameError",
     "OP_STEP",
     "OP_MASKS",
     "OP_RESET",
@@ -54,11 +56,19 @@ __all__ = [
     "OP_AUTO_RESET",
     "OP_RELANE",
     "OP_CLOSE",
+    "OP_RESTORE",
     "ST_OK",
     "ST_ERR",
     "ST_SHM",
     "PICKLE_PROTO",
+    "RESTORE_VIRGIN",
+    "RESTORE_RESET",
+    "RESTORE_REBUILT",
     "dims_of",
+    "seal_frame",
+    "open_frame",
+    "encode_restore_cmd",
+    "decode_restore_cmd",
     "encode_step_cmd",
     "decode_step_cmd",
     "encode_step_reply",
@@ -89,6 +99,7 @@ OP_RESET_ENV = 0x93
 OP_AUTO_RESET = 0x94
 OP_RELANE = 0x95
 OP_CLOSE = 0x96
+OP_RESTORE = 0x97  # deterministic lane recovery after a worker respawn
 
 # reply status bytes (worker -> parent)
 ST_OK = 0xA0  # payload follows inline
@@ -440,13 +451,43 @@ _ACT_INT = 1
 _ACT_LIST = 2
 
 
+def _encode_action_entry(out: bytearray, action) -> None:
+    """Pack one per-lane action: ``None``, an integer action index
+    (python or numpy), a single :class:`DefenderAction`, or an iterable
+    of them — exactly the forms :meth:`InasimEnv.step` accepts from the
+    repo's policies. Anything else raises :class:`EncodeError`."""
+    if action is None:
+        out.append(_ACT_NONE)
+    elif isinstance(action, (int, np.integer)):
+        out.append(_ACT_INT)
+        out += _I64.pack(int(action))
+    elif isinstance(action, DefenderAction):
+        out.append(_ACT_LIST)
+        _encode_actions_list(out, (action,))
+    elif isinstance(action, (list, tuple)):
+        out.append(_ACT_LIST)
+        _encode_actions_list(out, action)
+    else:
+        raise EncodeError(
+            f"unencodable action of type {type(action).__name__}"
+        )
+
+
+def _decode_action_entry(buf, pos: int):
+    kind = buf[pos]
+    pos += 1
+    if kind == _ACT_NONE:
+        return None, pos
+    if kind == _ACT_INT:
+        (value,) = _I64.unpack_from(buf, pos)
+        return value, pos + 8
+    return _decode_actions_list(buf, pos)
+
+
 def encode_step_cmd(actions, mask) -> bytearray:
     """Pack a lane group's actions (+ optional step mask) for a worker.
 
-    ``actions`` entries may be ``None``, integer action indices (python
-    or numpy), a single :class:`DefenderAction`, or an iterable of
-    them — exactly the forms :meth:`InasimEnv.step` accepts from the
-    repo's policies. Anything else raises :class:`EncodeError` and the
+    On an unencodable action this raises :class:`EncodeError` and the
     caller falls back to the pickled protocol for this step.
     """
     out = bytearray((OP_STEP,))
@@ -456,21 +497,7 @@ def encode_step_cmd(actions, mask) -> bytearray:
         out.append(1)
         out += bytes(bytearray(bool(m) for m in mask))
     for action in actions:
-        if action is None:
-            out.append(_ACT_NONE)
-        elif isinstance(action, (int, np.integer)):
-            out.append(_ACT_INT)
-            out += _I64.pack(int(action))
-        elif isinstance(action, DefenderAction):
-            out.append(_ACT_LIST)
-            _encode_actions_list(out, (action,))
-        elif isinstance(action, (list, tuple)):
-            out.append(_ACT_LIST)
-            _encode_actions_list(out, action)
-        else:
-            raise EncodeError(
-                f"unencodable action of type {type(action).__name__}"
-            )
+        _encode_action_entry(out, action)
     return out
 
 
@@ -485,18 +512,92 @@ def decode_step_cmd(buf, k: int):
         pos += 1
     actions: list = []
     for _ in range(k):
+        action, pos = _decode_action_entry(buf, pos)
+        actions.append(action)
+    return actions, mask
+
+
+# ----------------------------------------------------------------------
+# restore command (parent -> respawned worker)
+# ----------------------------------------------------------------------
+# Per-lane journal kinds: how the parent last (re)initialised the lane.
+RESTORE_VIRGIN = 0  # as built from the payload; only actions to replay
+RESTORE_RESET = 1  # last reset with a known seed on the lane schedule
+RESTORE_REBUILT = 2  # rebuilt from a (possibly new) spec with a seed
+
+
+def encode_restore_cmd(states) -> bytearray:
+    """Pack one ``(kind, seed, episode_count, actions)`` tuple per lane
+    of a respawned worker's slice. ``seed`` must be a concrete integer
+    for the RESET/REBUILT kinds — the parent only attempts recovery
+    when every lane's seed is known."""
+    out = bytearray((OP_RESTORE,))
+    for kind, seed, episode_count, actions in states:
+        out.append(kind)
+        if kind != RESTORE_VIRGIN:
+            out += _I64.pack(seed)
+        out += _I64.pack(episode_count)
+        out += _U32.pack(len(actions))
+        for action in actions:
+            _encode_action_entry(out, action)
+    return out
+
+
+def decode_restore_cmd(buf, k: int):
+    """Inverse of :func:`encode_restore_cmd` for ``k`` lanes."""
+    pos = 1
+    states = []
+    for _ in range(k):
         kind = buf[pos]
         pos += 1
-        if kind == _ACT_NONE:
-            actions.append(None)
-        elif kind == _ACT_INT:
-            (value,) = _I64.unpack_from(buf, pos)
+        seed = None
+        if kind != RESTORE_VIRGIN:
+            (seed,) = _I64.unpack_from(buf, pos)
             pos += 8
-            actions.append(value)
-        else:
-            decoded, pos = _decode_actions_list(buf, pos)
-            actions.append(decoded)
-    return actions, mask
+        (episode_count,) = _I64.unpack_from(buf, pos)
+        pos += 8
+        (n_actions,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        actions = []
+        for _ in range(n_actions):
+            action, pos = _decode_action_entry(buf, pos)
+            actions.append(action)
+        states.append((kind, seed, episode_count, actions))
+    return states
+
+
+# ----------------------------------------------------------------------
+# frame integrity (chaos-mode CRC sealing)
+# ----------------------------------------------------------------------
+class FrameError(Exception):
+    """A reply frame failed its CRC32 integrity check.
+
+    Only raised when frame checking is armed (``REPRO_FRAME_CHECK``);
+    the supervisor treats it as a worker fault — the sender is killed
+    and its lanes recovered, exactly like a crash."""
+
+
+def seal_frame(record):
+    """Append a little-endian CRC32 of ``record`` to it.
+
+    Bytearrays are extended in place (the hot reply path); other buffer
+    types round-trip through ``bytes``."""
+    crc = zlib.crc32(record) & 0xFFFFFFFF
+    if isinstance(record, bytearray):
+        record += _U32.pack(crc)
+        return record
+    return bytes(record) + _U32.pack(crc)
+
+
+def open_frame(buf):
+    """Verify and strip the CRC32 trailer added by :func:`seal_frame`."""
+    if len(buf) < 5:
+        raise FrameError("frame too short to carry a checksum")
+    body = buf[:-4]
+    (expected,) = _U32.unpack_from(buf, len(buf) - 4)
+    if (zlib.crc32(body) & 0xFFFFFFFF) != expected:
+        raise FrameError("frame checksum mismatch (corrupt reply)")
+    return body
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,25 @@
+"""Test-support utilities that ship with the package.
+
+:mod:`repro.testing.faults` is the seeded chaos-injection harness the
+fault-tolerance suite and the CI ``chaos-smoke`` job use to drive the
+*real* worker failure paths (kills, wedged steps, corrupted transport
+frames, relane crashes) instead of mocks.
+"""
+
+from repro.testing.faults import (
+    ENV_FAULTS,
+    ENV_FRAME_CHECK,
+    FaultInjector,
+    FaultPlan,
+    inject_faults,
+    plan_from_env,
+)
+
+__all__ = [
+    "ENV_FAULTS",
+    "ENV_FRAME_CHECK",
+    "FaultInjector",
+    "FaultPlan",
+    "inject_faults",
+    "plan_from_env",
+]

@@ -1,0 +1,190 @@
+"""Seeded fault injection for the worker-pool backends.
+
+Chaos tests (and the CI ``chaos-smoke`` job) must exercise the *real*
+failure paths — worker death, wedged steps, corrupted transport frames,
+relane crashes — not mocked pipes. This module arms the worker
+processes themselves: each one builds a :class:`FaultInjector` from an
+environment-carried :class:`FaultPlan`, and the injector's hooks fire
+inside the worker's own command loop (``os._exit`` for kills,
+``time.sleep`` for wedges, a post-seal byte flip for corruption).
+
+Activation is environment-driven so the plan crosses the
+``multiprocessing`` fork/spawn boundary for free:
+
+* ``REPRO_FAULTS`` holds the JSON-encoded plan;
+* ``REPRO_FRAME_CHECK=1`` arms CRC32 frame sealing on the transport
+  (armed automatically by :func:`inject_faults` whenever the plan
+  corrupts frames — corruption is undetectable without it).
+
+Every scheduled event picks its victim worker with a hash seeded by
+``(plan.seed, event)``, so all workers agree on the victim without
+communicating and the same plan kills the same workers at the same
+steps on any host. Step counts are per worker-process lifetime: a
+respawned worker restarts at zero (restore replay does not count as
+steps), which keeps a one-shot corruption or kill from re-firing in an
+endless loop.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import random
+import time
+from dataclasses import asdict, dataclass, fields
+
+__all__ = [
+    "ENV_FAULTS",
+    "ENV_FRAME_CHECK",
+    "FAULT_EXIT_CODE",
+    "FaultPlan",
+    "FaultInjector",
+    "inject_faults",
+    "plan_from_env",
+    "frame_check_from_env",
+]
+
+ENV_FAULTS = "REPRO_FAULTS"
+ENV_FRAME_CHECK = "REPRO_FRAME_CHECK"
+
+#: exit code of injected kills — distinguishable from real crashes
+FAULT_EXIT_CODE = 17
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected worker faults.
+
+    Step numbers count ``OP_STEP`` commands handled by one worker
+    process; ``kill_on_steps``/``corrupt_on_steps`` fire on exact
+    counts, ``kill_every`` on every multiple. With ``kill_worker``
+    unset, each event's victim is drawn from the seeded hash; set it to
+    pin every event on one worker index.
+    """
+
+    seed: int = 0
+    #: kill one worker every k steps (0 = off)
+    kill_every: int = 0
+    #: kill on these exact per-process step counts
+    kill_on_steps: tuple = ()
+    #: pin the victim worker index (None = seeded pick per event)
+    kill_worker: int | None = None
+    #: wedge: sleep this long before the given step (0 = off)
+    delay_on_step: int = 0
+    delay_seconds: float = 0.0
+    #: flip one byte in these steps' sealed reply frames
+    corrupt_on_steps: tuple = ()
+    #: die while handling the nth relane/rebuild command (0 = off)
+    fail_relane: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        known = {f.name for f in fields(cls)}
+        kwargs = {}
+        for key, value in data.items():
+            if key not in known:
+                continue
+            kwargs[key] = tuple(value) if isinstance(value, list) else value
+        return cls(**kwargs)
+
+    def apply_env(self, environ=None) -> None:
+        environ = os.environ if environ is None else environ
+        environ[ENV_FAULTS] = self.to_json()
+        if self.corrupt_on_steps:
+            environ[ENV_FRAME_CHECK] = "1"
+
+
+def plan_from_env(environ=None) -> FaultPlan | None:
+    environ = os.environ if environ is None else environ
+    text = environ.get(ENV_FAULTS)
+    if not text:
+        return None
+    return FaultPlan.from_json(text)
+
+
+def frame_check_from_env(environ=None) -> bool:
+    environ = os.environ if environ is None else environ
+    return environ.get(ENV_FRAME_CHECK, "") not in ("", "0")
+
+
+@contextlib.contextmanager
+def inject_faults(plan: FaultPlan):
+    """Arm ``plan`` for every worker pool built inside the block.
+
+    Sets the environment knobs (restoring them on exit), so forked and
+    spawned workers alike pick the plan up in ``_worker_main``. Note a
+    *pooled* env spawned outside the block keeps its fault-free
+    workers — chaos tests should build their own envs (or pools) inside
+    the block.
+    """
+    saved = {key: os.environ.get(key) for key in (ENV_FAULTS, ENV_FRAME_CHECK)}
+    plan.apply_env(os.environ)
+    try:
+        yield plan
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _victim(seed: int, event, num_workers: int) -> int:
+    """The victim worker for one event — the same on every worker,
+    with no communication: a :class:`random.Random` seeded from the
+    (seed, event) string is process-independent by construction."""
+    return random.Random(f"{seed}:{event}").randrange(num_workers)
+
+
+class FaultInjector:
+    """Worker-process side of the harness.
+
+    Hooks are called by the worker's command executor; they run *before*
+    the env steps, so an injected kill never half-applies a command —
+    exactly the window a real crash would hit. The parent's degraded
+    (in-parent) executors never carry an injector.
+    """
+
+    def __init__(self, plan: FaultPlan, worker_index: int, num_workers: int):
+        self.plan = plan
+        self.worker_index = worker_index
+        self.num_workers = max(1, num_workers)
+        self.steps = 0
+        self.relanes = 0
+
+    def _my_turn(self, event) -> bool:
+        if self.plan.kill_worker is not None:
+            return self.plan.kill_worker == self.worker_index
+        return _victim(self.plan.seed, event,
+                       self.num_workers) == self.worker_index
+
+    def on_step(self) -> bool:
+        """Advance the step counter and fire any scheduled fault.
+
+        Returns True when this step's reply frame should be corrupted
+        (the transport flips a byte after sealing it).
+        """
+        plan = self.plan
+        self.steps += 1
+        step = self.steps
+        if (plan.delay_on_step and step == plan.delay_on_step
+                and plan.delay_seconds > 0
+                and self._my_turn(("delay", step))):
+            time.sleep(plan.delay_seconds)
+        kill = ((plan.kill_every and step % plan.kill_every == 0)
+                or step in plan.kill_on_steps)
+        if kill and self._my_turn(("step", step)):
+            os._exit(FAULT_EXIT_CODE)
+        return step in plan.corrupt_on_steps and self._my_turn(
+            ("corrupt", step))
+
+    def on_relane(self) -> None:
+        self.relanes += 1
+        if (self.plan.fail_relane and self.relanes == self.plan.fail_relane
+                and self._my_turn(("relane", self.relanes))):
+            os._exit(FAULT_EXIT_CODE)

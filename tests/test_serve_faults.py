@@ -1,0 +1,295 @@
+"""Fault tolerance at the service layer: job retries, fault accounting,
+store reconciliation after an unclean shutdown, and client-side retry.
+
+The end-to-end tests run a real server (ephemeral port, its own event
+loop thread) and inject real worker faults through
+:mod:`repro.testing.faults` — the pool workers a served job spawns
+inherit the armed plan from the environment, exactly as the chaos CI
+job arms them.
+"""
+
+import time
+
+import pytest
+
+from repro.serve import EvalService, RunStore, ServeClient, ServeQueueFullError
+from repro.serve.store import SCHEMA_VERSION, _MIGRATIONS
+from repro.sim.vec_backends import WorkerDiedError
+from repro.testing import FaultPlan, inject_faults
+from test_serve_service import ServerHandle
+
+TINY = "inasim-tiny-v1"
+
+pytestmark = pytest.mark.chaos
+
+
+# ----------------------------------------------------------------------
+# run store: migration, reconciliation, idempotent episode records
+# ----------------------------------------------------------------------
+class TestStoreFaults:
+    def test_v1_store_migrates_to_v2(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "old.sqlite")
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.executescript(_MIGRATIONS[0])
+            conn.execute("PRAGMA user_version=1")
+            conn.execute(
+                "INSERT INTO runs (run_id, kind, status, created_at)"
+                " VALUES ('legacy1', 'evaluate', 'done', 1.0)"
+            )
+        conn.close()
+        with RunStore(path) as store:
+            assert store.schema_version == SCHEMA_VERSION == 2
+            run = store.get_run("legacy1")
+            assert run["faults"] == 0  # backfilled default
+            store.finish_run("legacy1", {"ok": True}, faults=3)
+            assert store.get_run("legacy1")["faults"] == 3
+
+    def test_reconcile_marks_stranded_runs_interrupted(self, tmp_path):
+        path = str(tmp_path / "runs.sqlite")
+        with RunStore(path) as store:
+            run_id = store.create_run("evaluate", scenario_id=TINY,
+                                      detail={"scenario": TINY})
+            store.mark_running(run_id)
+            done_id = store.create_run("evaluate", status="queued")
+            store.mark_running(done_id)
+            store.finish_run(done_id)
+        # "the server was SIGKILLed here" — reopen and reconcile
+        with RunStore(path) as store:
+            stranded = store.reconcile_interrupted()
+            assert [r["run_id"] for r in stranded] == [run_id]
+            assert stranded[0]["status"] == "interrupted"
+            assert stranded[0]["detail"] == {"scenario": TINY}
+            run = store.get_run(run_id)
+            assert run["status"] == "interrupted"
+            assert "exited mid-run" in run["error"]
+            assert store.get_run(done_id)["status"] == "done"
+            assert store.reconcile_interrupted() == []  # idempotent
+
+    def test_record_episode_is_idempotent_per_index(self, tmp_path):
+        with RunStore(str(tmp_path / "runs.sqlite")) as store:
+            run_id = store.create_run("evaluate")
+            store.record_episode(run_id, 0, {"attempt": 1}, seed=5)
+            store.record_episode(run_id, 0, {"attempt": 2}, seed=5)
+            episodes = store.episodes_of(run_id)
+            assert len(episodes) == 1
+            assert episodes[0]["detail"] == {"attempt": 2}
+
+
+# ----------------------------------------------------------------------
+# the retry loop (stubbed execution: exact attempt semantics)
+# ----------------------------------------------------------------------
+class TestJobRetries:
+    def _service(self, tmp_path, **kwargs):
+        kwargs.setdefault("retry_backoff", 0.001)
+        return EvalService(str(tmp_path / "runs.sqlite"), **kwargs)
+
+    def _submitted_job(self, service):
+        import asyncio
+
+        async def submit():
+            await service.start()
+            job = service.submit({"scenario": TINY, "episodes": 1,
+                                  "max_steps": 5})
+            # pull it off the queue so shutdown won't cancel it
+            service._queue.get_nowait()
+            return job
+
+        return asyncio.run(submit())
+
+    def test_job_survives_fatal_fault_via_retry(self, tmp_path):
+        service = self._service(tmp_path, job_retries=2)
+        job = self._submitted_job(service)
+        attempts = []
+
+        def flaky(j):
+            attempts.append(j.completed)
+            j.completed = 1  # pretend an episode landed pre-crash
+            if len(attempts) < 3:
+                raise WorkerDiedError("a worker died (test)")
+            return {"ok": True}
+
+        service._execute_evaluation = flaky
+        service._run_job(job)
+        assert job.status == "done"
+        assert job.retries_used == 2
+        assert attempts == [0, 0, 0]  # completed reset before each re-run
+        run = service.store.get_run(job.id)
+        assert run["status"] == "done"
+        assert service.fault_summary()["job_retries"] == 2
+        service.store.close()
+
+    def test_budget_exhaustion_fails_the_job(self, tmp_path):
+        service = self._service(tmp_path, job_retries=1)
+        job = self._submitted_job(service)
+
+        def doomed(j):
+            raise WorkerDiedError("a worker died (test)")
+
+        service._execute_evaluation = doomed
+        service._run_job(job)
+        assert job.status == "error"
+        assert "died" in job.error
+        assert job.retries_used == 1
+        assert service.store.get_run(job.id)["status"] == "error"
+        service.store.close()
+
+    def test_job_retries_field_overrides_service_budget(self, tmp_path):
+        service = self._service(tmp_path, job_retries=5)
+        job = self._submitted_job(service)
+        job.request.retries = 0  # this job opts out of retrying
+
+        calls = []
+
+        def doomed(j):
+            calls.append(1)
+            raise WorkerDiedError("a worker died (test)")
+
+        service._execute_evaluation = doomed
+        service._run_job(job)
+        assert job.status == "error" and len(calls) == 1
+        service.store.close()
+
+
+# ----------------------------------------------------------------------
+# end-to-end: served jobs under real injected worker faults
+# ----------------------------------------------------------------------
+class TestServedChaos:
+    def test_pooled_job_survives_worker_crash(self, tmp_path):
+        """The issue's acceptance criterion: an evaluate job whose pool
+        worker is killed mid-job completes anyway — supervision (and,
+        past the restart budget, in-parent degradation) rides through
+        the crashes — and the run row records the fault count."""
+        argv = {"kind": "evaluate", "scenario": TINY, "policy": "playbook",
+                "episodes": 4, "seed": 3, "max_steps": 20}
+        with ServerHandle(tmp_path / "runs.sqlite", max_queue=8) as server:
+            clean = server.client.wait(
+                server.client.submit({**argv, "num_envs": 4,
+                                      "backend": "sync"})["job_id"],
+                timeout=120)
+            with inject_faults(FaultPlan(seed=0, kill_on_steps=(3,))):
+                job = server.client.submit({**argv, "num_envs": 4,
+                                            "backend": "process",
+                                            "num_workers": 2})
+                done = server.client.wait(job["job_id"], timeout=120)
+            assert done["status"] == "done"
+            assert done["faults"]["worker_faults"] >= 1
+            assert done["metrics"] == clean["metrics"]  # still bit-exact
+            run = server.client.run(job["job_id"])
+            assert run["faults"] >= 1
+            health = server.client.health()
+            assert health["faults"]["worker_faults"] >= 1
+
+    def test_unsupervised_job_exhausts_retries_to_error(self, tmp_path):
+        """supervise=False restores fail-fast workers: every attempt
+        dies to the armed kill plan, the retry budget burns down, and
+        the job lands as an error with its fault count recorded."""
+        with ServerHandle(tmp_path / "runs.sqlite", max_queue=8,
+                          supervise=False, job_retries=1,
+                          retry_backoff=0.01) as server:
+            with inject_faults(FaultPlan(seed=0, kill_on_steps=(2,),
+                                         kill_worker=0)):
+                job = server.client.submit({
+                    "kind": "evaluate", "scenario": TINY,
+                    "policy": "playbook", "episodes": 2, "seed": 0,
+                    "max_steps": 20, "num_envs": 2, "backend": "process",
+                    "num_workers": 1,
+                })
+                done = server.client.wait(job["job_id"], timeout=120,
+                                          raise_on_failure=False)
+            assert done["status"] == "error"
+            assert "died" in done["error"]
+            assert done["faults"]["retries_used"] == 1
+            assert done["faults"]["worker_faults"] >= 2  # one per attempt
+            assert server.client.run(job["job_id"])["faults"] >= 2
+
+    def test_restart_reconciles_and_requeues_stranded_runs(self, tmp_path):
+        """A run left ``running`` by a killed server is marked
+        ``interrupted`` when the next server opens the store, and with
+        ``requeue_interrupted`` it is resubmitted from its recorded
+        payload and actually completes."""
+        path = tmp_path / "runs.sqlite"
+        payload = {"kind": "evaluate", "scenario": TINY, "policy": "playbook",
+                   "episodes": 1, "seed": 7, "max_steps": 10}
+        with RunStore(str(path)) as store:
+            stranded_id = store.create_run("evaluate", scenario_id=TINY,
+                                           detail=payload)
+            store.mark_running(stranded_id)  # ...and the server "dies"
+        with ServerHandle(path, max_queue=8,
+                          requeue_interrupted=True) as server:
+            health = server.client.health()
+            assert health["faults"]["jobs_interrupted"] == 1
+            assert health["faults"]["jobs_requeued"] == 1
+            assert (server.client.run(stranded_id)["status"]
+                    == "interrupted")
+            requeued = [j for j in server.client.jobs()
+                        if f"requeued:{stranded_id}" in j["tags"]]
+            assert len(requeued) == 1
+            done = server.client.wait(requeued[0]["job_id"], timeout=120)
+            assert done["status"] == "done"
+            assert done["seed"] == 7
+
+
+# ----------------------------------------------------------------------
+# client-side resilience
+# ----------------------------------------------------------------------
+class TestClientRetries:
+    def test_transient_errors_retry_then_succeed(self):
+        client = ServeClient(port=1, retries=3, backoff=0.0)
+        outcomes = [ConnectionResetError("boom"),
+                    ServeQueueFullError("full", 429), {"ok": True}]
+
+        def fake_once(method, path, payload=None):
+            result = outcomes.pop(0)
+            if isinstance(result, Exception):
+                raise result
+            return result
+
+        client._request_once = fake_once
+        assert client._request("GET", "/health") == {"ok": True}
+        assert outcomes == []
+
+    def test_retry_budget_exhaustion_surfaces_the_error(self):
+        client = ServeClient(port=1, retries=2, backoff=0.0)
+        calls = []
+
+        def always_down(method, path, payload=None):
+            calls.append(1)
+            raise ConnectionRefusedError("no server")
+
+        client._request_once = always_down
+        with pytest.raises(ConnectionRefusedError):
+            client._request("GET", "/health")
+        assert len(calls) == 3  # first try + 2 retries
+
+    def test_protocol_errors_never_retry(self):
+        from repro.serve import ServeNotFoundError
+
+        client = ServeClient(port=1, retries=5, backoff=0.0)
+        calls = []
+
+        def gone(method, path, payload=None):
+            calls.append(1)
+            raise ServeNotFoundError("nope", 404)
+
+        client._request_once = gone
+        with pytest.raises(ServeNotFoundError):
+            client._request("GET", "/runs/xyz")
+        assert len(calls) == 1
+
+    def test_wait_backs_off_and_treats_interrupted_as_terminal(
+            self, monkeypatch):
+        from repro.serve import JobFailedError
+
+        client = ServeClient(port=1, retries=0)
+        statuses = iter(["queued", "running", "running", "interrupted"])
+        client.job = lambda job_id: {"job_id": job_id,
+                                     "status": next(statuses)}
+        sleeps = []
+        monkeypatch.setattr("repro.serve.client.time.sleep",
+                            lambda s: sleeps.append(s))
+        with pytest.raises(JobFailedError):
+            client.wait("j1", timeout=30, poll=0.1, max_poll=0.2)
+        assert sleeps == [0.1, pytest.approx(0.15), pytest.approx(0.2)]

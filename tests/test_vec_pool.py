@@ -75,7 +75,7 @@ def _no_segment(name):
 
 
 def _workers_reaped(venv):
-    return all(not p.is_alive() for p in venv._procs)
+    return all(p is None or not p.is_alive() for p in venv._procs)
 
 
 class _NoPickle:
@@ -173,11 +173,33 @@ class TestPoolLifecycle:
         assert _workers_reaped(venv)
         assert _no_segment(name)
 
-    def test_worker_crash_during_reset_leaves_no_residue(self):
-        """A killed worker surfaces as RuntimeError and the teardown
+    def test_worker_crash_during_reset_recovers_in_place(self):
+        """With supervision (the default), a worker killed mid-reset is
+        respawned and the reset completes; close() still unlinks the
+        slab and reaps every worker, respawned ones included."""
+        venv = repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=10,
+                              backend="shm", num_workers=2)
+        name = venv._slab.name
+        try:
+            venv._procs[0].kill()
+            venv._procs[0].join(timeout=5.0)
+            venv.reset(seed=0)
+            venv.step(None)
+            assert venv.fault_stats["faults"] == 1
+            assert venv.fault_stats["restarts"] == 1
+        finally:
+            venv.close()
+        assert venv._closed
+        assert _workers_reaped(venv)
+        assert _no_segment(name)
+
+    def test_worker_crash_without_supervision_leaves_no_residue(self):
+        """Supervision off restores the fail-fast contract: a killed
+        worker surfaces as RuntimeError("...died...") and the teardown
         still unlinks the slab and reaps the remaining workers."""
         venv = repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=10,
                               backend="shm", num_workers=2)
+        venv.configure_supervision(enabled=False)
         name = venv._slab.name
         venv._procs[0].kill()
         venv._procs[0].join(timeout=5.0)
@@ -245,11 +267,34 @@ class TestPoolLifecycle:
         finally:
             pool.close()
 
-    def test_pool_respawns_after_worker_death(self):
+    def test_pool_survives_worker_death_in_place(self):
+        """A supervised pool env rides through a kill without ever
+        being dropped from the pool — the next acquire reuses it."""
         pool = VecPool()
         try:
             venv = pool.acquire(_specs(2), seed=0, backend="process",
                                 num_workers=1)
+            venv._procs[0].kill()
+            venv._procs[0].join(timeout=5.0)
+            venv.reset(seed=0)
+            venv.step(None)
+            assert venv.fault_stats["restarts"] == 1
+            venv.close()  # soft release back to the pool
+            again = pool.acquire(_specs(2), seed=0, backend="process",
+                                 num_workers=1)
+            assert again is venv and pool.spawns == 1
+        finally:
+            pool.close()
+        assert not [c for c in mp.active_children() if c.is_alive()]
+
+    def test_pool_respawns_after_worker_death(self):
+        """Supervision off: a dead worker fail-fasts, the pool drops
+        the poisoned env, and the next acquire spawns a fresh one."""
+        pool = VecPool()
+        try:
+            venv = pool.acquire(_specs(2), seed=0, backend="process",
+                                num_workers=1)
+            venv.configure_supervision(enabled=False)
             venv._procs[0].kill()
             venv._procs[0].join(timeout=5.0)
             with pytest.raises(RuntimeError):
