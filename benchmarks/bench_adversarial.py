@@ -58,8 +58,7 @@ def test_best_response_search(benchmark):
         )
         nominal_utility = fitness(cfg.apt)
         search = CrossEntropySearch(space, fitness, population=6, seed=0)
-        result = search.run(iterations=2,
-                            init_mean=space.encode(cfg.apt))
+        result = search.run(iterations=2, init_mean=space.encode(cfg.apt))
         return nominal_utility, result
 
     nominal_utility, result = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -87,15 +86,16 @@ def test_robustness_matrix(benchmark):
     attackers = {
         "APT1": replace(apt1(), time_scale=_TIME_SCALE),
         "APT2": replace(apt2(), time_scale=_TIME_SCALE),
-        "stealthy": replace(apt1(), cleanup_effectiveness=0.9,
-                            time_scale=_TIME_SCALE),
+        "stealthy": replace(apt1(), cleanup_effectiveness=0.9, time_scale=_TIME_SCALE),
     }
     import repro
 
     tables = fit_dbn(
         lambda: repro.make_env(cfg),
         lambda: SemiRandomPolicy(rate=5.0),
-        episodes=2, seed=9, max_steps=_MAX_STEPS,
+        episodes=2,
+        seed=9,
+        max_steps=_MAX_STEPS,
     )
     defenders = {
         "Noop": NoopPolicy(),
@@ -107,8 +107,7 @@ def test_robustness_matrix(benchmark):
 
     def run():
         return robustness_matrix(
-            cfg, defenders, attackers, episodes=episodes, seed=0,
-            max_steps=_MAX_STEPS,
+            cfg, defenders, attackers, episodes=episodes, seed=0, max_steps=_MAX_STEPS
         )
 
     matrix = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -126,9 +125,7 @@ def test_robustness_matrix(benchmark):
 
     for attacker_name in attackers:
         noop = matrix["Noop"][attacker_name].mean("avg_nodes_compromised")
-        playbook = matrix["Playbook"][attacker_name].mean(
-            "avg_nodes_compromised"
-        )
+        playbook = matrix["Playbook"][attacker_name].mean("avg_nodes_compromised")
         # an active defender must not tolerate more compromise than
         # no defense at all
         assert playbook <= noop + 1e-9, attacker_name

@@ -34,18 +34,24 @@ from repro.sim.orchestrator import enumerate_actions
 
 def test_parameter_scaling(benchmark):
     def build_table() -> list[str]:
-        rows = ["network     nodes  plcs  actions  attention-params  "
-                "conv-params  drqn-params"]
+        rows = [
+            "network     nodes  plcs  actions  attention-params  "
+            "conv-params  drqn-params"
+        ]
         attention = AttentionQNetwork(QNetConfig(), seed=0)
-        for name, preset in (("tiny", tiny_network), ("small", small_network),
-                             ("paper", paper_network)):
+        for name, preset in (
+            ("tiny", tiny_network),
+            ("small", small_network),
+            ("paper", paper_network),
+        ):
             topo = build_topology(preset().topology)
             attention.bind_topology(topo)
             encoder = RawHistoryEncoder(topo, window=64)
             n_actions = len(enumerate_actions(topo))
             conv = ConvQNetwork(encoder.step_dim, n_actions, seed=0)
-            drqn = RecurrentQNetwork(encoder.step_dim, n_actions,
-                                     DRQNConfig(window=64), seed=0)
+            drqn = RecurrentQNetwork(
+                encoder.step_dim, n_actions, DRQNConfig(window=64), seed=0
+            )
             rows.append(
                 f"{name:10s}  {topo.n_nodes:5d}  {topo.n_plcs:4d}  "
                 f"{attention.n_actions:7d}  {attention.n_parameters():16d}  "
@@ -64,10 +70,14 @@ def test_parameter_scaling(benchmark):
     assert attn_small.n_parameters() == attn_paper.n_parameters()
     conv_small = ConvQNetwork(
         RawHistoryEncoder(small_topo, 64).step_dim,
-        len(enumerate_actions(small_topo)), seed=0)
+        len(enumerate_actions(small_topo)),
+        seed=0,
+    )
     conv_paper = ConvQNetwork(
         RawHistoryEncoder(paper_topo, 64).step_dim,
-        len(enumerate_actions(paper_topo)), seed=0)
+        len(enumerate_actions(paper_topo)),
+        seed=0,
+    )
     assert conv_paper.n_parameters() > conv_small.n_parameters()
 
 

@@ -30,8 +30,9 @@ def test_fig10_apt_policies(benchmark, eval_config, policy_suite):
         ("avg_nodes_compromised", "Fig 10c: avg nodes compromised"),
     ]
     blocks = [
-        format_sweep_table(results, metric, "APT",
-                           title=f"{title} ({episodes} episodes/cell)")
+        format_sweep_table(
+            results, metric, "APT", title=f"{title} ({episodes} episodes/cell)"
+        )
         for metric, title in panels
     ]
     for metric, title in panels:
@@ -40,8 +41,9 @@ def test_fig10_apt_policies(benchmark, eval_config, policy_suite):
             for policy_name, agg in table.items():
                 labels.append(f"{policy_name} vs {apt_name}")
                 values.append(agg.mean(metric))
-        blocks.append(bar_chart(labels, values, width=36,
-                                title=f"{title} (chart)", fmt="{:.3f}"))
+        blocks.append(
+            bar_chart(labels, values, width=36, title=f"{title} (chart)", fmt="{:.3f}")
+        )
     write_result("fig10.txt", "\n\n".join(blocks))
 
     for name in policy_suite:

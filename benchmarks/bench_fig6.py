@@ -25,26 +25,36 @@ def test_fig6_cleanup_effectiveness(benchmark, eval_config, policy_suite):
 
     def run():
         return run_fig6(
-            eval_config, policy_suite,
+            eval_config,
+            policy_suite,
             effectiveness_values=EFFECTIVENESS,
-            episodes=episodes, seed=100,
+            episodes=episodes,
+            seed=100,
         )
 
     sweep = benchmark.pedantic(run, rounds=1, iterations=1)
     text_a = format_sweep_table(
-        sweep, "final_plcs_offline", "cleanup eff.",
+        sweep,
+        "final_plcs_offline",
+        "cleanup eff.",
         title=f"Fig 6a: final PLCs offline ({episodes} episodes/cell)",
     )
     text_b = format_sweep_table(
-        sweep, "avg_nodes_compromised", "cleanup eff.",
+        sweep,
+        "avg_nodes_compromised",
+        "cleanup eff.",
         title=f"Fig 6b: avg L2/L1 nodes compromised ({episodes} episodes/cell)",
     )
     charts = "\n\n".join(
         series_plot(
             list(sweep),
-            {name: [sweep[x][name].mean(metric) for x in sweep]
-             for name in policy_suite},
-            title=title, height=10, width=48,
+            {
+                name: [sweep[x][name].mean(metric) for x in sweep]
+                for name in policy_suite
+            },
+            title=title,
+            height=10,
+            width=48,
         )
         for metric, title in (
             ("final_plcs_offline", "Fig 6a (chart): PLCs offline"),

@@ -45,23 +45,25 @@ def test_ope_estimator_accuracy(benchmark):
     tables = fit_dbn(
         lambda: repro.make_env(cfg),
         lambda: SemiRandomPolicy(rate=3.0),
-        episodes=4, seed=21, max_steps=_HORIZON,
+        episodes=4,
+        seed=21,
+        max_steps=_HORIZON,
     )
 
     def run():
         env = repro.make_env(cfg, seed=0)
         qnet = AttentionQNetwork(_QNET, seed=3)
         qnet.bind_topology(env.topology)
-        behavior = StochasticQPolicy(qnet, tables, temperature=1.0,
-                                     epsilon=0.4, seed=0)
-        target = StochasticQPolicy(qnet, tables, temperature=0.25,
-                                   epsilon=0.1, seed=1)
+        behavior = StochasticQPolicy(qnet, tables, temperature=1.0, epsilon=0.4, seed=0)
+        target = StochasticQPolicy(qnet, tables, temperature=0.25, epsilon=0.1, seed=1)
 
-        logged = collect_logged_episodes(env, behavior, n_logged, seed=100,
-                                         max_steps=_HORIZON)
+        logged = collect_logged_episodes(
+            env, behavior, n_logged, seed=100, max_steps=_HORIZON
+        )
         # Monte-Carlo ground truth: run the target on-policy
-        truth_eps = collect_logged_episodes(env, target, n_truth, seed=100,
-                                            max_steps=_HORIZON)
+        truth_eps = collect_logged_episodes(
+            env, target, n_truth, seed=100, max_steps=_HORIZON
+        )
         truth = float(np.mean([ep.discounted_return() for ep in truth_eps]))
 
         ois = ordinary_importance_sampling(logged, target)
@@ -69,15 +71,22 @@ def test_ope_estimator_accuracy(benchmark):
         pdis = per_decision_importance_sampling(logged, target, clip=10.0)
         eval_net = AttentionQNetwork(_QNET, seed=11)
         eval_net.bind_topology(env.topology)
-        fqe = fitted_q_evaluation(logged, target, eval_net, iterations=4,
-                                  epochs_per_iteration=1, batch_size=32,
-                                  lr=3e-3, mc_epochs=4)
-        dr = doubly_robust(logged, target, eval_net, clip=10.0,
-                           reward_scale=fqe.reward_scale)
+        fqe = fitted_q_evaluation(
+            logged,
+            target,
+            eval_net,
+            iterations=4,
+            epochs_per_iteration=1,
+            batch_size=32,
+            lr=3e-3,
+            mc_epochs=4,
+        )
+        dr = doubly_robust(
+            logged, target, eval_net, clip=10.0, reward_scale=fqe.reward_scale
+        )
         return truth, ois, wis, pdis, fqe, dr
 
-    truth, ois, wis, pdis, fqe, dr = benchmark.pedantic(run, rounds=1,
-                                                        iterations=1)
+    truth, ois, wis, pdis, fqe, dr = benchmark.pedantic(run, rounds=1, iterations=1)
     lines = [
         f"OPE accuracy ({n_logged} logged episodes, {_HORIZON}-step "
         "horizon, tiny network)",

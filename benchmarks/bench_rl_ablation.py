@@ -38,41 +38,69 @@ from repro.rl import (
 )
 
 _QNET = QNetConfig(d_model=16, n_heads=2, encoder_hidden=32, head_hidden=32)
-_BASE = dict(batch_size=16, warmup=32, update_every=4, target_update=100,
-             eps_decay=0.995, buffer_size=5_000, n_step=8)
+_BASE = dict(
+    batch_size=16,
+    warmup=32,
+    update_every=4,
+    target_update=100,
+    eps_decay=0.995,
+    buffer_size=5_000,
+    n_step=8,
+)
 
 
 def _env(seed=0):
     cfg = tiny_network(tmax=150)
-    return repro.make_env(cfg.with_apt(replace(cfg.apt, time_scale=10.0)),
-                          seed=seed)
+    return repro.make_env(cfg.with_apt(replace(cfg.apt, time_scale=10.0)), seed=seed)
 
 
 def _variants():
     """(name, qnet factory, trainer factory, DQNConfig) per ablation."""
     return [
-        ("paper (double+PER+n8)",
-         lambda: AttentionQNetwork(_QNET, seed=0),
-         DQNTrainer, DQNConfig(**_BASE)),
-        ("no double DQN",
-         lambda: AttentionQNetwork(_QNET, seed=0),
-         DQNTrainer, DQNConfig(**{**_BASE, "double_dqn": False})),
-        ("uniform replay",
-         lambda: AttentionQNetwork(_QNET, seed=0),
-         DQNTrainer, DQNConfig(**{**_BASE, "prioritized": False})),
-        ("1-step TD",
-         lambda: AttentionQNetwork(_QNET, seed=0),
-         DQNTrainer, DQNConfig(**{**_BASE, "n_step": 1})),
-        ("+dueling",
-         lambda: DuelingAttentionQNetwork(_QNET, seed=0),
-         DQNTrainer, DQNConfig(**_BASE)),
-        ("+noisy nets",
-         lambda: AttentionQNetwork(replace(_QNET, noisy_heads=True), seed=0),
-         DQNTrainer, DQNConfig(**{**_BASE, "noisy": True})),
-        ("+C51",
-         lambda: DistributionalAttentionQNetwork(
-             _QNET, seed=0, c51=C51Config(n_atoms=21)),
-         C51Trainer, DQNConfig(**_BASE)),
+        (
+            "paper (double+PER+n8)",
+            lambda: AttentionQNetwork(_QNET, seed=0),
+            DQNTrainer,
+            DQNConfig(**_BASE),
+        ),
+        (
+            "no double DQN",
+            lambda: AttentionQNetwork(_QNET, seed=0),
+            DQNTrainer,
+            DQNConfig(**{**_BASE, "double_dqn": False}),
+        ),
+        (
+            "uniform replay",
+            lambda: AttentionQNetwork(_QNET, seed=0),
+            DQNTrainer,
+            DQNConfig(**{**_BASE, "prioritized": False}),
+        ),
+        (
+            "1-step TD",
+            lambda: AttentionQNetwork(_QNET, seed=0),
+            DQNTrainer,
+            DQNConfig(**{**_BASE, "n_step": 1}),
+        ),
+        (
+            "+dueling",
+            lambda: DuelingAttentionQNetwork(_QNET, seed=0),
+            DQNTrainer,
+            DQNConfig(**_BASE),
+        ),
+        (
+            "+noisy nets",
+            lambda: AttentionQNetwork(replace(_QNET, noisy_heads=True), seed=0),
+            DQNTrainer,
+            DQNConfig(**{**_BASE, "noisy": True}),
+        ),
+        (
+            "+C51",
+            lambda: DistributionalAttentionQNetwork(
+                _QNET, seed=0, c51=C51Config(n_atoms=21)
+            ),
+            C51Trainer,
+            DQNConfig(**_BASE),
+        ),
     ]
 
 
@@ -82,7 +110,9 @@ def ablation_tables():
     return fit_dbn(
         lambda: repro.make_env(cfg),
         lambda: SemiRandomPolicy(rate=3.0),
-        episodes=4, seed=11, max_steps=150,
+        episodes=4,
+        seed=11,
+        max_steps=150,
     )
 
 
@@ -96,8 +126,7 @@ def test_rainbow_component_ablation(benchmark, ablation_tables):
             env = _env(seed=3)
             featurizer = ACSOFeaturizer(env.topology, ablation_tables)
             trainer = trainer_cls(env, qnet_factory(), featurizer, cfg)
-            history = trainer.train(episodes=episodes, seed=20,
-                                    max_steps=max_steps)
+            history = trainer.train(episodes=episodes, seed=20, max_steps=max_steps)
             losses = [h.mean_loss for h in history if h.mean_loss > 0]
             rows.append((
                 name,

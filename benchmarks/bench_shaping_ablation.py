@@ -23,7 +23,13 @@ from benchmarks.conftest import write_result
 from repro.config import small_network
 from repro.dbn import fit_dbn
 from repro.defenders import SemiRandomPolicy
-from repro.rl import ACSOFeaturizer, AttentionQNetwork, DQNConfig, DQNTrainer, QNetConfig
+from repro.rl import (
+    ACSOFeaturizer,
+    AttentionQNetwork,
+    DQNConfig,
+    DQNTrainer,
+    QNetConfig,
+)
 
 
 def _training_env():
@@ -37,14 +43,17 @@ def _train(shaping_weight, tables, episodes=2, seed=0):
     qnet = AttentionQNetwork(QNetConfig(), seed=seed)
     featurizer = ACSOFeaturizer(env.topology, tables)
     dqn_cfg = DQNConfig(
-        warmup=128, batch_size=32, update_every=8, target_update=200,
-        eps_decay=0.995, seed=seed, shaping_weight=shaping_weight,
+        warmup=128,
+        batch_size=32,
+        update_every=8,
+        target_update=200,
+        eps_decay=0.995,
+        seed=seed,
+        shaping_weight=shaping_weight,
     )
     trainer = DQNTrainer(env, qnet, featurizer, dqn_cfg)
     history = trainer.train(episodes=episodes, seed=seed + 10)
-    rewards = [
-        trainer.replay._data[i].reward for i in range(len(trainer.replay))
-    ]
+    rewards = [trainer.replay._data[i].reward for i in range(len(trainer.replay))]
     return history, np.array(rewards)
 
 
@@ -53,7 +62,9 @@ def test_shaping_signal_density(benchmark, eval_config):
     tables = fit_dbn(
         lambda: repro.make_env(cfg),
         lambda: SemiRandomPolicy(rate=5.0),
-        episodes=3, seed=40, max_steps=400,
+        episodes=3,
+        seed=40,
+        max_steps=400,
     )
 
     def run():

@@ -31,8 +31,9 @@ def test_sim_steps_noop(benchmark, preset):
         for _ in range(200):
             env.step(None)
 
-    benchmark.pedantic(run_chunk, rounds=3, iterations=1,
-                       setup=lambda: (env.reset(seed=0), None)[1])
+    benchmark.pedantic(
+        run_chunk, rounds=3, iterations=1, setup=lambda: (env.reset(seed=0), None)[1]
+    )
 
 
 def test_sim_steps_with_playbook(benchmark):

@@ -42,15 +42,18 @@ def test_size_generalization(benchmark, eval_tables, acso_qnet):
         policy = ACSOPolicy(acso_qnet, eval_tables)
         for config in configs:
             env = repro.make_env(config, seed=7)
-            aggregate, _ = evaluate_policy(env, policy, episodes, seed=7,
-                                           max_steps=_MAX_STEPS)
-            rows.append((
-                config.topology.n_nodes,
-                config.topology.plcs,
-                env.n_actions,
-                acso_qnet.n_parameters(),
-                aggregate,
-            ))
+            aggregate, _ = evaluate_policy(
+                env, policy, episodes, seed=7, max_steps=_MAX_STEPS
+            )
+            rows.append(
+                (
+                    config.topology.n_nodes,
+                    config.topology.plcs,
+                    env.n_actions,
+                    acso_qnet.n_parameters(),
+                    aggregate,
+                )
+            )
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)

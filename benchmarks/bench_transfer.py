@@ -35,16 +35,13 @@ def test_zero_shot_transfer(benchmark, eval_tables, acso_qnet):
         rows = {}
         untrained = AttentionQNetwork(QNetConfig(), seed=99)
         rows["pretrained on source"] = evaluate_greedy_policy(
-            source_cfg, acso_qnet, eval_tables, episodes, seed=50,
-            max_steps=_MAX_STEPS,
+            source_cfg, acso_qnet, eval_tables, episodes, seed=50, max_steps=_MAX_STEPS
         )
         rows["zero-shot on target"] = evaluate_greedy_policy(
-            target_cfg, acso_qnet, eval_tables, episodes, seed=50,
-            max_steps=_MAX_STEPS,
+            target_cfg, acso_qnet, eval_tables, episodes, seed=50, max_steps=_MAX_STEPS
         )
         rows["untrained on target"] = evaluate_greedy_policy(
-            target_cfg, untrained, eval_tables, episodes, seed=50,
-            max_steps=_MAX_STEPS,
+            target_cfg, untrained, eval_tables, episodes, seed=50, max_steps=_MAX_STEPS
         )
         params = {
             "pretrained": acso_qnet.n_parameters(),

@@ -52,8 +52,7 @@ _STEPS = 100
 #: below; elsewhere, re-measure the baseline (git checkout of PR 1,
 #: same workload) and pass it via ``--baseline``.
 PR1_BASELINE_PAPER_VEC16 = 11127.0
-PR1_BASELINE_HOST = {"cpu_count": 1, "python": "3.11.7",
-                     "platform_system": "Linux"}
+PR1_BASELINE_HOST = {"cpu_count": 1, "python": "3.11.7", "platform_system": "Linux"}
 
 
 def _measure(venv, rounds: int, seed: int, warmup: int = 10) -> float:
@@ -84,8 +83,9 @@ def test_vec_steps_noop(benchmark, preset, num_envs):
         for _ in range(_STEPS):
             venv.step(None)
 
-    benchmark.pedantic(run_chunk, rounds=3, iterations=1,
-                       setup=lambda: (venv.reset(seed=0), None)[1])
+    benchmark.pedantic(
+        run_chunk, rounds=3, iterations=1, setup=lambda: (venv.reset(seed=0), None)[1]
+    )
     rate = _STEPS * num_envs / benchmark.stats.stats.mean
     benchmark.extra_info["aggregate_steps_per_s"] = rate
     benchmark.extra_info["num_envs"] = num_envs
@@ -95,8 +95,7 @@ def test_vec_steps_noop(benchmark, preset, num_envs):
 @pytest.mark.parametrize("backend", ["process", "shm"])
 def test_vec_steps_noop_parallel_backends(benchmark, backend):
     """Worker-pool backends on the paper net (startup cost amortized)."""
-    with repro.make_vec(_SCENARIOS["paper"], 16, seed=0,
-                        backend=backend) as venv:
+    with repro.make_vec(_SCENARIOS["paper"], 16, seed=0, backend=backend) as venv:
         venv.reset(seed=0)
         venv.step(None)  # warm the pipes
 
@@ -104,8 +103,12 @@ def test_vec_steps_noop_parallel_backends(benchmark, backend):
             for _ in range(_STEPS):
                 venv.step(None)
 
-        benchmark.pedantic(run_chunk, rounds=3, iterations=1,
-                           setup=lambda: (venv.reset(seed=0), None)[1])
+        benchmark.pedantic(
+            run_chunk,
+            rounds=3,
+            iterations=1,
+            setup=lambda: (venv.reset(seed=0), None)[1],
+        )
     rate = _STEPS * 16 / benchmark.stats.stats.mean
     benchmark.extra_info["aggregate_steps_per_s"] = rate
     benchmark.extra_info["backend"] = backend
@@ -153,30 +156,38 @@ def test_vec_matches_single_env_throughput(benchmark):
 # ----------------------------------------------------------------------
 # machine-readable sweep
 # ----------------------------------------------------------------------
-def run_sweep(networks, backends, env_counts, rounds, seed=0,
-              num_workers=None) -> dict:
+def run_sweep(networks, backends, env_counts, rounds, seed=0, num_workers=None) -> dict:
     results = []
     for network in networks:
         scenario = _SCENARIOS[network]
         for backend in backends:
             for num_envs in env_counts:
-                venv = repro.make_vec(scenario, num_envs, seed=seed,
-                                      backend=backend,
-                                      num_workers=num_workers)
+                venv = repro.make_vec(
+                    scenario,
+                    num_envs,
+                    seed=seed,
+                    backend=backend,
+                    num_workers=num_workers,
+                )
                 try:
                     rate = _measure(venv, rounds, seed)
                     workers = getattr(venv, "num_workers", None)
                 finally:
                     venv.close()
-                results.append({
-                    "network": network,
-                    "backend": backend,
-                    "num_envs": num_envs,
-                    "num_workers": workers,
-                    "aggregate_steps_per_s": round(rate, 1),
-                })
-                print(f"  {network:>5} {backend:>7} x{num_envs:<3} "
-                      f"{rate:>10.0f} steps/s", file=sys.stderr)
+                results.append(
+                    {
+                        "network": network,
+                        "backend": backend,
+                        "num_envs": num_envs,
+                        "num_workers": workers,
+                        "aggregate_steps_per_s": round(rate, 1),
+                    }
+                )
+                print(
+                    f"  {network:>5} {backend:>7} x{num_envs:<3} "
+                    f"{rate:>10.0f} steps/s",
+                    file=sys.stderr,
+                )
     return {
         "meta": {
             "workload": "noop lockstep rounds (repro.make_vec defaults)",
@@ -205,14 +216,16 @@ def run_sweep(networks, backends, env_counts, rounds, seed=0,
 
 
 def summarize(report: dict) -> dict:
-    cells = [r for r in report["results"]
-             if r["network"] == "paper" and r["num_envs"] == 16]
+    cells = [
+        r for r in report["results"] if r["network"] == "paper" and r["num_envs"] == 16
+    ]
     if not cells:
         return {}
     best = max(cells, key=lambda r: r["aggregate_steps_per_s"])
     parallel = [r for r in cells if r["backend"] != "sync"]
-    best_parallel = (max(parallel, key=lambda r: r["aggregate_steps_per_s"])
-                     if parallel else None)
+    best_parallel = (
+        max(parallel, key=lambda r: r["aggregate_steps_per_s"]) if parallel else None
+    )
     sync = next((r for r in cells if r["backend"] == "sync"), None)
     baseline = report["meta"]["pr1_baseline"]["aggregate_steps_per_s"]
     summary = {
@@ -236,8 +249,9 @@ def summarize(report: dict) -> dict:
         summary["paper_vec16_sync_steps_per_s"] = sync["aggregate_steps_per_s"]
     if best_parallel is not None:
         summary["paper_vec16_best_parallel_backend"] = best_parallel["backend"]
-        summary["paper_vec16_best_parallel_steps_per_s"] = \
-            best_parallel["aggregate_steps_per_s"]
+        summary["paper_vec16_best_parallel_steps_per_s"] = best_parallel[
+            "aggregate_steps_per_s"
+        ]
         summary["parallel_speedup_vs_pr1_sync_baseline"] = round(
             best_parallel["aggregate_steps_per_s"] / baseline, 2
         )
@@ -249,23 +263,34 @@ def main(argv=None) -> int:
     parser.add_argument("--networks", default="tiny,small,paper")
     parser.add_argument("--backends", default="sync,process,shm")
     parser.add_argument("--num-envs", default="1,4,16")
-    parser.add_argument("--quick", action="store_true",
-                        help="CI smoke grid: the tracked paper-net vec-16 "
-                             "cell on every backend, fewer rounds "
-                             "(feeds benchmarks/compare_bench_throughput.py)")
-    parser.add_argument("--rounds", type=int, default=200,
-                        help="lockstep rounds per cell (default: 200)")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke grid: the tracked paper-net vec-16 "
+        "cell on every backend, fewer rounds "
+        "(feeds benchmarks/compare_bench_throughput.py)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=200,
+        help="lockstep rounds per cell (default: 200)",
+    )
     parser.add_argument("--num-workers", type=int, default=None)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--baseline", type=float,
-                        default=PR1_BASELINE_PAPER_VEC16,
-                        help="PR 1 paper-net vec-16 aggregate steps/s "
-                             "measured on THIS host (default: the "
-                             "reference-host figure)")
+    parser.add_argument(
+        "--baseline",
+        type=float,
+        default=PR1_BASELINE_PAPER_VEC16,
+        help="PR 1 paper-net vec-16 aggregate steps/s "
+        "measured on THIS host (default: the "
+        "reference-host figure)",
+    )
     parser.add_argument(
         "--out",
-        default=str(pathlib.Path(__file__).resolve().parent.parent
-                    / "BENCH_vec_throughput.json"),
+        default=str(
+            pathlib.Path(__file__).resolve().parent.parent / "BENCH_vec_throughput.json"
+        ),
     )
     args = parser.parse_args(argv)
     if args.quick:

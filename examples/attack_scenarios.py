@@ -38,9 +38,11 @@ def trace_attack(objective: str, vector: str, seed: int, tmax: int) -> None:
             timeline.append((info["t"], info["apt_phase"]))
     for t, phase in timeline:
         print(f"  hour {t:5d}  ->  {phase}")
-    print(f"  final: {info['n_plcs_disrupted']} PLCs disrupted, "
-          f"{info['n_plcs_destroyed']} destroyed, "
-          f"{info['n_compromised']} nodes compromised")
+    print(
+        f"  final: {info['n_plcs_disrupted']} PLCs disrupted, "
+        f"{info['n_plcs_destroyed']} destroyed, "
+        f"{info['n_compromised']} nodes compromised"
+    )
 
 
 def main() -> None:

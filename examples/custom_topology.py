@@ -53,9 +53,11 @@ def main() -> None:
 
     config = build_custom_config()
     topology = build_topology(config.topology)
-    print(f"custom plant: {topology.n_nodes} nodes, {topology.n_plcs} PLCs, "
-          f"{len(topology.devices)} network devices, "
-          f"{len(topology.vlans)} VLANs")
+    print(
+        f"custom plant: {topology.n_nodes} nodes, {topology.n_plcs} PLCs, "
+        f"{len(topology.devices)} network devices, "
+        f"{len(topology.vlans)} VLANs"
+    )
     by_level = {}
     for node in topology.nodes:
         by_level.setdefault(node.level, []).append(node)
@@ -63,23 +65,19 @@ def main() -> None:
         names = ", ".join(n.name for n in by_level[level][:4])
         print(f"  level {level}: {len(by_level[level])} nodes ({names}, ...)")
 
-    with tempfile.NamedTemporaryFile(mode="w", suffix=".json",
-                                     delete=False) as handle:
+    with tempfile.NamedTemporaryFile(mode="w", suffix=".json", delete=False) as handle:
         path = handle.name
     save_config(config, path)
     restored = load_config(path)
     assert restored == config
     print(f"\nconfig round-tripped through {path}")
-    print(f"  (run it from the CLI: repro simulate --config {path} "
-          "--policy playbook)")
+    print(f"  (run it from the CLI: repro simulate --config {path} --policy playbook)")
 
-    print(f"\nDefending it for {args.episodes} episode(s) of "
-          f"{config.tmax} hours:")
+    print(f"\nDefending it for {args.episodes} episode(s) of " f"{config.tmax} hours:")
     results = {}
     for policy in (NoopPolicy(), PlaybookPolicy()):
         env = repro.make_env(restored, seed=args.seed)
-        aggregate, _ = evaluate_policy(env, policy, args.episodes,
-                                       seed=args.seed)
+        aggregate, _ = evaluate_policy(env, policy, args.episodes, seed=args.seed)
         results[policy.name] = aggregate
     print(format_aggregate_table(results, title="Custom network results"))
 

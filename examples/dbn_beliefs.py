@@ -43,8 +43,10 @@ def main() -> None:
     obs = env.reset(seed=args.seed)
     dbn = DBNFilter(tables, env.topology)
     beachhead = int(np.flatnonzero(env.sim.state.compromised_mask())[0])
-    print(f"\nbeachhead node: {env.topology.nodes[beachhead].name} "
-          f"(the filter does not know this)\n")
+    print(
+        f"\nbeachhead node: {env.topology.nodes[beachhead].name} "
+        f"(the filter does not know this)\n"
+    )
     print(f"{'hour':>5}  {'P(compromised)':>15}  {'belief argmax':>20}  truth")
 
     done = False
@@ -55,8 +57,10 @@ def main() -> None:
             truth = canonical_states(info["conditions"])[beachhead]
             p_comp = dbn.prob_compromised()[beachhead]
             guess = CanonicalState(int(beliefs[beachhead].argmax()))
-            print(f"{env.t:5d}  {p_comp:15.3f}  {guess.name:>20}  "
-                  f"{CanonicalState(int(truth)).name}")
+            print(
+                f"{env.t:5d}  {p_comp:15.3f}  {guess.name:>20}  "
+                f"{CanonicalState(int(truth)).name}"
+            )
 
     print("\nscoring the filter on held-out episodes (Section 4.3) ...")
     result = validate_dbn(
@@ -67,8 +71,10 @@ def main() -> None:
         seed=args.seed + 100,
         max_steps=500,
     )
-    print(f"max KL: {result.max_kl:.3f}   mean KL: {result.mean_kl:.4f}   "
-          f"argmax accuracy: {result.accuracy:.3f}")
+    print(
+        f"max KL: {result.max_kl:.3f}   mean KL: {result.mean_kl:.4f}   "
+        f"argmax accuracy: {result.accuracy:.3f}"
+    )
 
 
 if __name__ == "__main__":

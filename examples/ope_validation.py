@@ -51,7 +51,9 @@ def main() -> None:
     tables = fit_dbn(
         lambda: repro.make_env(config),
         lambda: SemiRandomPolicy(rate=3.0),
-        episodes=4, seed=21, max_steps=args.horizon,
+        episodes=4,
+        seed=21,
+        max_steps=args.horizon,
     )
 
     env = repro.make_env(config, seed=args.seed)
@@ -60,19 +62,23 @@ def main() -> None:
         seed=3,
     )
     qnet.bind_topology(env.topology)
-    behavior = StochasticQPolicy(qnet, tables, temperature=1.0, epsilon=0.4,
-                                 seed=args.seed)
-    target = StochasticQPolicy(qnet, tables, temperature=0.25, epsilon=0.1,
-                               seed=args.seed + 1)
+    behavior = StochasticQPolicy(
+        qnet, tables, temperature=1.0, epsilon=0.4, seed=args.seed
+    )
+    target = StochasticQPolicy(
+        qnet, tables, temperature=0.25, epsilon=0.1, seed=args.seed + 1
+    )
 
     print(f"Logging {args.episodes} episodes under the behaviour policy...")
-    logged = collect_logged_episodes(env, behavior, args.episodes, seed=100,
-                                     max_steps=args.horizon)
+    logged = collect_logged_episodes(
+        env, behavior, args.episodes, seed=100, max_steps=args.horizon
+    )
     behavior_returns = [ep.discounted_return() for ep in logged]
     print(f"  behaviour-policy mean return: {np.mean(behavior_returns):.2f}")
 
-    truth_eps = collect_logged_episodes(env, target, args.episodes, seed=100,
-                                        max_steps=args.horizon)
+    truth_eps = collect_logged_episodes(
+        env, target, args.episodes, seed=100, max_steps=args.horizon
+    )
     truth = float(np.mean([ep.discounted_return() for ep in truth_eps]))
     print(f"  (hidden) on-policy target value: {truth:.2f}\n")
 
@@ -82,29 +88,44 @@ def main() -> None:
     pdis = per_decision_importance_sampling(logged, target, clip=10.0)
     eval_net = AttentionQNetwork(qnet.config, seed=11)
     eval_net.bind_topology(env.topology)
-    fqe = fitted_q_evaluation(logged, target, eval_net, iterations=4,
-                              epochs_per_iteration=1, batch_size=32,
-                              lr=3e-3, mc_epochs=4)
-    dr = doubly_robust(logged, target, eval_net, clip=10.0,
-                       reward_scale=fqe.reward_scale)
+    fqe = fitted_q_evaluation(
+        logged,
+        target,
+        eval_net,
+        iterations=4,
+        epochs_per_iteration=1,
+        batch_size=32,
+        lr=3e-3,
+        mc_epochs=4,
+    )
+    dr = doubly_robust(
+        logged, target, eval_net, clip=10.0, reward_scale=fqe.reward_scale
+    )
     for result in (ois, wis, pdis, dr):
-        print(f"  {result.method:<5} {result.estimate:>10.2f}  "
-              f"|err| {abs(result.estimate - truth):>8.2f}  "
-              f"ESS {result.ess:.1f}/{len(logged)}")
-    print(f"  FQE   {fqe.value:>10.2f}  |err| {abs(fqe.value - truth):>8.2f}  "
-          "(model-based)")
+        print(
+            f"  {result.method:<5} {result.estimate:>10.2f}  "
+            f"|err| {abs(result.estimate - truth):>8.2f}  "
+            f"ESS {result.ess:.1f}/{len(logged)}"
+        )
+    print(
+        f"  FQE   {fqe.value:>10.2f}  |err| {abs(fqe.value - truth):>8.2f}  "
+        "(model-based)"
+    )
 
     print("\nCertification numbers (on the behaviour log's returns):")
     mean, lower, upper = bootstrap_ci(behavior_returns, alpha=0.05)
     print(f"  bootstrap 95% CI:            [{lower:.2f}, {upper:.2f}]")
     bound = empirical_bernstein_lower_bound(
-        behavior_returns, delta=0.05,
+        behavior_returns,
+        delta=0.05,
         value_range=float(np.ptp(behavior_returns)) or 1.0,
     )
     print(f"  empirical-Bernstein L(0.95): {bound:.2f}")
-    print("\nOver long horizons the trajectory IS weights collapse (watch "
-          "the ESS); WIS and the FQE/DR family are the estimators that "
-          "survive -- exactly why they exist.")
+    print(
+        "\nOver long horizons the trajectory IS weights collapse (watch "
+        "the ESS); WIS and the FQE/DR family are the estimators that "
+        "survive -- exactly why they exist."
+    )
 
 
 if __name__ == "__main__":

@@ -25,24 +25,32 @@ from repro.eval import evaluate_policy_vec, format_aggregate_table
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scenario", default="inasim-paper-v1",
-                        help="registered scenario id; see "
-                             "repro.list_scenarios() or `repro scenarios`")
+    parser.add_argument(
+        "--scenario",
+        default="inasim-paper-v1",
+        help="registered scenario id; see "
+        "repro.list_scenarios() or `repro scenarios`",
+    )
     parser.add_argument("--episodes", type=int, default=3)
-    parser.add_argument("--num-envs", type=int, default=4,
-                        help="vectorized lanes to fan episodes over")
-    parser.add_argument("--tmax", type=int, default=2000,
-                        help="episode horizon in simulated hours")
+    parser.add_argument(
+        "--num-envs", type=int, default=4, help="vectorized lanes to fan episodes over"
+    )
+    parser.add_argument(
+        "--tmax", type=int, default=2000, help="episode horizon in simulated hours"
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
     spec = repro.get_scenario(args.scenario)
-    venv = repro.make_vec(spec, min(args.num_envs, args.episodes),
-                          seed=args.seed, horizon=args.tmax)
+    venv = repro.make_vec(
+        spec, min(args.num_envs, args.episodes), seed=args.seed, horizon=args.tmax
+    )
     print(f"scenario: {spec.scenario_id} -- {spec.description}")
-    print(f"network: {venv.topology.n_nodes} nodes, {venv.topology.n_plcs} "
-          f"PLCs, {venv.n_actions} defender actions, horizon "
-          f"{venv.config.tmax}h, {venv.num_envs} lanes\n")
+    print(
+        f"network: {venv.topology.n_nodes} nodes, {venv.topology.n_plcs} "
+        f"PLCs, {venv.n_actions} defender actions, horizon "
+        f"{venv.config.tmax}h, {venv.num_envs} lanes\n"
+    )
 
     policies = [NoopPolicy(), PlaybookPolicy(), SemiRandomPolicy(seed=args.seed)]
     results = {}
@@ -52,13 +60,17 @@ def main() -> None:
         )
         results[policy.name] = aggregate
         last = episodes[-1]
-        print(f"{policy.name}: last episode ended with "
-              f"{last.final_plcs_offline} PLCs offline after {last.steps}h")
+        print(
+            f"{policy.name}: last episode ended with "
+            f"{last.final_plcs_offline} PLCs offline after {last.steps}h"
+        )
 
     print()
     print(format_aggregate_table(results, title="Quickstart results"))
-    print("\nAn undefended network loses PLCs; automated response protects "
-          "them at some IT cost.")
+    print(
+        "\nAn undefended network loses PLCs; automated response protects "
+        "them at some IT cost."
+    )
 
 
 if __name__ == "__main__":

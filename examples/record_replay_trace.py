@@ -44,9 +44,11 @@ def main() -> None:
     print(f"Recording {args.hours} hours of playbook defense...")
     env = repro.make_env(config, seed=args.seed)
     trace = record_episode(env, PlaybookPolicy(), seed=args.seed)
-    print(f"  {len(trace)} steps, {trace.total_alerts} alerts, "
-          f"{len(trace.actions_taken())} defender actions, "
-          f"total IT cost {trace.total_it_cost:.2f}")
+    print(
+        f"  {len(trace)} steps, {trace.total_alerts} alerts, "
+        f"{len(trace.actions_taken())} defender actions, "
+        f"total IT cost {trace.total_it_cost:.2f}"
+    )
 
     trace.to_jsonl(args.out)
     loaded = EpisodeTrace.from_jsonl(args.out)
@@ -75,30 +77,39 @@ def main() -> None:
     print(f"  t={phase_start:>4}h - {trace.steps[-1].t:>4}h  {phase}")
 
     busy = [s for s in trace.steps if s.actions]
-    print(f"\nDefender acted in {len(busy)}/{len(trace)} hours; "
-          "first five responses:")
+    print(
+        f"\nDefender acted in {len(busy)}/{len(trace)} hours; "
+        "first five responses:"
+    )
     for step in busy[:5]:
         actions = ", ".join(f"{a}@{t}" for a, t in step.actions)
-        print(f"  t={step.t:>4}h  {actions}  "
-              f"(alerts this hour: {step.n_alerts})")
+        print(f"  t={step.t:>4}h  {actions}  " f"(alerts this hour: {step.n_alerts})")
 
     print("\nSOC metrics:")
     dwell = dwell_time(trace)
-    print(f"  attacker dwell: {dwell.total_hours}h total "
-          f"({dwell.fraction:.0%} of the episode), longest streak "
-          f"{dwell.longest_streak}h")
+    print(
+        f"  attacker dwell: {dwell.total_hours}h total "
+        f"({dwell.fraction:.0%} of the episode), longest streak "
+        f"{dwell.longest_streak}h"
+    )
     latency = time_to_first_response(trace)
-    print(f"  first-alert -> first-action latency: "
-          f"{latency if latency is not None else 'n/a'}h")
+    print(
+        f"  first-alert -> first-action latency: "
+        f"{latency if latency is not None else 'n/a'}h"
+    )
     mttr = mean_time_to_repair(trace)
-    print(f"  mean time to repair PLCs: "
-          f"{f'{mttr:.1f}h' if mttr is not None else 'no PLC ever offline'}")
+    print(
+        f"  mean time to repair PLCs: "
+        f"{f'{mttr:.1f}h' if mttr is not None else 'no PLC ever offline'}"
+    )
     print("  hours per APT phase:")
     for phase, hours in phase_breakdown(trace).items():
         print(f"    {phase:<24} {hours:>5}h")
     counts = action_counts(trace)
-    print(f"  action mix: {counts['total_investigations']} investigations, "
-          f"{counts['total_mitigations']} mitigations")
+    print(
+        f"  action mix: {counts['total_investigations']} investigations, "
+        f"{counts['total_mitigations']} mitigations"
+    )
 
 
 if __name__ == "__main__":

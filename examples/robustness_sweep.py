@@ -45,18 +45,29 @@ def main() -> None:
 
     print("sweeping APT cleanup effectiveness (nominal: 0.5) ...\n")
     sweep = run_fig6(
-        config, policies,
+        config,
+        policies,
         effectiveness_values=(0.1, 0.5, 0.9),
         episodes=args.episodes,
         seed=args.seed,
     )
-    print(format_sweep_table(
-        sweep, "final_plcs_offline", "cleanup eff.",
-        title="Final PLCs offline vs cleanup effectiveness"))
+    print(
+        format_sweep_table(
+            sweep,
+            "final_plcs_offline",
+            "cleanup eff.",
+            title="Final PLCs offline vs cleanup effectiveness",
+        )
+    )
     print()
-    print(format_sweep_table(
-        sweep, "avg_nodes_compromised", "cleanup eff.",
-        title="Average nodes compromised vs cleanup effectiveness"))
+    print(
+        format_sweep_table(
+            sweep,
+            "avg_nodes_compromised",
+            "cleanup eff.",
+            title="Average nodes compromised vs cleanup effectiveness",
+        )
+    )
 
 
 if __name__ == "__main__":

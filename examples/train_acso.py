@@ -56,18 +56,22 @@ def training_config(tmax: int = 1200, time_scale: float = 4.0):
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--episodes", type=int, default=20,
-                        help="DQN fine-tuning episodes")
+    parser.add_argument(
+        "--episodes", type=int, default=20, help="DQN fine-tuning episodes"
+    )
     parser.add_argument("--dbn-episodes", type=int, default=12)
     parser.add_argument("--demo-episodes", type=int, default=6)
     parser.add_argument("--pretrain-iters", type=int, default=1200)
     parser.add_argument("--tmax", type=int, default=1200)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--fast", action="store_true",
-                        help="smoke-test sizes (seconds, not minutes)")
-    parser.add_argument("--out", type=pathlib.Path,
-                        default=pathlib.Path(__file__).resolve().parent.parent
-                        / "benchmarks" / "data")
+    parser.add_argument(
+        "--fast", action="store_true", help="smoke-test sizes (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "data",
+    )
     args = parser.parse_args()
     if args.fast:
         args.episodes, args.dbn_episodes = 1, 2
@@ -95,16 +99,24 @@ def main() -> None:
     t0 = time.time()
     expert = DBNExpertPolicy(tables, max_actions=1, seed=args.seed)
     demos = collect_demonstrations(
-        env, expert, featurizer, qnet,
-        episodes=args.demo_episodes, seed=args.seed,
+        env,
+        expert,
+        featurizer,
+        qnet,
+        episodes=args.demo_episodes,
+        seed=args.seed,
     )
     losses = pretrain(
-        qnet, demos,
-        PretrainConfig(iterations=args.pretrain_iters, lr=1e-3,
-                       margin_weight=1.0, seed=args.seed),
+        qnet,
+        demos,
+        PretrainConfig(
+            iterations=args.pretrain_iters, lr=1e-3, margin_weight=1.0, seed=args.seed
+        ),
     )
-    print(f"   {len(demos)} demos, loss {losses[0]:.3f} -> {losses[-1]:.3f} "
-          f"in {time.time() - t0:.0f}s")
+    print(
+        f"   {len(demos)} demos, loss {losses[0]:.3f} -> {losses[-1]:.3f} "
+        f"in {time.time() - t0:.0f}s"
+    )
 
     print("== 3/3 DQN fine-tuning ==")
     dqn_cfg = DQNConfig(
@@ -122,9 +134,11 @@ def main() -> None:
     t0 = time.time()
 
     def report(stats):
-        print(f"   ep {stats.episode:3d} return={stats.env_return:8.1f} "
-              f"offline={stats.plcs_offline:2d} eps={stats.epsilon:.2f} "
-              f"loss={stats.mean_loss:.4f}")
+        print(
+            f"   ep {stats.episode:3d} return={stats.env_return:8.1f} "
+            f"offline={stats.plcs_offline:2d} eps={stats.epsilon:.2f} "
+            f"loss={stats.mean_loss:.4f}"
+        )
 
     trainer.train(args.episodes, seed=args.seed + 100, callback=report)
     print(f"   trained {trainer.total_steps} steps in {time.time() - t0:.0f}s")

@@ -30,10 +30,12 @@ from repro.transfer import run_transfer_study
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--pretrain", type=int, default=3,
-                        help="source-network training episodes")
-    parser.add_argument("--finetune", type=int, default=1,
-                        help="target-network fine-tune episodes")
+    parser.add_argument(
+        "--pretrain", type=int, default=3, help="source-network training episodes"
+    )
+    parser.add_argument(
+        "--finetune", type=int, default=1, help="target-network fine-tune episodes"
+    )
     parser.add_argument("--eval-episodes", type=int, default=2)
     parser.add_argument("--max-steps", type=int, default=400)
     parser.add_argument("--seed", type=int, default=0)
@@ -45,8 +47,10 @@ def main() -> None:
     source = accelerated(small_network(tmax=args.max_steps))
     target = accelerated(paper_network(tmax=args.max_steps))
 
-    print("Fitting a DBN on the source network (shared across networks; "
-          "the tables are per-node and size-agnostic)...")
+    print(
+        "Fitting a DBN on the source network (shared across networks; "
+        "the tables are per-node and size-agnostic)..."
+    )
     tables = fit_dbn(
         lambda: repro.make_env(source),
         lambda: SemiRandomPolicy(rate=5.0),
@@ -61,9 +65,14 @@ def main() -> None:
         target_config=target,
         qnet=qnet,
         tables=tables,
-        dqn_config=DQNConfig(warmup=128, batch_size=32, update_every=8,
-                             target_update=200, eps_decay=0.995,
-                             seed=args.seed),
+        dqn_config=DQNConfig(
+            warmup=128,
+            batch_size=32,
+            update_every=8,
+            target_update=200,
+            eps_decay=0.995,
+            seed=args.seed,
+        ),
         pretrain_episodes=args.pretrain,
         finetune_episodes=args.finetune,
         eval_episodes=args.eval_episodes,
@@ -71,26 +80,34 @@ def main() -> None:
         max_steps=args.max_steps,
     )
 
-    print(f"\nparameters: {study.n_parameters} "
-          "(identical on both networks -- the architecture contract)\n")
+    print(
+        f"\nparameters: {study.n_parameters} "
+        "(identical on both networks -- the architecture contract)\n"
+    )
     rows = [
         ("pre-trained, on source", study.source),
         ("zero-shot, on target", study.zero_shot),
         ("fine-tuned, on target", study.finetuned),
         ("from scratch, on target", study.scratch),
     ]
-    print(f"{'policy':<26} {'return':>10} {'PLCs off':>9} {'IT cost':>9} "
-          f"{'compromised':>12}")
+    print(
+        f"{'policy':<26} {'return':>10} {'PLCs off':>9} {'IT cost':>9} "
+        f"{'compromised':>12}"
+    )
     for name, agg in rows:
         if agg is None:
             continue
-        print(f"{name:<26} {agg.mean('discounted_return'):>10.1f} "
-              f"{agg.mean('final_plcs_offline'):>9.2f} "
-              f"{agg.mean('avg_it_cost'):>9.3f} "
-              f"{agg.mean('avg_nodes_compromised'):>12.2f}")
-    print("\nWith realistic budgets (paper: 1.25M steps) the transferred "
-          "policy needs far less target experience than the scratch one; "
-          "at demo budgets the table mainly shows the plumbing works.")
+        print(
+            f"{name:<26} {agg.mean('discounted_return'):>10.1f} "
+            f"{agg.mean('final_plcs_offline'):>9.2f} "
+            f"{agg.mean('avg_it_cost'):>9.3f} "
+            f"{agg.mean('avg_nodes_compromised'):>12.2f}"
+        )
+    print(
+        "\nWith realistic budgets (paper: 1.25M steps) the transferred "
+        "policy needs far less target experience than the scratch one; "
+        "at demo budgets the table mainly shows the plumbing works."
+    )
 
 
 if __name__ == "__main__":

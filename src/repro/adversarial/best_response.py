@@ -36,6 +36,7 @@ from repro.adversarial.space import (
 )
 from repro.config import APTConfig
 from repro.eval.runner import evaluate_policy, evaluate_policy_per_lane
+from repro.utils.rng import ensure_rng
 
 __all__ = [
     "attack_utility",
@@ -213,7 +214,7 @@ class CrossEntropySearch:
         self.n_elite = max(1, int(round(elite_frac * population)))
         self.init_std = init_std
         self.min_std = min_std
-        self.rng = np.random.default_rng(seed)
+        self.rng = ensure_rng(seed)
 
     def _evaluate(self, candidates: np.ndarray) -> np.ndarray:
         configs = [self.space.decode(c) for c in candidates]

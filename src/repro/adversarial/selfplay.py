@@ -50,6 +50,7 @@ from repro.adversarial.space import (
 from repro.config import APTConfig
 from repro.eval.runner import evaluate_policy, evaluate_policy_per_lane
 from repro.scenarios.spec import ScenarioSpec
+from repro.utils.rng import ensure_rng
 
 __all__ = [
     "AttackerPopulation",
@@ -216,7 +217,7 @@ class SelfPlayLoop:
                 initial_population.weights,
             )
         self.population = initial_population
-        self.rng = np.random.default_rng(self.selfplay.seed)
+        self.rng = ensure_rng(self.selfplay.seed)
         self.rounds: list[SelfPlayRound] = []
 
     # ------------------------------------------------------------------

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` -- standalone entry for the CI lint job."""
+
+import sys
+
+from repro.analysis.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Baseline file: grandfathered findings with recorded justifications.
+
+The baseline lets ``repro check`` gate CI from day one without first
+rewriting every pre-existing violation: a finding matched by a baseline
+entry is reported as suppressed instead of failing the run. Every entry
+must carry a human justification -- the file is a ledger of accepted
+debt, not a mute button.
+
+Format (``.repro-check-baseline.json``)::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "rng-unsanctioned-factory",
+          "path": "sim/legacy.py",
+          "code": "rng = np.random.default_rng(0)",
+          "justification": "seeded placeholder, overwritten on reset()"
+        }
+      ]
+    }
+
+Matching is by ``(rule, path, stripped source line)`` -- findings
+survive unrelated line renumbering but stop matching the moment the
+offending code itself changes. Entries that match nothing produce a
+``baseline-unused`` warning so the ledger shrinks over time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.core import Finding, Severity
+
+__all__ = ["Baseline", "BaselineError", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(Exception):
+    """The baseline file is malformed or missing a justification."""
+
+
+@dataclass(frozen=True)
+class _Entry:
+    rule: str
+    path: str
+    code: str
+    justification: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.code)
+
+
+class Baseline:
+    """A loaded baseline; tracks which entries matched this run."""
+
+    def __init__(self, entries: list[_Entry], path: Path | None = None):
+        self.path = path
+        self._entries: dict[tuple[str, str, str], _Entry] = {}
+        for entry in entries:
+            self._entries[entry.key] = entry
+        self._used: set[tuple[str, str, str]] = set()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([])
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise BaselineError(f"cannot load baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"{path}: expected a baseline object with version "
+                f"{BASELINE_VERSION}"
+            )
+        entries = []
+        for i, raw in enumerate(data.get("entries", [])):
+            missing = {"rule", "path", "code", "justification"} - set(raw)
+            if missing:
+                raise BaselineError(
+                    f"{path}: entry {i} is missing {sorted(missing)}"
+                )
+            if not str(raw["justification"]).strip():
+                raise BaselineError(
+                    f"{path}: entry {i} ({raw['rule']} at {raw['path']}) has "
+                    "an empty justification -- baselined findings must say "
+                    "why they are acceptable"
+                )
+            entries.append(
+                _Entry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    code=str(raw["code"]),
+                    justification=str(raw["justification"]),
+                )
+            )
+        return cls(entries, path=path)
+
+    def matches(self, finding: Finding, source_line: str) -> bool:
+        """True (and mark the entry used) if ``finding`` is baselined."""
+        key = finding.fingerprint(source_line)
+        if key in self._entries:
+            self._used.add(key)
+            return True
+        return False
+
+    def unused_findings(self) -> list[Finding]:
+        """One ``baseline-unused`` warning per stale entry."""
+        findings = []
+        for key, entry in sorted(self._entries.items()):
+            if key in self._used:
+                continue
+            findings.append(
+                Finding(
+                    rule="baseline-unused",
+                    path=entry.path,
+                    line=0,
+                    severity=Severity.WARNING,
+                    message=(
+                        f"baseline entry for {entry.rule} no longer matches "
+                        f"any finding (code: {entry.code!r})"
+                    ),
+                    hint="delete the stale entry from the baseline file",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def write(path: str | Path, findings: list[Finding],
+              source_line_of, justification: str) -> int:
+        """Write a baseline covering ``findings``; returns the entry count.
+
+        ``source_line_of`` maps a finding to its source line text. All
+        entries share one ``justification`` (typically a placeholder the
+        author then edits -- the loader rejects empty ones, and review
+        should reject unedited ones).
+        """
+        seen = set()
+        entries = []
+        for finding in findings:
+            key = finding.fingerprint(source_line_of(finding))
+            if key in seen:
+                continue
+            seen.add(key)
+            entries.append(
+                {
+                    "rule": key[0],
+                    "path": key[1],
+                    "code": key[2],
+                    "justification": justification,
+                }
+            )
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return len(entries)

@@ -1,0 +1,379 @@
+"""Resource lifecycle: constructed resources must have a release path.
+
+Every ``SharedMemory`` / ``Process`` / ``Pipe`` the worker-pool modules
+construct must be reachable from a ``close``/``unlink``/``terminate``/
+finalizer path, or it leaks across worker faults (``/dev/shm`` residue,
+zombie children). Full escape analysis is undecidable; this checker
+approximates per function over the AST, which catches the leak classes
+that have actually bitten this repo:
+
+a construction is **accounted for** when it is
+
+* the context expression of a ``with`` statement; or
+* a local that is explicitly released in the same function (a
+  ``.close()``/``.unlink()``/``.terminate()``/``.join()``/``.kill()``/
+  ``.shutdown()``/``.release()`` call), or registered with a finalizer
+  (any call taking it as an argument counts as an ownership transfer --
+  ``weakref.finalize``, ``atexit.register``, a container ``append``);
+  or
+* returned / yielded (the caller owns it); or
+* stored on ``self`` (directly or into a ``self.<attr>`` container),
+  in which case the **class** must release that attribute somewhere: a
+  direct ``self.<attr>...close()`` call, or a release call on a local
+  aliased from ``self.<attr>`` / ``self.<attr>[...]`` /
+  ``getattr(self, "<attr>", ...)`` / iteration over the attribute.
+
+Anything else -- a local resource that is never released and never
+escapes, or a ``self`` attribute no method ever releases -- is a
+finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.core import Finding, Project, Severity
+from repro.analysis.policy import Policy
+
+__all__ = ["ResourceLifecycleChecker"]
+
+_RELEASE_METHODS = frozenset(
+    ("close", "unlink", "terminate", "join", "kill", "shutdown", "release")
+)
+
+_HINT = (
+    "release it on every path: a with-block or try/finally, an explicit "
+    "close/unlink/terminate call, or a registered finalizer "
+    "(weakref.finalize / atexit.register)"
+)
+
+
+def _constructor_name(call: ast.Call) -> str:
+    """Last dotted segment of the call target ('mp.Process' -> 'Process')."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+@dataclass
+class _Construction:
+    call: ast.Call
+    resource: str  # e.g. "SharedMemory"
+    function: ast.FunctionDef
+    cls: ast.ClassDef | None
+
+
+def _functions_with_classes(tree: ast.Module):
+    """Yield (function, enclosing class or None), outermost first."""
+
+    def visit(node: ast.AST, cls: ast.ClassDef | None):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, cls
+                yield from visit(child, cls)
+            else:
+                yield from visit(child, cls)
+
+    yield from visit(tree, None)
+
+
+def _with_context_calls(fn: ast.FunctionDef) -> set[ast.Call]:
+    calls = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    calls.add(expr)
+    return calls
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """'attr' when ``node`` is ``self.attr`` or ``self.attr[...]``."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _release_targets(fn: ast.FunctionDef) -> tuple[set[str], set[str]]:
+    """(released local names, released self attrs) within a function.
+
+    Local aliasing is honoured: ``x = self._conns[w]`` followed by
+    ``x.close()`` releases attr ``_conns``; ``for conn in self._conns``
+    behaves the same; so does ``x = getattr(self, "_slab", None)``.
+    """
+    alias_of: dict[str, str] = {}  # local name -> self attr it aliases
+    released_locals: set[str] = set()
+    released_attrs: set[str] = set()
+    for node in ast.walk(fn):
+        # -- alias creation ------------------------------------------------
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            names = (
+                [target] if isinstance(target, ast.Name)
+                else list(target.elts)
+                if isinstance(target, (ast.Tuple, ast.List)) else []
+            )
+            attr = _self_attr(node.value) if not isinstance(
+                node.value, ast.Call
+            ) else None
+            if attr is None and isinstance(node.value, ast.Call):
+                call = node.value
+                if (
+                    isinstance(call.func, ast.Name)
+                    and call.func.id == "getattr"
+                    and len(call.args) >= 2
+                    and isinstance(call.args[0], ast.Name)
+                    and call.args[0].id == "self"
+                    and isinstance(call.args[1], ast.Constant)
+                ):
+                    attr = call.args[1].value
+            if attr is not None:
+                for name_node in names:
+                    if isinstance(name_node, ast.Name):
+                        alias_of[name_node.id] = attr
+        if isinstance(node, ast.For):
+            iter_attr = _self_attr(node.iter)
+            if iter_attr is None and isinstance(node.iter, ast.Call):
+                # enumerate(self.attr) / zip(self.a, ...) style wrappers
+                for arg in node.iter.args:
+                    iter_attr = _self_attr(arg)
+                    if iter_attr is not None:
+                        break
+            if iter_attr is not None:
+                targets = (
+                    node.target.elts
+                    if isinstance(node.target, (ast.Tuple, ast.List))
+                    else [node.target]
+                )
+                for t in targets:
+                    if isinstance(t, ast.Name):
+                        alias_of[t.id] = iter_attr
+        # -- release calls -------------------------------------------------
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RELEASE_METHODS
+        ):
+            owner = node.func.value
+            attr = _self_attr(owner)
+            if attr is not None:
+                released_attrs.add(attr)
+                continue
+            if isinstance(owner, ast.Subscript):
+                owner = owner.value
+            if isinstance(owner, ast.Name):
+                released_locals.add(owner.id)
+    for name in released_locals:
+        if name in alias_of:
+            released_attrs.add(alias_of[name])
+    return released_locals, released_attrs
+
+
+def _escapes(fn: ast.FunctionDef, name: str,
+             construction: ast.Call) -> tuple[bool, set[str]]:
+    """(escapes?, self attrs the name is stored into).
+
+    An escape is any use that transfers ownership out of the function:
+    returning/yielding the name, passing it to a call, or storing it
+    into an attribute/subscript/container.
+    """
+    stored_attrs: set[str] = set()
+    escapes = False
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Return, ast.Yield)) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    escapes = True
+        if isinstance(node, ast.Call) and node is not construction:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        escapes = True
+        if isinstance(node, ast.Assign):
+            uses_name = any(
+                isinstance(sub, ast.Name) and sub.id == name
+                for sub in ast.walk(node.value)
+            )
+            if not uses_name:
+                continue
+            for target in node.targets:
+                targets = (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for t in targets:
+                    attr = _self_attr(t)
+                    if attr is not None:
+                        stored_attrs.add(attr)
+                        escapes = True
+                    elif isinstance(t, (ast.Attribute, ast.Subscript)):
+                        escapes = True
+    return escapes, stored_attrs
+
+
+class ResourceLifecycleChecker:
+    rules = ("resource-lifecycle",)
+
+    def run(self, project: Project, policy: Policy) -> list[Finding]:
+        if not policy.enabled("resource-lifecycle"):
+            return []
+        config = policy.rule("resource-lifecycle")
+        resources = set(config.options.get("resources", ()))
+        findings: list[Finding] = []
+        for relpath in policy.jurisdiction(project, "resource-lifecycle"):
+            source = project.file(relpath)
+            class_released = self._class_release_map(source.tree)
+            for fn, cls in _functions_with_classes(source.tree):
+                findings.extend(
+                    self._check_function(
+                        relpath, fn, cls, resources, class_released
+                    )
+                )
+        return findings
+
+    # ------------------------------------------------------------------
+    def _class_release_map(self, tree: ast.Module) -> dict[str, set[str]]:
+        """class name -> self attrs released anywhere in the class."""
+        released: dict[str, set[str]] = {}
+        for fn, cls in _functions_with_classes(tree):
+            if cls is None:
+                continue
+            _, attrs = _release_targets(fn)
+            released.setdefault(cls.name, set()).update(attrs)
+        return released
+
+    def _check_function(self, relpath: str, fn: ast.FunctionDef,
+                        cls: ast.ClassDef | None, resources: set[str],
+                        class_released: dict[str, set[str]]) -> list[Finding]:
+        findings: list[Finding] = []
+        with_calls = _with_context_calls(fn)
+        released_locals, _ = _release_targets(fn)
+        for stmt in ast.walk(fn):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            call = stmt.value
+            if not isinstance(call, ast.Call):
+                continue
+            resource = _constructor_name(call)
+            if resource not in resources or call in with_calls:
+                continue
+            # skip constructions inside nested functions: they get their
+            # own _check_function pass
+            if not self._directly_inside(fn, stmt):
+                continue
+            findings.extend(
+                self._check_assignment(
+                    relpath, fn, cls, stmt, call, resource,
+                    released_locals, class_released,
+                )
+            )
+        # a bare `SharedMemory(...)` expression statement: constructed,
+        # bound to nothing, released by nobody
+        for stmt in fn.body:
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and _constructor_name(stmt.value) in resources
+                and stmt.value not in with_calls
+            ):
+                findings.append(
+                    self._finding(
+                        relpath, stmt.value,
+                        f"{_constructor_name(stmt.value)} is constructed and "
+                        "immediately dropped: nothing can ever release it",
+                    )
+                )
+        return findings
+
+    def _directly_inside(self, fn: ast.FunctionDef, stmt: ast.AST) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and node is not fn:
+                if any(sub is stmt for sub in ast.walk(node)):
+                    return False
+        return True
+
+    def _check_assignment(self, relpath: str, fn, cls, stmt: ast.Assign,
+                          call: ast.Call, resource: str,
+                          released_locals: set[str],
+                          class_released: dict[str, set[str]]) -> list:
+        findings = []
+        targets = stmt.targets[0] if len(stmt.targets) == 1 else None
+        target_nodes = (
+            targets.elts
+            if isinstance(targets, (ast.Tuple, ast.List))
+            else [targets] if targets is not None else list(stmt.targets)
+        )
+        for target in target_nodes:
+            attr = _self_attr(target)
+            if attr is not None:
+                released = class_released.get(cls.name, set()) if cls else set()
+                if attr not in released:
+                    findings.append(
+                        self._finding(
+                            relpath, call,
+                            f"{resource} stored on self.{attr} but no method "
+                            f"of {cls.name if cls else 'this class'} ever "
+                            f"releases self.{attr}",
+                        )
+                    )
+                continue
+            if not isinstance(target, ast.Name):
+                # stored straight into someone else's structure: treat
+                # as an ownership transfer
+                continue
+            name = target.id
+            if name in released_locals:
+                continue
+            escapes, stored_attrs = _escapes(fn, name, call)
+            if stored_attrs:
+                released = class_released.get(cls.name, set()) if cls else set()
+                missing = stored_attrs - released
+                if missing:
+                    findings.append(
+                        self._finding(
+                            relpath, call,
+                            f"{resource} (local {name!r}) is stored on "
+                            f"self.{sorted(missing)[0]} but no method of "
+                            f"{cls.name if cls else 'this class'} ever "
+                            f"releases that attribute",
+                        )
+                    )
+                continue
+            if escapes:
+                continue
+            findings.append(
+                self._finding(
+                    relpath, call,
+                    f"{resource} (local {name!r}) is never released: no "
+                    "close/unlink/terminate call, finalizer, or ownership "
+                    "transfer in this function",
+                )
+            )
+        return findings
+
+    def _finding(self, relpath: str, call: ast.Call, message: str) -> Finding:
+        return Finding(
+            rule="resource-lifecycle",
+            path=relpath,
+            line=call.lineno,
+            col=call.col_offset,
+            severity=Severity.ERROR,
+            message=message,
+            hint=_HINT,
+        )

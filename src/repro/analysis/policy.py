@@ -1,0 +1,236 @@
+"""Per-package policy: which rules police which files, with what knobs.
+
+The default policy encodes the repo's actual contracts:
+
+* ``rng-discipline`` has jurisdiction over the simulation core and
+  everything that behaves inside it (``sim/``, ``attacker/``,
+  ``defenders/``, ``adversarial/``) -- randomness there must flow in as
+  a ``numpy.random.Generator`` parameter, and ``utils/rng.py`` is the
+  only sanctioned generator factory;
+* ``transport-schema`` pins the dataclasses of ``sim/observations.py``
+  / ``sim/reward.py`` and the engine's step-info keys to the
+  encode/decode sites in ``sim/vec_transport.py``;
+* ``resource-lifecycle`` watches ``SharedMemory``/``Process``/``Pipe``
+  construction in the worker-pool modules;
+* ``forbidden-imports`` bans pickle/dill from the hot-path transport
+  modules and ``repro.serve`` from ``repro.sim`` (layering).
+
+A JSON policy file (``repro check --policy FILE``) deep-merges over the
+defaults: per rule, ``enabled``, ``include``, ``exclude``, and
+``options`` may be overridden. Tests use the same mechanism to point
+checkers at fixture trees.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import AnalysisError
+
+__all__ = ["RuleConfig", "Policy", "RULE_CATALOG"]
+
+#: rule id -> one-line description (the ``--list-rules`` catalog)
+RULE_CATALOG = {
+    "rng-global-state": (
+        "module-state RNG call (random.*/np.random.*) in deterministic "
+        "code: the draw bypasses the injected per-component Generator"
+    ),
+    "rng-wall-clock": (
+        "wall-clock/OS entropy (time.time, uuid, os.urandom, secrets) "
+        "in deterministic code: replays cannot reproduce the value"
+    ),
+    "rng-unsanctioned-factory": (
+        "np.random.default_rng()/RandomState() constructed outside the "
+        "sanctioned factory module: accept a Generator parameter or use "
+        "repro.utils.rng.ensure_rng/RngFactory"
+    ),
+    "transport-schema": (
+        "a transported dataclass field or step-info key is not covered "
+        "by the binary wire format's encode/decode sites"
+    ),
+    "resource-lifecycle": (
+        "SharedMemory/Process/Pipe constructed with no reachable "
+        "close/unlink/terminate/finalizer path"
+    ),
+    "forbidden-import": (
+        "an import banned by policy (pickle/dill in transport modules; "
+        "repro.serve from repro.sim)"
+    ),
+    "suppression-syntax": (
+        "malformed inline suppression: '# repro: allow[rule]' requires "
+        "a '-- justification' clause"
+    ),
+    "baseline-unused": (
+        "a baseline entry no longer matches any finding: delete it"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """Jurisdiction + knobs for one rule."""
+
+    enabled: bool = True
+    include: tuple[str, ...] = ("**",)
+    exclude: tuple[str, ...] = ()
+    options: dict = field(default_factory=dict)
+
+    def merged(self, override: dict) -> "RuleConfig":
+        unknown = set(override) - {"enabled", "include", "exclude", "options"}
+        if unknown:
+            raise AnalysisError(
+                f"unknown rule-config keys {sorted(unknown)} "
+                "(expected enabled/include/exclude/options)"
+            )
+        options = dict(self.options)
+        options.update(override.get("options", {}))
+        return RuleConfig(
+            enabled=override.get("enabled", self.enabled),
+            include=tuple(override.get("include", self.include)),
+            exclude=tuple(override.get("exclude", self.exclude)),
+            options=options,
+        )
+
+
+_RNG_JURISDICTION = (
+    "sim/**",
+    "attacker/**",
+    "defenders/**",
+    "adversarial/**",
+)
+
+#: np.random attributes that are types/factories, not module RNG state
+_NP_RANDOM_SANCTIONED = (
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "Philox",
+    "default_rng",
+)
+
+#: transport contracts: every dataclass shipped over the wire, plus the
+#: engine-info key set, pinned to their codec functions
+_TRANSPORT_CONTRACTS = (
+    {
+        "kind": "dataclass",
+        "name": "Observation",
+        "schema": "sim/observations.py",
+        "transport": "sim/vec_transport.py",
+        "encoder": "_encode_observation",
+        "decoder": "_decode_observation",
+    },
+    {
+        "kind": "dataclass",
+        "name": "RewardBreakdown",
+        "schema": "sim/reward.py",
+        "transport": "sim/vec_transport.py",
+        "encoder": "_encode_info",
+        "decoder": "_decode_info",
+    },
+    {
+        "kind": "info-keys",
+        "producer": "sim/engine.py",
+        "producer_dict": "info",
+        "transport": "sim/vec_transport.py",
+        "keys_const": "_INFO_KEYS",
+        "encoder": "_encode_info",
+        "decoder": "_decode_info",
+        # produced only by the VectorEnv auto-reset wrapper, not the
+        # engine, but still part of the wire contract
+        "wrapper_keys": ["final_observation"],
+    },
+)
+
+_DEFAULT_RULES: dict[str, RuleConfig] = {
+    "rng-global-state": RuleConfig(
+        include=_RNG_JURISDICTION,
+        options={"np_sanctioned": list(_NP_RANDOM_SANCTIONED)},
+    ),
+    "rng-wall-clock": RuleConfig(include=_RNG_JURISDICTION),
+    "rng-unsanctioned-factory": RuleConfig(
+        include=_RNG_JURISDICTION,
+        options={"sanctioned_modules": ["utils/rng.py"]},
+    ),
+    "transport-schema": RuleConfig(
+        options={"contracts": list(_TRANSPORT_CONTRACTS)},
+    ),
+    "resource-lifecycle": RuleConfig(
+        include=("sim/vec_backends.py", "sim/vec_supervisor.py"),
+        options={"resources": ["SharedMemory", "Process", "Pipe"]},
+    ),
+    "forbidden-imports": RuleConfig(
+        options={
+            "bans": [
+                {
+                    "modules": [
+                        "sim/vec_transport.py",
+                        "sim/vec_backends.py",
+                        "sim/vec_supervisor.py",
+                    ],
+                    "banned": ["pickle", "dill", "cloudpickle"],
+                    "reason": (
+                        "the per-step transport path is contractually "
+                        "pickle-free (PR 4's zero-pickle wire format)"
+                    ),
+                },
+                {
+                    "modules": ["sim/**"],
+                    "banned": ["repro.serve"],
+                    "reason": (
+                        "layering: the simulation core must not depend "
+                        "on the serving layer"
+                    ),
+                },
+            ],
+        },
+    ),
+}
+
+
+class Policy:
+    """The resolved rule set the runner hands to each checker."""
+
+    def __init__(self, rules: dict[str, RuleConfig]):
+        self.rules = dict(rules)
+
+    @classmethod
+    def default(cls) -> "Policy":
+        return cls(dict(_DEFAULT_RULES))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Policy":
+        """The default policy with a JSON override file deep-merged in."""
+        try:
+            overrides = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise AnalysisError(f"cannot load policy {path}: {exc}") from exc
+        return cls.default().merge(overrides)
+
+    def merge(self, overrides: dict) -> "Policy":
+        if not isinstance(overrides, dict) or "rules" not in overrides:
+            raise AnalysisError('a policy file must be {"rules": {...}}')
+        rules = dict(self.rules)
+        for rule_id, override in overrides["rules"].items():
+            base = rules.get(rule_id)
+            if base is None:
+                raise AnalysisError(
+                    f"policy overrides unknown rule {rule_id!r} "
+                    f"(known: {', '.join(sorted(rules))})"
+                )
+            rules[rule_id] = base.merged(override)
+        return Policy(rules)
+
+    def rule(self, rule_id: str) -> RuleConfig:
+        return self.rules[rule_id]
+
+    def enabled(self, rule_id: str) -> bool:
+        config = self.rules.get(rule_id)
+        return config is not None and config.enabled
+
+    def jurisdiction(self, project, rule_id: str) -> list[str]:
+        """The project files a rule has authority over."""
+        config = self.rules[rule_id]
+        return project.select(config.include, config.exclude)

@@ -27,6 +27,7 @@ from repro.config import APTConfig
 from repro.net.nodes import Condition, ServerRole
 from repro.net.topology import L1_OPS, L2_OPS
 from repro.sim.apt_actions import APTActionRequest, APTActionType, APTView
+from repro.utils.rng import ensure_rng
 
 __all__ = ["Phase", "FSMAttacker"]
 
@@ -88,7 +89,7 @@ class FSMAttacker:
     def __init__(self, config: APTConfig, sample_qualitative: bool = True):
         self.config = config
         self.sample_qualitative = sample_qualitative
-        self.rng: np.random.Generator = np.random.default_rng(0)
+        self.rng: np.random.Generator = ensure_rng(0)
         self.objective = config.objective
         self.vector = config.vector
         self._sequence = phase_sequence(self.objective, self.vector)

@@ -614,6 +614,29 @@ def cmd_runs_show(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """Static-analysis gates: AST enforcement of the determinism,
+    transport-schema, and resource-lifecycle contracts (see README
+    "Static analysis gates")."""
+    from repro.analysis.runner import main as analysis_main
+
+    argv = []
+    if args.root:
+        argv.append(args.root)
+    argv += ["--format", args.format]
+    if args.policy:
+        argv += ["--policy", args.policy]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return analysis_main(argv)
+
+
 def cmd_scenarios(args) -> int:
     from repro.scenarios import list_scenarios
 
@@ -829,6 +852,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=300.0,
                    help="--wait limit in seconds (default: 300)")
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "check",
+        help="static-analysis gates (RNG discipline, transport schema, "
+             "resource lifecycle, forbidden imports)",
+    )
+    p.add_argument("root", nargs="?", default=None,
+                   help="directory to analyze (default: the repro package)")
+    p.add_argument("--format", choices=("text", "json", "github"),
+                   default="text")
+    p.add_argument("--policy", default=None, metavar="FILE",
+                   help="JSON policy overrides (see repro.analysis.policy)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="baseline of grandfathered findings")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline file")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="write current findings as the new baseline "
+                        "(justifications must then be edited)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("runs", help="query the run store")
     runs_sub = p.add_subparsers(dest="runs_command", required=True)

@@ -20,6 +20,7 @@ from repro.dbn.states import CanonicalState
 from repro.defenders.base import DefenderPolicy
 from repro.sim.observations import Observation
 from repro.sim.orchestrator import DefenderAction, DefenderActionType
+from repro.utils.rng import ensure_rng
 
 __all__ = ["DBNExpertPolicy"]
 
@@ -42,14 +43,14 @@ class DBNExpertPolicy(DefenderPolicy):
         self.mitigate_threshold = mitigate_threshold
         self.investigate_threshold = investigate_threshold
         self._seed = seed
-        self.rng = np.random.default_rng(seed)
+        self.rng = ensure_rng(seed)
         self.dbn: DBNFilter | None = None
         #: cap on actions per step; ``1`` yields the single-action expert
         #: used to generate DQfD demonstrations for the ACSO
         self.max_actions = max_actions
 
     def reset(self, env) -> None:
-        self.rng = np.random.default_rng(self._seed)
+        self.rng = ensure_rng(self._seed)
         self.dbn = DBNFilter(self.tables, env.topology)
 
     # ------------------------------------------------------------------

@@ -17,6 +17,7 @@ import numpy as np
 from repro.defenders.base import DefenderPolicy
 from repro.sim.observations import Observation
 from repro.sim.orchestrator import DefenderAction, DefenderActionType
+from repro.utils.rng import ensure_rng
 
 __all__ = ["SemiRandomPolicy"]
 
@@ -48,13 +49,13 @@ class SemiRandomPolicy(DefenderPolicy):
         weights = np.array([probs[t] for t in self._types], dtype=float)
         self._probs = weights / weights.sum()
         self._seed = seed
-        self.rng = np.random.default_rng(seed)
+        self.rng = ensure_rng(seed)
         self._hosts: list[int] = []
         self._all_nodes: list[int] = []
         self._n_plcs = 0
 
     def reset(self, env) -> None:
-        self.rng = np.random.default_rng(self._seed)
+        self.rng = ensure_rng(self._seed)
         topo = env.topology
         self._hosts = [n.node_id for n in topo.nodes if n.ntype.is_host]
         self._all_nodes = [n.node_id for n in topo.nodes]

@@ -63,7 +63,7 @@ from __future__ import annotations
 import json
 import multiprocessing as mp
 import os
-import pickle
+import pickle  # repro: allow[forbidden-import] -- control-channel fallback only: per-step hot-path replies use the binary wire format; pickle carries rare error/legacy frames
 import threading
 import time
 from collections import OrderedDict

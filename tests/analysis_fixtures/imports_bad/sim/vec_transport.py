@@ -1,0 +1,13 @@
+"""Deliberately-bad fixture: banned imports in a transport module."""
+
+import pickle  # line 3: forbidden-import (pickle in transport)
+
+from repro.serve.store import RunStore  # line 5: forbidden-import (layering)
+
+
+def encode(payload):
+    return pickle.dumps(payload)
+
+
+def lookup(store: RunStore, key):
+    return store.get(key)

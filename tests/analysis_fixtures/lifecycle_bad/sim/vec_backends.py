@@ -1,0 +1,26 @@
+"""Deliberately-bad fixture: leaked OS resources.
+
+The test asserts on the exact line numbers below -- keep edits additive
+at the end of the file.
+"""
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+
+
+def leaky_local():
+    shm = shared_memory.SharedMemory(create=True, size=16)  # line 12
+    size = shm.size
+    return size
+
+
+def leaky_bare():
+    shared_memory.SharedMemory(create=True, size=16)  # line 18
+
+
+class LeakyPool:
+    def __init__(self):
+        self.proc = mp.Process(target=print)  # line 23: never released
+
+    def start(self):
+        self.proc.start()

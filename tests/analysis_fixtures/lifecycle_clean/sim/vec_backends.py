@@ -1,0 +1,41 @@
+"""Clean fixture: every construction reaches a release path."""
+
+import multiprocessing as mp
+import weakref
+from multiprocessing import shared_memory
+
+
+def with_block():
+    with shared_memory.SharedMemory(create=True, size=16) as shm:
+        return bytes(shm.buf[:4])
+
+
+def explicit_release():
+    shm = shared_memory.SharedMemory(create=True, size=16)
+    try:
+        return shm.name
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def ownership_transfer(registry):
+    shm = shared_memory.SharedMemory(create=True, size=16)
+    registry.adopt(shm)
+
+
+def finalizer_release(owner):
+    shm = shared_memory.SharedMemory(create=True, size=16)
+    weakref.finalize(owner, shm.close)
+
+
+class CleanPool:
+    def __init__(self):
+        self.proc = mp.Process(target=print)
+        self.conn, child = mp.Pipe(duplex=True)
+        child.close()
+
+    def close(self):
+        self.proc.terminate()
+        self.proc.join()
+        self.conn.close()

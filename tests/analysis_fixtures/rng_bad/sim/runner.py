@@ -1,0 +1,41 @@
+"""Deliberately-bad fixture: every RNG-discipline violation in one file.
+
+The test asserts on the exact line numbers below -- keep edits additive
+at the end of the file.
+"""
+
+import os
+import random
+import time
+import uuid
+
+import numpy as np
+from numpy.random import normal
+
+
+def global_numpy_draw():
+    return np.random.normal()  # line 17: rng-global-state
+
+
+def global_stdlib_draw():
+    return random.random()  # line 21: rng-global-state
+
+
+def wall_clock_seed():
+    return time.time()  # line 25: rng-wall-clock
+
+
+def uuid_entropy():
+    return uuid.uuid4()  # line 29: rng-wall-clock
+
+
+def os_entropy():
+    return os.urandom(8)  # line 33: rng-wall-clock
+
+
+def local_factory(seed):
+    return np.random.default_rng(seed)  # line 37: rng-unsanctioned-factory
+
+
+def imported_global_draw():
+    return normal()  # via `from numpy.random import normal` (line 13)

@@ -1,0 +1,11 @@
+"""Clean fixture: RNG flows in as a Generator parameter."""
+
+import numpy as np
+
+
+def draw(rng: np.random.Generator) -> float:
+    return float(rng.normal())
+
+
+def pick(rng: np.random.Generator, items):
+    return items[int(rng.integers(len(items)))]

@@ -1,0 +1,9 @@
+"""Sanctioned factory module: the one place default_rng may appear."""
+
+import numpy as np
+
+
+def ensure_rng(seed=None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,20 @@
+"""Fixture: one justified suppression, one malformed, one live finding.
+
+The test asserts on the exact line numbers below -- keep edits additive
+at the end of the file.
+"""
+
+import random
+
+
+def justified():
+    # repro: allow[rng-global-state] -- fixture demonstrates a justified mute
+    return random.random()  # line 12: suppressed
+
+
+def malformed():
+    return random.random()  # repro: allow[rng-global-state]  (line 16)
+
+
+def live():
+    return random.random()  # line 20: must still be reported
