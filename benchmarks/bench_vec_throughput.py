@@ -2,11 +2,11 @@
 
 Companion to ``bench_sim_throughput.py``: the same three network
 presets, stepping a lockstep vector environment of N ∈ {1, 4, 16}
-lanes through each backend (``sync`` in-process lanes, ``process``
-worker pools, ``shm`` worker pools with shared-memory batches). The
-benchmark reports *aggregate* environment steps per second (lanes ×
-lockstep rounds / wall time) — the number tracked against the repo's
-perf trajectory.
+lanes through each backend (``sync`` in-process lanes, ``batched``
+structure-of-arrays lanes, ``process`` worker pools, ``shm`` worker
+pools with shared-memory batches). The benchmark reports *aggregate*
+environment steps per second (lanes × lockstep rounds / wall time) —
+the number tracked against the repo's perf trajectory.
 
 Two entry points:
 
@@ -89,6 +89,26 @@ def test_vec_steps_noop(benchmark, preset, num_envs):
     rate = _STEPS * num_envs / benchmark.stats.stats.mean
     benchmark.extra_info["aggregate_steps_per_s"] = rate
     benchmark.extra_info["num_envs"] = num_envs
+
+
+@pytest.mark.parametrize("num_envs", [1, 16])
+def test_vec_steps_noop_batched(benchmark, num_envs):
+    """The SoA batched backend on the paper net (the tracked cell)."""
+    venv = repro.make_vec(
+        _SCENARIOS["paper"], num_envs, seed=0, backend="batched"
+    )
+
+    def run_chunk():
+        for _ in range(_STEPS):
+            venv.step(None)
+
+    benchmark.pedantic(
+        run_chunk, rounds=3, iterations=1, setup=lambda: (venv.reset(seed=0), None)[1]
+    )
+    rate = _STEPS * num_envs / benchmark.stats.stats.mean
+    benchmark.extra_info["aggregate_steps_per_s"] = rate
+    benchmark.extra_info["num_envs"] = num_envs
+    benchmark.extra_info["backend"] = "batched"
 
 
 @pytest.mark.slow
@@ -222,7 +242,8 @@ def summarize(report: dict) -> dict:
     if not cells:
         return {}
     best = max(cells, key=lambda r: r["aggregate_steps_per_s"])
-    parallel = [r for r in cells if r["backend"] != "sync"]
+    # batched is in-process: only the worker-pool backends are "parallel"
+    parallel = [r for r in cells if r["backend"] in ("process", "shm")]
     best_parallel = (
         max(parallel, key=lambda r: r["aggregate_steps_per_s"]) if parallel else None
     )
@@ -247,6 +268,16 @@ def summarize(report: dict) -> dict:
         )
     if sync is not None:
         summary["paper_vec16_sync_steps_per_s"] = sync["aggregate_steps_per_s"]
+    batched = next((r for r in cells if r["backend"] == "batched"), None)
+    if batched is not None:
+        summary["paper_vec16_batched_steps_per_s"] = batched[
+            "aggregate_steps_per_s"
+        ]
+        if sync is not None:
+            summary["batched_speedup_vs_sync"] = round(
+                batched["aggregate_steps_per_s"]
+                / sync["aggregate_steps_per_s"], 2
+            )
     if best_parallel is not None:
         summary["paper_vec16_best_parallel_backend"] = best_parallel["backend"]
         summary["paper_vec16_best_parallel_steps_per_s"] = best_parallel[
@@ -261,7 +292,7 @@ def summarize(report: dict) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--networks", default="tiny,small,paper")
-    parser.add_argument("--backends", default="sync,process,shm")
+    parser.add_argument("--backends", default="sync,batched,process,shm")
     parser.add_argument("--num-envs", default="1,4,16")
     parser.add_argument(
         "--quick",

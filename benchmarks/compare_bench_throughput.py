@@ -41,6 +41,12 @@ DEFAULT_BASELINE = (
 #: the tracked workload: paper network, 16 lanes, sync backend
 CALIBRATION_CELL = ("paper", "sync", 16)
 
+#: cells the gate refuses to silently drop: when the baseline tracks
+#: one of these and the current report lacks it, the run is unusable
+#: (status 2) rather than a smaller, quietly weaker comparison — the
+#: batched backend rides the same >30% tolerance as every other row
+REQUIRED_CELLS = (("paper", "batched", 16),)
+
 
 def _cells(report: dict) -> dict[tuple, float]:
     return {
@@ -63,6 +69,14 @@ def compare(
     shared = sorted(set(cur) & set(base))
     if not shared:
         return 2, ["no overlapping benchmark cells between current and baseline"]
+    for key in REQUIRED_CELLS:
+        if key in base and key not in cur:
+            network, backend, num_envs = key
+            return 2, [
+                f"tracked cell {network}/{backend}/{num_envs} is in the "
+                "baseline but missing from the current report; rerun the "
+                "sweep with a grid that includes it"
+            ]
 
     factor = 1.0
     if calibrate:

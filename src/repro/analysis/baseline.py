@@ -34,9 +34,24 @@ from pathlib import Path
 
 from repro.analysis.core import Finding, Severity
 
-__all__ = ["Baseline", "BaselineError", "BASELINE_VERSION"]
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "BASELINE_VERSION",
+    "PARKED_JUSTIFICATION",
+]
 
 BASELINE_VERSION = 1
+
+#: machine tag ``--write-baseline`` stamps on every entry it emits; the
+#: checker reports each tagged (or legacy ``TODO``-prefixed) entry as a
+#: ``baseline-parked`` finding until a human replaces it with a reason
+PARKED_JUSTIFICATION = "baseline-parked"
+
+
+def _is_parked(justification: str) -> bool:
+    text = justification.strip()
+    return text == PARKED_JUSTIFICATION or text.upper().startswith("TODO")
 
 
 class BaselineError(Exception):
@@ -132,6 +147,37 @@ class Baseline:
                         f"any finding (code: {entry.code!r})"
                     ),
                     hint="delete the stale entry from the baseline file",
+                )
+            )
+        return findings
+
+    def parked_findings(self) -> list[Finding]:
+        """One ``baseline-parked`` warning per unedited placeholder entry.
+
+        ``--write-baseline`` parks findings under the machine tag
+        :data:`PARKED_JUSTIFICATION`; an entry still carrying that tag
+        (or a legacy ``TODO`` placeholder) was never actually justified,
+        so the ledger reports it instead of silently accepting it.
+        """
+        findings = []
+        for _, entry in sorted(self._entries.items()):
+            if not _is_parked(entry.justification):
+                continue
+            findings.append(
+                Finding(
+                    rule="baseline-parked",
+                    path=entry.path,
+                    line=0,
+                    severity=Severity.WARNING,
+                    message=(
+                        f"baseline entry for {entry.rule} still carries the "
+                        "parked placeholder justification "
+                        f"{entry.justification!r}"
+                    ),
+                    hint=(
+                        "edit the entry to say why the finding is "
+                        "acceptable (or fix the finding and delete it)"
+                    ),
                 )
             )
         return findings

@@ -65,6 +65,11 @@ RULE_CATALOG = {
     "baseline-unused": (
         "a baseline entry no longer matches any finding: delete it"
     ),
+    "baseline-parked": (
+        "a baseline entry still carries the 'baseline-parked' machine "
+        "tag (or a TODO placeholder) instead of a real justification: "
+        "edit it"
+    ),
 }
 
 

@@ -13,7 +13,11 @@ import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.baseline import (
+    PARKED_JUSTIFICATION,
+    Baseline,
+    BaselineError,
+)
 from repro.analysis.checkers import ALL_CHECKERS
 from repro.analysis.core import (
     AnalysisError,
@@ -102,6 +106,7 @@ def run_check(
                 )
             )
     result.findings.extend(baseline.unused_findings())
+    result.findings.extend(baseline.parked_findings())
     result.findings = sort_findings(result.findings)
     return result
 
@@ -200,10 +205,11 @@ def main(argv=None) -> int:
         target = baseline_path or (Path.cwd() / DEFAULT_BASELINE_NAME)
         count = Baseline.write(
             target, result.findings, line_of,
-            justification="TODO: justify or fix, then rerun repro check",
+            justification=PARKED_JUSTIFICATION,
         )
         print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
-              f"to {target} -- edit every justification before committing")
+              f"to {target} -- each is tagged {PARKED_JUSTIFICATION!r} and "
+              "reported as a finding until its justification is edited")
         return 0
     print(render(args.format, result.findings,
                  suppressed=len(result.suppressed),

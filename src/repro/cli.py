@@ -89,12 +89,15 @@ def _build_vec_env(args, config: SimConfig, num_envs: int, seed: int,
 
     backend = normalize_backend(getattr(args, "backend", "sync"), num_envs,
                                 getattr(args, "num_workers", None))
-    if backend == "sync":
-        from repro.sim.vec_env import VectorEnv
+    if backend in ("sync", "batched"):
+        if backend == "batched":
+            from repro.sim.batched_engine import BatchedVectorEnv as cls
+        else:
+            from repro.sim.vec_env import VectorEnv as cls
 
         envs = [_build_env(args, config, seed=seed + i)
                 for i in range(num_envs)]
-        return VectorEnv(envs, base_seed=seed)
+        return cls(envs, base_seed=seed)
     from repro.sim.vec_backends import ProcessVectorEnv, ShmVectorEnv
 
     cls = {"process": ProcessVectorEnv, "shm": ShmVectorEnv}[backend]
@@ -698,7 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("noop", "playbook", "random", "expert", "acso"))
     p.add_argument("--num-envs", type=int, default=1,
                    help="fan episodes over N vectorized environments")
-    p.add_argument("--backend", choices=("sync", "process", "shm", "auto"),
+    p.add_argument("--backend", choices=("sync", "batched", "process", "shm", "auto"),
                    default="sync",
                    help="vector-env execution backend: in-process lanes "
                         "(sync), worker processes (process), worker "
@@ -743,7 +746,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "vectorized fan-out (default: 4)")
     p.add_argument("--fitness-episodes", type=int, default=1,
                    help="episodes per CEM fitness evaluation (default: 1)")
-    p.add_argument("--backend", choices=("sync", "process", "shm", "auto"),
+    p.add_argument("--backend", choices=("sync", "batched", "process", "shm", "auto"),
                    default="sync",
                    help="vector-env backend for both oracles")
     p.add_argument("--num-workers", type=int, default=None,
@@ -796,7 +799,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="listen port (0 picks an ephemeral one; default: 8642)")
     p.add_argument("--db", default="repro_runs.sqlite",
                    help="SQLite run-store path (default: repro_runs.sqlite)")
-    p.add_argument("--pool-backend", choices=("sync", "process", "shm", "auto"),
+    p.add_argument("--pool-backend", choices=("sync", "batched", "process", "shm", "auto"),
                    default="sync", dest="pool_backend",
                    help="vector-env backend jobs draw from the shared pool "
                         "(default: sync)")
@@ -829,7 +832,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("noop", "playbook", "random", "expert", "acso"))
     p.add_argument("--num-envs", type=int, default=1,
                    help="fan the job's episodes over N pooled lanes")
-    p.add_argument("--backend", choices=("sync", "process", "shm", "auto"),
+    p.add_argument("--backend", choices=("sync", "batched", "process", "shm", "auto"),
                    default=None,
                    help="override the server's pool backend for this job")
     p.add_argument("--num-workers", type=int, default=None)

@@ -159,9 +159,8 @@ def make_vec(scenario: str | ScenarioSpec, num_envs: int, *,
     from repro.sim.vec_backends import normalize_backend
 
     backend = normalize_backend(backend, num_envs, num_workers)
-    if backend == "sync":
-        from repro.sim.vec_env import VectorEnv
-
+    if backend in ("sync", "batched"):
+        cls = _in_process_cls(backend)
         envs = [
             spec.build_env(
                 seed=None if seed is None else seed + i,
@@ -169,7 +168,7 @@ def make_vec(scenario: str | ScenarioSpec, num_envs: int, *,
             )
             for i in range(num_envs)
         ]
-        return VectorEnv(envs, auto_reset=auto_reset, base_seed=seed)
+        return cls(envs, auto_reset=auto_reset, base_seed=seed)
     pool = _resolve_pool(pool, reuse_pool)
     if pool is not None:
         return pool.acquire(
@@ -184,6 +183,17 @@ def make_vec(scenario: str | ScenarioSpec, num_envs: int, *,
         spec, num_envs, seed=seed, auto_reset=auto_reset,
         record_truth=record_truth, num_workers=num_workers,
     )
+
+
+def _in_process_cls(backend: str):
+    """The in-process vector-env class for ``sync`` / ``batched``."""
+    if backend == "batched":
+        from repro.sim.batched_engine import BatchedVectorEnv
+
+        return BatchedVectorEnv
+    from repro.sim.vec_env import VectorEnv
+
+    return VectorEnv
 
 
 def _resolve_pool(pool, reuse_pool: bool):
@@ -225,9 +235,8 @@ def make_vec_from_specs(specs, *, seed: int | None = None,
     from repro.sim.vec_backends import normalize_backend
 
     backend = normalize_backend(backend, len(resolved), num_workers)
-    if backend == "sync":
-        from repro.sim.vec_env import VectorEnv
-
+    if backend in ("sync", "batched"):
+        cls = _in_process_cls(backend)
         envs = [
             spec.build_env(
                 seed=None if seed is None else seed + i,
@@ -235,7 +244,7 @@ def make_vec_from_specs(specs, *, seed: int | None = None,
             )
             for i, spec in enumerate(resolved)
         ]
-        return VectorEnv(envs, auto_reset=auto_reset, base_seed=seed)
+        return cls(envs, auto_reset=auto_reset, base_seed=seed)
     pool = _resolve_pool(pool, reuse_pool)
     if pool is not None:
         return pool.acquire(

@@ -141,7 +141,7 @@ def parse_job(payload: dict) -> JobRequest:
     _require(isinstance(request.num_envs, int) and request.num_envs >= 1,
              "'num_envs' must be a positive integer")
     if request.backend is not None:
-        _require(request.backend in ("sync", "process", "shm", "auto"),
+        _require(request.backend in ("sync", "batched", "process", "shm", "auto"),
                  f"unknown backend {request.backend!r}")
     _require(isinstance(request.tags, list)
              and all(isinstance(t, str) for t in request.tags),

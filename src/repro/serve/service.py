@@ -162,7 +162,7 @@ class EvalService:
             raise ValueError("workers must be >= 1")
         if job_retries < 0:
             raise ValueError("job_retries must be >= 0")
-        if default_backend not in ("sync", "process", "shm", "auto"):
+        if default_backend not in ("sync", "batched", "process", "shm", "auto"):
             raise ValueError(f"unknown backend {default_backend!r}")
         self.store = store if isinstance(store, RunStore) else RunStore(store)
         self.default_backend = default_backend

@@ -18,6 +18,7 @@ from repro.sim.orchestrator import (
     DefenderActionType,
     enumerate_actions,
 )
+from repro.sim.batched_engine import BatchedVectorEnv
 from repro.sim.reward import RewardModule
 from repro.sim.state import NetworkState
 from repro.sim.trace import EpisodeTrace, TraceStep, record_episode, verify_determinism
@@ -53,6 +54,7 @@ __all__ = [
     "verify_determinism",
     "VecStep",
     "BaseVectorEnv",
+    "BatchedVectorEnv",
     "VectorEnv",
     "ProcessVectorEnv",
     "ShmVectorEnv",

@@ -139,24 +139,44 @@ class APTKnowledge:
     historian_analysis_started: bool = False
 
 
-@dataclass
 class APTView:
     """Read-only view handed to attacker policies each decision step.
 
     The underlying state is frozen for the duration of one attacker
     decision, so the controlled-node queries are memoized per view.
+    A plain ``__slots__`` class rather than a dataclass: one view is
+    built per attacker consult, which makes construction cost part of
+    the per-step budget.
     """
 
-    t: int
-    state: NetworkState
-    knowledge: APTKnowledge
-    topology: Topology
-    labor_available: int
-    in_flight: list[APTActionRequest]
-    _controlled: list[int] | None = field(default=None, init=False, repr=False)
-    _controlled_by_level: dict[int, list[int]] = field(
-        default_factory=dict, init=False, repr=False
+    __slots__ = (
+        "t", "state", "knowledge", "topology", "labor_available",
+        "in_flight", "_key_set", "_controlled", "_controlled_by_level",
+        "_controlled_hmis",
     )
+
+    def __init__(
+        self,
+        t: int,
+        state: NetworkState,
+        knowledge: APTKnowledge,
+        topology: Topology,
+        labor_available: int,
+        in_flight: list[APTActionRequest],
+        key_set=None,
+    ):
+        self.t = t
+        self.state = state
+        self.knowledge = knowledge
+        self.topology = topology
+        self.labor_available = labor_available
+        self.in_flight = in_flight
+        #: optional precomputed target keys (any set-like supporting
+        #: membership and iteration), e.g. the engine's live tally
+        self._key_set = key_set
+        self._controlled: list[int] | None = None
+        self._controlled_by_level: dict[int, list[int]] = {}
+        self._controlled_hmis: list[int] | None = None
 
     def controlled_nodes(self) -> list[int]:
         """Nodes the APT has command and control on, excluding quarantined
@@ -173,8 +193,21 @@ class APTView:
             self._controlled_by_level[level] = cached
         return cached
 
+    def controlled_hmis(self) -> list[int]:
+        """Controlled nodes that are HMIs (memoized per view; used by
+        both phase criteria and sub-policies within one decision)."""
+        cached = self._controlled_hmis
+        if cached is None:
+            hmis = self.topology.hmi_id_set
+            cached = [n for n in self.controlled_nodes() if n in hmis]
+            self._controlled_hmis = cached
+        return cached
+
     def in_flight_keys(self) -> set[tuple]:
-        return {req.target_key() for req in self.in_flight}
+        keys = self._key_set
+        if keys is None:
+            keys = self._key_set = {req.target_key() for req in self.in_flight}
+        return keys
 
 
 def _source_ok(state: NetworkState, source: int) -> bool:

@@ -72,6 +72,8 @@ class Simulation:
         self.record_truth = record_truth
         self._skip_saturated = bool(getattr(attacker, "skip_when_saturated", False))
         self._attacker_observe = getattr(attacker, "observe", None)
+        self._mark_phase_dirty = getattr(attacker, "mark_phase_dirty", None)
+        self._labor_rate = int(config.apt.labor_rate)
         self.reset(seed)
 
     # ------------------------------------------------------------------
@@ -84,6 +86,12 @@ class Simulation:
         self._apt_rng = self.rngs.child("apt")
         self._def_rng = self.rngs.child("defender")
         self.in_flight: list[APTActionRequest] = []
+        #: multiset of in-flight target keys, maintained incrementally
+        #: so each attacker consult skips re-deriving them from scratch
+        self._in_flight_keys: dict[tuple, int] = {}
+        #: latest busy-until hour across all nodes/PLCs; lets hot paths
+        #: rule out any active busy window with one scalar compare
+        self._max_busy = 0
         self._beachhead_rng = self.rngs.child("beachhead")
         self._reintrusion_at: int | None = None
         self._phase_stale = True
@@ -131,31 +139,40 @@ class Simulation:
         return False
 
     # ------------------------------------------------------------------
-    def step(self, defender_actions: Iterable[DefenderAction]) -> StepResult:
-        t0 = self.state.t
-        t1 = t0 + 1
-        alerts: list[Alert] = []
-        scan_results: list[ScanResult] = []
+    # step phases -- the batched engine drives these per lane and
+    # replaces only the trailing IDS/reward/observation assembly with
+    # array programs, so the per-lane dynamics live in exactly one place
+    # ------------------------------------------------------------------
+    def step_launch(
+        self, defender_actions: Iterable[DefenderAction], t0: int
+    ) -> list[DefenderAction]:
+        """Phase 1: launch defender actions chosen from the last obs."""
         launched: list[DefenderAction] = []
-
-        # 1. launch defender actions
         for action in defender_actions:
             if self._launch_defender(action, t0):
                 launched.append(action)
+        return launched
 
-        # 2. attacker turn; an attacker that recomputes its decisions
-        # from the live state (skip_when_saturated) is not consulted
-        # while its labor budget is exhausted -- its requests would be
-        # truncated away regardless. Its *reported* phase is a pure
-        # function of (state, knowledge), so while skipping it only
-        # needs a refresh (observe(); draws no randomness) after those
-        # inputs actually changed -- completions, re-intrusion, or the
-        # knowledge updates of a previous act().
-        labor_available = max(0, int(self.config.apt.labor_rate) - len(self.in_flight))
+    def step_attacker(self, t0: int, t1: int, alerts: list[Alert]) -> None:
+        """Phase 2: attacker turn.
+
+        An attacker that recomputes its decisions from the live state
+        (skip_when_saturated) is not consulted while its labor budget is
+        exhausted -- its requests would be truncated away regardless.
+        Its *reported* phase is a pure function of (state, knowledge),
+        so while skipping it only needs a refresh (observe(); draws no
+        randomness) after those inputs actually changed -- completions,
+        re-intrusion, or the knowledge updates of a previous act().
+        """
+        labor_available = max(0, self._labor_rate - len(self.in_flight))
         if labor_available > 0 or not self._skip_saturated:
+            # the view aliases the live in-flight list/key multiset; both
+            # are only read inside act()/observe(), before any launch
+            # below mutates them
             view = APTView(
                 t0, self.state, self.knowledge, self.topology,
-                labor_available, list(self.in_flight),
+                labor_available, self.in_flight,
+                self._in_flight_keys.keys(),
             )
             requests = list(self.attacker.act(view))[:labor_available]
             for req in requests:
@@ -164,17 +181,23 @@ class Simulation:
         elif self._attacker_observe is not None and self._phase_stale:
             self._attacker_observe(APTView(
                 t0, self.state, self.knowledge, self.topology,
-                labor_available, list(self.in_flight),
+                labor_available, self.in_flight,
+                self._in_flight_keys.keys(),
             ))
             self._phase_stale = False
 
-        # 3. advance clock, apply completions
+    def step_advance(
+        self, t1: int, scan_results: list[ScanResult]
+    ) -> tuple[float, list[DefenderAction]]:
+        """Phases 3+4: advance the clock, apply completions, re-intrude."""
         self.state.t = t1
         completed_cost = 0.0
         completed_defender: list[DefenderAction] = []
         due = self.queue.pop_due(t1)
         if due:
             self._phase_stale = True
+            if self._mark_phase_dirty is not None:
+                self._mark_phase_dirty()
         for payload in due:
             kind = payload[0]
             if kind == "apt":
@@ -185,9 +208,22 @@ class Simulation:
                 completed_cost += self._complete_defender(action, t1, scan_results)
                 completed_defender.append(action)
 
-        # 4. re-intrusion if the APT lost all access
         if self._maybe_reintrude(t1):
             self._phase_stale = True
+            if self._mark_phase_dirty is not None:
+                self._mark_phase_dirty()
+        return completed_cost, completed_defender
+
+    # ------------------------------------------------------------------
+    def step(self, defender_actions: Iterable[DefenderAction]) -> StepResult:
+        t0 = self.state.t
+        t1 = t0 + 1
+        alerts: list[Alert] = []
+        scan_results: list[ScanResult] = []
+
+        launched = self.step_launch(defender_actions, t0)
+        self.step_attacker(t0, t1, alerts)
+        completed_cost, completed_defender = self.step_advance(t1, scan_results)
 
         # 5. passive and false alerts for this hour
         alerts.extend(
@@ -239,15 +275,18 @@ class Simulation:
         if action.is_noop:
             return False
         spec = DEFENDER_ACTION_SPECS[action.atype]
+        until = t0 + spec.duration
         if spec.targets == "node":
             if self.state.node_busy_until[action.target] > t0:
                 return False
-            self.state.node_busy_until[action.target] = t0 + spec.duration
+            self.state.node_busy_until[action.target] = until
         elif spec.targets == "plc":
             if self.state.plc_busy_until[action.target] > t0:
                 return False
-            self.state.plc_busy_until[action.target] = t0 + spec.duration
-        self.queue.push(t0 + spec.duration, ("def", action))
+            self.state.plc_busy_until[action.target] = until
+        if until > self._max_busy:
+            self._max_busy = until
+        self.queue.push(until, ("def", action))
         return True
 
     def _launch_apt(
@@ -261,11 +300,23 @@ class Simulation:
             alerts.append(alert)
         if req.atype is APTActionType.ANALYZE_HISTORIAN:
             self.knowledge.historian_analysis_started = True
+            if self._mark_phase_dirty is not None:
+                self._mark_phase_dirty()
         self.queue.push(t0 + duration, ("apt", req, success))
         self.in_flight.append(req)
+        key = req.target_key()
+        keys = self._in_flight_keys
+        keys[key] = keys.get(key, 0) + 1
 
     def _complete_apt(self, req: APTActionRequest, success: bool) -> None:
         self.in_flight.remove(req)
+        key = req.target_key()
+        keys = self._in_flight_keys
+        count = keys.get(key, 0) - 1
+        if count > 0:
+            keys[key] = count
+        else:
+            keys.pop(key, None)
         applied = False
         if success:
             applied = apply_apt_action(

@@ -116,7 +116,10 @@ class IDSModule:
             for rate in self._false_rates:
                 severity += 1
                 if draws[j] < rate:
-                    node_id = int(rng.choice(nodes))
+                    # same stream as rng.choice(nodes) (Generator.choice
+                    # reduces to one integers() draw for a plain 1-D
+                    # pool) without its per-call validation overhead
+                    node_id = int(nodes[rng.integers(0, len(nodes))])
                     alerts.append(
                         Alert(t, severity, node_id, source=AlertSource.FALSE)
                     )

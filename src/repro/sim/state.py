@@ -23,6 +23,9 @@ class NetworkState:
         self.topology = topology
         n, m = topology.n_nodes, topology.n_plcs
         self.t = 0
+        #: bumped by every mutator method; phase-caching consumers
+        #: (FSMAttacker) use it to notice out-of-band state edits
+        self.version = 0
         self.conditions = np.zeros((n, len(Condition)), dtype=bool)
         self.node_vlan: list[str] = [node.home_vlan for node in topology.nodes]
         self._home_vlan: list[str] = list(self.node_vlan)
@@ -55,6 +58,7 @@ class NetworkState:
         prereq = CONDITION_PREREQS[cond]
         if prereq is not None and not self.conditions[node_id, prereq]:
             return False
+        self.version += 1
         self.conditions[node_id, cond] = True
         if cond is Condition.COMPROMISED and node_id not in self._comp_set:
             insort(self._comp_ids, node_id)
@@ -69,6 +73,7 @@ class NetworkState:
 
     def clear_node(self, node_id: int) -> None:
         """Return a node to nominal (all compromise conditions removed)."""
+        self.version += 1
         self.conditions[node_id, :] = False
         if node_id in self._comp_set:
             self._comp_set.discard(node_id)
@@ -86,6 +91,7 @@ class NetworkState:
     def move_node(self, node_id: int, vlan: str) -> None:
         if vlan not in self.topology.vlans:
             raise KeyError(f"unknown VLAN {vlan!r}")
+        self.version += 1
         self.node_vlan[node_id] = vlan
         off_home = vlan != self._home_vlan[node_id]
         self.quarantined[node_id] = off_home
@@ -144,7 +150,12 @@ class NetworkState:
         return int(self.plc_destroyed.sum())
 
     def n_plcs_offline(self) -> int:
-        return int((self.plc_disrupted | self.plc_destroyed).sum())
+        # plain-Python counting: PLC arrays are a handful of elements,
+        # and this runs inside the attacker's per-step criteria walk
+        destroyed = self.plc_destroyed.tolist()
+        return sum(
+            1 for p, d in zip(self.plc_disrupted.tolist(), destroyed) if p or d
+        )
 
     def snapshot(self) -> dict:
         """Ground-truth snapshot used for logging and DBN learning."""

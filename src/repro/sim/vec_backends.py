@@ -144,10 +144,10 @@ def normalize_backend(backend: str, num_envs: int,
     """
     if backend == "auto":
         backend = resolve_backend(num_envs, num_workers=num_workers)
-    if backend not in ("sync", "process", "shm"):
+    if backend not in ("sync", "batched", "process", "shm"):
         raise ValueError(
             f"unknown backend {backend!r}; choose from "
-            "('sync', 'process', 'shm', 'auto')"
+            "('sync', 'batched', 'process', 'shm', 'auto')"
         )
     return backend
 
@@ -287,14 +287,25 @@ class _LaneGroupExecutor:
                 for i in range(venv.num_envs)
                 if step.dones[i] and (mask is None or mask[i])
             ]
+        infos = step.infos
+        if not venv.auto_reset:
+            # only an auto-reset produces a legitimate final; strip any
+            # stale one here so the legacy pickled fallback below can't
+            # leak what the binary encoder already refuses to ship
+            infos = [
+                {k: v for k, v in info.items() if k != "final_observation"}
+                if "final_observation" in info else info
+                for info in infos
+            ]
         try:
             return vt.encode_step_reply(step.observations, step.rewards,
-                                        step.dones, step.infos, changed)
+                                        step.dones, infos, changed,
+                                        auto_reset=venv.auto_reset)
         except vt.EncodeError:
             # un-encodable payload (e.g. a custom env wrapper smuggling
             # objects into info): legacy pickled reply for this step
             return ("ok", step.observations, step.rewards,
-                    step.dones, step.infos, list(venv.reset_infos))
+                    step.dones, infos, list(venv.reset_infos))
 
     def handle(self, raw):
         """One binary command -> one reply (record bytes or legacy tuple)."""

@@ -315,7 +315,8 @@ def _decode_actions_list(buf, pos: int) -> tuple[list[DefenderAction], int]:
 _REQUIRED_INFO_KEYS = _INFO_KEYS - {"conditions", "final_observation"}
 
 
-def _encode_info(out: bytearray, info: dict[str, Any]) -> None:
+def _encode_info(out: bytearray, info: dict[str, Any],
+                 auto_reset: bool = True) -> None:
     if not info:  # masked lanes report an empty dict
         out.append(0)
         return
@@ -364,7 +365,10 @@ def _encode_info(out: bytearray, info: dict[str, Any]) -> None:
         out.append(1)
         out += np.ascontiguousarray(conditions, dtype=np.uint8).tobytes()
     final = info.get("final_observation")
-    if final is None:
+    if final is None or not auto_reset:
+        # with auto-reset disabled no lane legitimately produces a
+        # final observation this step; a present one is stale (e.g. a
+        # wrapper echoing a previous episode's info) and must not ship
         out.append(0)
     else:
         out.append(1)
@@ -604,12 +608,15 @@ def open_frame(buf):
 # step reply (worker -> parent)
 # ----------------------------------------------------------------------
 def encode_step_reply(observations, rewards, dones, infos,
-                      changed_reset_infos) -> bytearray:
+                      changed_reset_infos, *,
+                      auto_reset: bool = True) -> bytearray:
     """Pack one lane group's step results.
 
     ``changed_reset_infos`` lists ``(local_index, reset_info)`` pairs
     for lanes that auto-reset this step — the only ones whose parent
-    bookkeeping can have gone stale, so the only ones shipped.
+    bookkeeping can have gone stale, so the only ones shipped. With
+    ``auto_reset=False`` any ``final_observation`` in an info dict is
+    dropped at the wire: only an auto-reset produces a legitimate final.
     """
     out = bytearray((ST_OK,))
     out += np.ascontiguousarray(rewards, dtype=np.float64).tobytes()
@@ -617,7 +624,7 @@ def encode_step_reply(observations, rewards, dones, infos,
     for obs in observations:
         _encode_observation(out, obs)
     for info in infos:
-        _encode_info(out, info)
+        _encode_info(out, info, auto_reset=auto_reset)
     out += _U32.pack(len(changed_reset_infos))
     for local_i, reset_info in changed_reset_infos:
         out += _U32.pack(local_i)

@@ -19,17 +19,20 @@ _spec.loader.exec_module(_mod)
 compare = _mod.compare
 
 
-def _report(sync, process, shm):
-    return {
-        "results": [
-            {"network": "paper", "backend": "sync", "num_envs": 16,
-             "aggregate_steps_per_s": sync},
-            {"network": "paper", "backend": "process", "num_envs": 16,
-             "aggregate_steps_per_s": process},
-            {"network": "paper", "backend": "shm", "num_envs": 16,
-             "aggregate_steps_per_s": shm},
-        ]
-    }
+def _report(sync, process, shm, batched=None):
+    results = [
+        {"network": "paper", "backend": "sync", "num_envs": 16,
+         "aggregate_steps_per_s": sync},
+        {"network": "paper", "backend": "process", "num_envs": 16,
+         "aggregate_steps_per_s": process},
+        {"network": "paper", "backend": "shm", "num_envs": 16,
+         "aggregate_steps_per_s": shm},
+    ]
+    if batched is not None:
+        results.append(
+            {"network": "paper", "backend": "batched", "num_envs": 16,
+             "aggregate_steps_per_s": batched})
+    return {"results": results}
 
 
 BASE = _report(40_000.0, 20_000.0, 20_000.0)
@@ -94,3 +97,26 @@ class TestBenchGate:
         status, _ = compare(_report(20_000, 10_000, 10_000), BASE,
                             calibrate=False)
         assert status == 1
+
+    def test_batched_regression_fails(self):
+        base = _report(40_000, 20_000, 20_000, batched=100_000)
+        status, lines = compare(
+            _report(40_000, 20_000, 20_000, batched=60_000), base,
+            max_regression=0.30)
+        assert status == 1
+        assert any("FAIL" in line and "batched" in line for line in lines)
+
+    def test_batched_within_tolerance_passes(self):
+        base = _report(40_000, 20_000, 20_000, batched=100_000)
+        status, _ = compare(
+            _report(40_000, 20_000, 20_000, batched=80_000), base,
+            max_regression=0.30)
+        assert status == 0
+
+    def test_tracked_batched_cell_cannot_vanish(self):
+        """A baseline with a batched row rejects reports lacking it —
+        the gate must not silently shrink to the other backends."""
+        base = _report(40_000, 20_000, 20_000, batched=100_000)
+        status, lines = compare(_report(40_000, 20_000, 20_000), base)
+        assert status == 2
+        assert any("batched" in line for line in lines)

@@ -201,6 +201,89 @@ class TestBackendLifecycle:
             ProcessVectorEnv({}, 2)
 
 
+class TestFinalObservationWireGuard:
+    """``final_observation`` must never cross the wire with auto-reset
+    off: only an auto-reset produces a legitimate final, so anything
+    else in that slot is a stale leak (e.g. a wrapper echoing a previous
+    episode's info)."""
+
+    def _terminal_step(self):
+        """A real terminal step whose infos carry final observations."""
+        venv = repro.make_vec("inasim-tiny-v1", 2, seed=0, horizon=5)
+        venv.reset(seed=0)
+        for _ in range(5):
+            step = venv.step(None)
+        assert step.dones.all()
+        assert all("final_observation" in info for info in step.infos)
+        return venv, step
+
+    def test_round_trip_with_auto_reset_ships_final(self):
+        from repro.sim import vec_transport as vt
+
+        venv, step = self._terminal_step()
+        dims = vt.dims_of(venv.envs[0])
+        buf = vt.encode_step_reply(step.observations, step.rewards,
+                                   step.dones, step.infos, [],
+                                   auto_reset=True)
+        _, _, dones, infos, _ = vt.decode_step_reply(buf, 2, dims)
+        assert dones.all()
+        for info, orig in zip(infos, step.infos):
+            assert info["final_observation"].t == \
+                orig["final_observation"].t == 5
+
+    def test_round_trip_without_auto_reset_strips_final(self):
+        from repro.sim import vec_transport as vt
+
+        venv, step = self._terminal_step()
+        dims = vt.dims_of(venv.envs[0])
+        # same infos, but the group reports auto_reset disabled: the
+        # encoder must refuse to ship the (necessarily stale) finals
+        buf = vt.encode_step_reply(step.observations, step.rewards,
+                                   step.dones, step.infos, [],
+                                   auto_reset=False)
+        _, rewards, dones, infos, _ = vt.decode_step_reply(buf, 2, dims)
+        assert dones.all()
+        np.testing.assert_array_equal(rewards, step.rewards)
+        for info in infos:
+            assert "final_observation" not in info
+            assert info["t"] == 5  # the rest of the info is intact
+
+    def test_worker_group_strips_stale_final_in_legacy_fallback(self):
+        from repro.sim.vec_backends import _LaneGroupExecutor
+
+        class _LeakyEnv:
+            """Terminal lane whose info echoes a stale final and an
+            unencodable extra key, forcing the legacy pickled reply."""
+
+            def __init__(self, env):
+                self._env = env
+                self.n_actions = env.n_actions
+
+            def __getattr__(self, name):
+                return getattr(self._env, name)
+
+            def step(self, action):
+                obs, reward, done, info = self._env.step(action)
+                info = dict(info)
+                info["final_observation"] = obs
+                info["unencodable"] = object()
+                return obs, reward, True, info
+
+        env = repro.make("inasim-tiny-v1", seed=0, horizon=10)
+        venv = VectorEnv([_LeakyEnv(env)], auto_reset=False, base_seed=0)
+        group = _LaneGroupExecutor.__new__(_LaneGroupExecutor)
+        group.injector = None
+        group.venv = venv
+        venv.reset(seed=0)
+        reply = group.do_step(None, None)
+        # the unencodable key forced the pickled tuple path...
+        assert isinstance(reply, tuple) and reply[0] == "ok"
+        infos = reply[4]
+        # ...which must have dropped the stale final all the same
+        assert all("final_observation" not in info for info in infos)
+        assert all("unencodable" in info for info in infos)
+
+
 class TestSampleActionsVectorized:
     def test_samples_are_valid(self):
         venv = repro.make_vec("inasim-tiny-v1", 3, seed=0, horizon=30)

@@ -143,6 +143,100 @@ class TestAutoReset:
         assert "final_observation" not in step.infos[0]
 
 
+def _record_reset_seeds(venv):
+    """Wrap each lane's env.reset so every seed it receives is logged."""
+    log = [[] for _ in range(venv.num_envs)]
+
+    def wrap(i, env):
+        orig = env.reset
+
+        def reset(seed=None):
+            log[i].append(seed)
+            return orig(seed=seed)
+
+        env.reset = reset
+
+    for i, env in enumerate(venv.envs):
+        wrap(i, env)
+    return log
+
+
+class TestReseedSchedule:
+    """Pin the ``seed + lane_offset + i + total_envs * episode`` schedule.
+
+    Regression tests for the reseed bookkeeping: the initial reset,
+    auto-resets, manual ``reset_env`` calls, and worker-local groups
+    (``lane_offset``/``total_envs``) must all draw from one
+    collision-free global schedule, with manual resets advancing the
+    same counter as auto-resets so the stream stays uninterrupted.
+    """
+
+    BASE, N, HORIZON = 100, 3, 10
+
+    def _run(self, steps, backend="sync"):
+        venv = _tiny_vec(self.N, seed=self.BASE, horizon=self.HORIZON,
+                         backend=backend)
+        log = _record_reset_seeds(venv)
+        venv.reset(seed=self.BASE)
+        for _ in range(steps):
+            venv.step(None)
+        return venv, log
+
+    @pytest.mark.parametrize("backend", ["sync", "batched"])
+    def test_auto_reset_schedule_formula(self, backend):
+        # 25 steps with horizon 10 => episodes 0, 1 and part of 2
+        _, log = self._run(25, backend=backend)
+        for i in range(self.N):
+            assert log[i] == [self.BASE + i + self.N * k for k in range(3)]
+
+    def test_reset_env_stays_on_schedule(self):
+        # a manual mid-run reset_env must slot into the same stream the
+        # auto-resets draw from, not fork a parallel one
+        venv, log = self._run(5)
+        venv.reset_env(1, seed=None)           # episode 1, manual
+        for _ in range(25):                    # episodes 2, 3 via auto-reset
+            venv.step(None)
+        assert log[1][:4] == [self.BASE + 1 + self.N * k for k in range(4)]
+        # untouched lanes are unaffected by lane 1's manual reset
+        assert log[0][:2] == [self.BASE + 0, self.BASE + 0 + self.N]
+
+    def test_reset_env_explicit_seed_still_advances_schedule(self):
+        venv, log = self._run(0)
+        venv.reset_env(0, seed=9999)           # consumes episode slot 1
+        venv.reset_env(0, seed=None)           # so this draws slot 2
+        assert log[0] == [self.BASE, 9999, self.BASE + 2 * self.N]
+
+    def test_lane_offset_matches_global_layout(self):
+        # a worker-local 2-lane group covering global lanes 1..2 of a
+        # 4-lane layout must reproduce the monolithic env's seeds
+        envs = [repro.make("inasim-tiny-v1", seed=0, horizon=self.HORIZON)
+                for _ in range(2)]
+        venv = VectorEnv(envs, base_seed=self.BASE, lane_offset=1,
+                         total_envs=4)
+        log = _record_reset_seeds(venv)
+        venv.reset(seed=self.BASE)
+        for _ in range(12):
+            venv.step(None)
+        for i in range(2):
+            assert log[i] == [self.BASE + 1 + i + 4 * k for k in range(2)]
+
+    def test_replace_env_restarts_lane_schedule(self):
+        venv, log = self._run(12)              # lane episode counts now 1
+        venv.replace_env(0, repro.make("inasim-tiny-v1", seed=0,
+                                       horizon=self.HORIZON))
+        log[0] = _record_reset_seeds(venv)[0]  # re-wrap the new lane env
+        venv.reset_env(0, seed=None)
+        # fresh lane: its next manual reset is episode 1 of a restarted
+        # schedule, exactly as on a newly constructed vector env
+        assert log[0] == [self.BASE + 0 + self.N * 1]
+
+    def test_restore_reset_does_not_advance_schedule(self):
+        venv, log = self._run(0)
+        venv.restore_reset(0, seed=4321)       # recovery replay: verbatim
+        venv.reset_env(0, seed=None)           # schedule untouched above
+        assert log[0] == [self.BASE, 4321, self.BASE + self.N]
+
+
 class TestActionMasks:
     def test_shape_and_noop_valid(self):
         venv = _tiny_vec(3)
