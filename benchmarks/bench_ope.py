@@ -12,25 +12,67 @@ Carlo ground truth of the same horizon. Expected shape: the weighted
 and doubly-robust estimators sit closest to the ground truth, while
 ordinary IS shows the worst effective sample size -- the textbook
 ordering, and the reason DR exists.
+
+Two entry points:
+
+* pytest-benchmark accuracy cell (above protocol)::
+
+      PYTHONPATH=src python -m pytest benchmarks/bench_ope.py
+
+* the trace-store throughput sweep, which grows a synthetic columnar
+  trace at small-network feature geometry and reports transitions/s
+  for the write, read (full decode), and estimate (importance-sampling
+  scalar pass) stages — what the nightly ``ope-bench`` CI job runs and
+  gates through ``benchmarks/compare_bench_ope.py``::
+
+      PYTHONPATH=src python benchmarks/bench_ope.py \
+          --transitions 1000000 --out bench_ope.json
+
+The throughput stages use synthetic feature records (a cycled pool of
+pre-drawn states) and a linear-softmax target policy: the sweep
+measures the trace store and the estimator *plumbing* — serialization,
+shard IO, decode, propensity batching — not Q-network inference, which
+would dominate wall time long before a million transitions.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import math
+import os
+import pathlib
+import platform
+import sys
+import tempfile
+import time
+
 import numpy as np
 
-from benchmarks.conftest import episodes_per_cell, write_result
 import repro
-from repro.config import tiny_network
+from repro.config import small_network, tiny_network
 from repro.dbn import fit_dbn
 from repro.defenders import SemiRandomPolicy
 from repro.rl import AttentionQNetwork, QNetConfig
+from repro.rl.features import (
+    FeatureSet,
+    GLOBAL_FEATURE_DIM,
+    NODE_FEATURE_DIM,
+    PLC_FEATURE_DIM,
+)
+from repro.sim.orchestrator import enumerate_actions
 from repro.validation import (
     StochasticQPolicy,
+    TraceDataset,
+    TraceDims,
+    TraceWriter,
     collect_logged_episodes,
     doubly_robust,
+    episode_ope_stats,
     fitted_q_evaluation,
     ordinary_importance_sampling,
     per_decision_importance_sampling,
+    trace_record_dtype,
     weighted_importance_sampling,
 )
 
@@ -39,6 +81,10 @@ _QNET = QNetConfig(d_model=16, n_heads=2, encoder_hidden=32, head_hidden=32)
 
 
 def test_ope_estimator_accuracy(benchmark):
+    # imported here, not at module top: conftest resolves via pytest's
+    # rootdir, which script mode (python benchmarks/bench_ope.py) lacks
+    from benchmarks.conftest import episodes_per_cell, write_result
+
     n_logged = episodes_per_cell(6)
     n_truth = episodes_per_cell(6)
     cfg = tiny_network(tmax=_HORIZON)
@@ -108,3 +154,263 @@ def test_ope_estimator_accuracy(benchmark):
         assert np.isfinite(result.estimate), result.method
     assert wis.ess <= n_logged + 1e-9
     assert np.isfinite(fqe.value)
+
+
+# ----------------------------------------------------------------------
+# trace-store throughput sweep (script mode; nightly ope-bench CI job)
+# ----------------------------------------------------------------------
+
+#: distinct pre-drawn synthetic states cycled through the writer: large
+#: enough that shard compression/caching cannot fake the measurement,
+#: small enough that state generation stays off the clock
+_POOL_SIZE = 512
+
+
+class _LinearSoftmaxPolicy:
+    """Masked linear-softmax propensities over flattened features.
+
+    A stand-in target policy for the throughput sweep: one matmul per
+    episode via ``action_probs_batch`` — the same batched-propensity
+    fast path the real :class:`StochasticQPolicy` exercises, without
+    attention-network inference swamping the trace-store measurement.
+    """
+
+    def __init__(self, dims: TraceDims, seed: int, temperature: float = 2.0):
+        rng = np.random.default_rng(seed)
+        flat = dims.n_nodes * dims.node_dim + dims.n_plcs * dims.plc_dim + dims.glob_dim
+        self._weights = rng.standard_normal((flat, dims.n_actions))
+        self._temperature = float(temperature)
+
+    def _flatten(self, features: FeatureSet) -> np.ndarray:
+        return np.concatenate(
+            [
+                np.asarray(features.node, dtype=np.float64).ravel(),
+                np.asarray(features.plc, dtype=np.float64).ravel(),
+                np.asarray(features.glob, dtype=np.float64),
+            ]
+        )
+
+    def _probs(self, scores: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        valid = np.asarray(mask, dtype=bool)
+        z = np.where(valid, scores / self._temperature, -np.inf)
+        z -= z.max()
+        exp = np.exp(z)
+        return exp / exp.sum()
+
+    def action_probs(self, features: FeatureSet, mask) -> np.ndarray:
+        return self._probs(self._flatten(features) @ self._weights, mask)
+
+    def action_probs_batch(self, features_list, masks) -> list[np.ndarray]:
+        flats = np.stack([self._flatten(f) for f in features_list])
+        scores = flats @ self._weights
+        return [self._probs(s, m) for s, m in zip(scores, masks)]
+
+
+def _small_net_dims(horizon: int) -> TraceDims:
+    """The small network's real trace geometry (features + action space)."""
+    env = repro.make_env(small_network(tmax=horizon), seed=0)
+    return TraceDims(
+        n_nodes=env.topology.n_nodes,
+        node_dim=NODE_FEATURE_DIM,
+        n_plcs=env.topology.n_plcs,
+        plc_dim=PLC_FEATURE_DIM,
+        glob_dim=GLOBAL_FEATURE_DIM,
+        n_actions=len(enumerate_actions(env.topology)),
+    )
+
+
+def _synthetic_pool(dims: TraceDims, seed: int) -> list[tuple]:
+    """Pre-drawn (features, mask, action, behavior_prob) records."""
+    rng = np.random.default_rng(seed)
+    pool = []
+    for _ in range(_POOL_SIZE):
+        features = FeatureSet(
+            node=rng.random((dims.n_nodes, dims.node_dim)),
+            plc=rng.random((dims.n_plcs, dims.plc_dim)),
+            glob=rng.random(dims.glob_dim),
+        )
+        mask = rng.random(dims.n_actions) < 0.5
+        if not mask.any():
+            mask[0] = True
+        valid = np.flatnonzero(mask)
+        action = int(valid[rng.integers(len(valid))])
+        pool.append((features, mask, action, 1.0 / len(valid)))
+    return pool
+
+
+def _bench_write(trace_dir, dims, episodes, horizon, shard_rows, seed):
+    pool = _synthetic_pool(dims, seed)
+    rng = np.random.default_rng(seed + 1)
+    rewards = rng.standard_normal(episodes * horizon)
+    index = 0
+    start = time.perf_counter()
+    with TraceWriter(
+        trace_dir,
+        shard_rows=shard_rows,
+        meta={"generator": "bench_ope-synthetic", "horizon": horizon},
+    ) as writer:
+        for episode in range(episodes):
+            writer.begin_episode(episode, lane=0, seed=seed + episode, gamma=0.99)
+            for t in range(horizon):
+                features, mask, action, prob = pool[index % _POOL_SIZE]
+                writer.append_step(
+                    episode,
+                    action=action,
+                    behavior_prob=prob,
+                    reward=float(rewards[index]),
+                    done=t == horizon - 1,
+                    features=features,
+                    mask=mask,
+                )
+                index += 1
+            final = pool[(index + episode) % _POOL_SIZE]
+            writer.finish_episode(episode, final_features=final[0], final_mask=final[1])
+    return time.perf_counter() - start
+
+
+def _bench_read(trace_dir, expected_transitions):
+    start = time.perf_counter()
+    dataset = TraceDataset(trace_dir)
+    transitions = sum(len(episode.steps) for episode in dataset)
+    elapsed = time.perf_counter() - start
+    if transitions != expected_transitions:
+        raise RuntimeError(
+            f"trace round-trip lost transitions: wrote {expected_transitions}, "
+            f"read back {transitions}"
+        )
+    return elapsed
+
+
+def _bench_estimate(trace_dir, dims, seed):
+    target = _LinearSoftmaxPolicy(dims, seed=seed + 2)
+    start = time.perf_counter()
+    dataset = TraceDataset(trace_dir)
+    stats = [episode_ope_stats(episode, target) for episode in dataset]
+    elapsed = time.perf_counter() - start
+    weights = np.array([s.weight for s in stats])
+    if not np.all(np.isfinite(weights)):
+        raise RuntimeError("synthetic trace produced non-finite IS weights")
+    return elapsed
+
+
+def run_trace_sweep(
+    transitions: int,
+    *,
+    horizon: int = 100,
+    shard_rows: int = 16384,
+    seed: int = 0,
+    trace_dir: str | None = None,
+) -> dict:
+    """Grow a synthetic trace and measure write/read/estimate rates."""
+    episodes = max(1, math.ceil(transitions / horizon))
+    actual = episodes * horizon
+    dims = _small_net_dims(horizon)
+    record_bytes = trace_record_dtype(dims).itemsize
+
+    def sweep(path):
+        print(
+            f"growing {actual} transitions ({episodes} episodes x {horizon} "
+            f"steps, {record_bytes} B/record) in {path}",
+            file=sys.stderr,
+        )
+        results = []
+
+        def bench_write():
+            return _bench_write(path, dims, episodes, horizon, shard_rows, seed)
+
+        stages = (
+            ("write", bench_write),
+            ("read", lambda: _bench_read(path, actual)),
+            ("estimate", lambda: _bench_estimate(path, dims, seed)),
+        )
+        for stage, run in stages:
+            elapsed = run()
+            results.append(
+                {
+                    "stage": stage,
+                    "transitions": actual,
+                    "seconds": round(elapsed, 3),
+                    "transitions_per_s": round(actual / elapsed, 1),
+                }
+            )
+            print(
+                f"{stage:>9}: {actual / elapsed:>10.0f} transitions/s "
+                f"({elapsed:.2f}s)",
+                file=sys.stderr,
+            )
+        store_bytes = sum(
+            f.stat().st_size for f in pathlib.Path(path).glob("shard-*.bin")
+        )
+        return results, store_bytes
+
+    if trace_dir is not None:
+        results, store_bytes = sweep(trace_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="bench_ope_") as tmp:
+            results, store_bytes = sweep(os.path.join(tmp, "trace"))
+
+    return {
+        "meta": {
+            "bench": "ope_trace_throughput",
+            "network": "small",
+            "dims": dims._asdict(),
+            "record_bytes": record_bytes,
+            "horizon": horizon,
+            "episodes": episodes,
+            "shard_rows": shard_rows,
+            "store_bytes": store_bytes,
+            "seed": seed,
+            "host": {
+                "python": platform.python_version(),
+                "platform_system": platform.system(),
+                "cpu_count": os.cpu_count(),
+            },
+        },
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--transitions",
+        type=int,
+        default=1_000_000,
+        help="trace size to grow (default: 1,000,000 — the nightly floor)",
+    )
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=100,
+        help="steps per synthetic episode (default: 100)",
+    )
+    parser.add_argument("--shard-rows", type=int, default=16384)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="grow the trace here and keep it (default: a temp dir, deleted)",
+    )
+    parser.add_argument(
+        "--out",
+        default="bench_ope.json",
+        help="JSON report path (feeds benchmarks/compare_bench_ope.py)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_trace_sweep(
+        args.transitions,
+        horizon=args.horizon,
+        shard_rows=args.shard_rows,
+        seed=args.seed,
+        trace_dir=args.trace_dir,
+    )
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""Benchmark-regression gate for the OPE trace-store throughput sweep.
+
+Judges a fresh ``bench_ope.py`` script-mode report (the nightly
+``ope-bench`` CI job grows a >= 1M-transition synthetic trace) against
+**absolute transitions/s floors**. Unlike the vectorized-throughput
+gate there is no committed baseline to calibrate against: the sweep is
+synthetic and single-threaded, so its rates depend only mildly on the
+runner class, and the floors are set ~4-7x below the reference
+container's measured rates (write ~6.2k/s, read ~67k/s, estimate
+~27k/s on a 1-CPU host) — generous enough for a slow runner, tight
+enough that an accidentally quadratic decode path or a per-row fsync
+cannot hide.
+
+The gate also refuses to pass a shrunken workload: a report measuring
+fewer than ``--min-transitions`` transitions is *unusable* (exit 2),
+not passing — otherwise turning the nightly job's trace size down
+would quietly weaken the gate.
+
+Exit status 0 = within floors, 1 = regression, 2 = unusable inputs.
+
+Usage (what the nightly ``ope-bench`` job runs)::
+
+    python benchmarks/bench_ope.py --transitions 1000000 --out bench_ope.json
+    python benchmarks/compare_bench_ope.py bench_ope.json \
+        --min-transitions 1000000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: stage -> absolute transitions/s floor (see module docstring for the
+#: reference-container rates these derive from)
+DEFAULT_FLOORS = {
+    "write": 1_500.0,
+    "read": 10_000.0,
+    "estimate": 4_000.0,
+}
+
+REQUIRED_STAGES = tuple(DEFAULT_FLOORS)
+
+
+def compare(
+    report: dict,
+    floors: dict[str, float],
+    min_transitions: int = 0,
+) -> tuple[int, list[str]]:
+    """Return (exit status, report lines) for a throughput report."""
+    lines: list[str] = []
+    try:
+        cells = {r["stage"]: r for r in report["results"]}
+    except (KeyError, TypeError):
+        return 2, ["report has no results list; rerun bench_ope.py script mode"]
+    missing = [stage for stage in REQUIRED_STAGES if stage not in cells]
+    if missing:
+        return 2, [
+            f"report is missing required stages {missing}; rerun "
+            "bench_ope.py script mode"
+        ]
+    failures = 0
+    for stage in REQUIRED_STAGES:
+        cell = cells[stage]
+        transitions = int(cell.get("transitions", 0))
+        rate = float(cell.get("transitions_per_s", 0.0))
+        if transitions < min_transitions:
+            return 2, lines + [
+                f"stage {stage!r} measured only {transitions} transitions "
+                f"(gate requires >= {min_transitions}); the workload was "
+                "shrunk — rerun with --transitions at the gated size"
+            ]
+        floor = floors[stage]
+        verdict = "ok"
+        if rate < floor:
+            verdict = f"FAIL (floor {floor:.0f}/s)"
+            failures += 1
+        lines.append(
+            f"{stage:>9}: {rate:>10.0f} transitions/s over {transitions} "
+            f"transitions  {verdict}"
+        )
+    return (1 if failures else 0), lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="fresh bench_ope.py script-mode report")
+    parser.add_argument(
+        "--min-write",
+        type=float,
+        default=DEFAULT_FLOORS["write"],
+        help="write-stage floor, transitions/s (default: "
+        f"{DEFAULT_FLOORS['write']:.0f})",
+    )
+    parser.add_argument(
+        "--min-read",
+        type=float,
+        default=DEFAULT_FLOORS["read"],
+        help="read-stage floor, transitions/s (default: "
+        f"{DEFAULT_FLOORS['read']:.0f})",
+    )
+    parser.add_argument(
+        "--min-estimate",
+        type=float,
+        default=DEFAULT_FLOORS["estimate"],
+        help="estimate-stage floor, transitions/s (default: "
+        f"{DEFAULT_FLOORS['estimate']:.0f})",
+    )
+    parser.add_argument(
+        "--min-transitions",
+        type=int,
+        default=0,
+        help="refuse (exit 2) reports measuring fewer transitions than "
+        "this (default: 0 — accept any size)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report) as handle:
+        report = json.load(handle)
+    floors = {
+        "write": args.min_write,
+        "read": args.min_read,
+        "estimate": args.min_estimate,
+    }
+    status, lines = compare(report, floors, min_transitions=args.min_transitions)
+    print("\n".join(lines))
+    if status == 0:
+        print("ope benchmark gate: OK")
+    else:
+        print("ope benchmark gate: FAILED", file=sys.stderr)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

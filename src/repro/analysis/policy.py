@@ -13,7 +13,8 @@ The default policy encodes the repo's actual contracts:
 * ``resource-lifecycle`` watches ``SharedMemory``/``Process``/``Pipe``
   construction in the worker-pool modules;
 * ``forbidden-imports`` bans pickle/dill from the hot-path transport
-  modules and ``repro.serve`` from ``repro.sim`` (layering).
+  modules and the columnar OPE trace store, and ``repro.serve`` from
+  ``repro.sim`` (layering).
 
 A JSON policy file (``repro check --policy FILE``) deep-merges over the
 defaults: per rule, ``enabled``, ``include``, ``exclude``, and
@@ -179,6 +180,19 @@ _DEFAULT_RULES: dict[str, RuleConfig] = {
                     "reason": (
                         "the per-step transport path is contractually "
                         "pickle-free (PR 4's zero-pickle wire format)"
+                    ),
+                },
+                {
+                    "modules": [
+                        "validation/tracestore.py",
+                        "validation/datasets.py",
+                    ],
+                    "banned": ["pickle", "dill", "cloudpickle", "marshal",
+                               "shelve"],
+                    "reason": (
+                        "the trace store is a pickle-free columnar "
+                        "format: traces must be safe to read from any "
+                        "producer and portable across python versions"
                     ),
                 },
                 {

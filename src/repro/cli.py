@@ -617,6 +617,188 @@ def cmd_runs_show(args) -> int:
     return 0
 
 
+_OPE_QNET_COMPACT = dict(d_model=16, n_heads=2, encoder_hidden=32,
+                         head_hidden=32)
+
+
+def _ope_qnet_config(args=None, meta: dict | None = None):
+    """The Q-network geometry for OPE: compact by default, exact when
+    replaying a trace (``meta`` wins; a user ``--qnet`` file implies the
+    full default geometry its training used)."""
+    from repro.rl import QNetConfig
+
+    if meta is not None and meta.get("qnet_config"):
+        return QNetConfig(**meta["qnet_config"])
+    if args is not None and getattr(args, "qnet", None):
+        return QNetConfig()
+    return QNetConfig(**_OPE_QNET_COMPACT)
+
+
+def cmd_ope_record(args) -> int:
+    """Stream logged episodes from vectorized rollouts into a trace dir."""
+    import dataclasses
+
+    from repro.nn import load_state, save_state
+    from repro.rl import AttentionQNetwork
+    from repro.validation import StochasticQPolicy, TraceWriter, \
+        record_episodes_vec
+
+    config = _resolve_config(args)
+    tables = _load_tables(config, args.dbn, args.seed)
+    qnet_config = _ope_qnet_config(args)
+    qnet = AttentionQNetwork(qnet_config, seed=args.seed)
+    if args.qnet:
+        load_state(qnet, args.qnet)
+
+    def behavior_factory(ep: int) -> StochasticQPolicy:
+        return StochasticQPolicy(qnet, tables,
+                                 temperature=args.temperature,
+                                 epsilon=args.epsilon,
+                                 seed=args.seed + ep)
+
+    meta = {
+        "config": config_to_dict(config),
+        "scenario": getattr(args, "scenario", None),
+        "qnet_config": dataclasses.asdict(qnet_config),
+        "qnet_seed": args.seed,
+        "behavior": {"policy": "stochastic-q",
+                     "temperature": args.temperature,
+                     "epsilon": args.epsilon},
+        "episodes": args.episodes,
+        "seed": args.seed,
+    }
+    venv = _build_vec_env(args, config, args.num_envs, args.seed)
+    try:
+        with TraceWriter(args.out, shard_rows=args.shard_rows,
+                         meta=meta) as writer:
+            transitions = record_episodes_vec(
+                venv, behavior_factory, args.episodes, writer,
+                seed=args.seed,
+            )
+            # provenance next to the shards: the exact tables and
+            # weights a later `repro ope report` must replay against
+            tables.save(f"{args.out}/dbn.npz")
+            save_state(qnet, f"{args.out}/qnet.npz")
+    finally:
+        venv.close()
+    print(f"recorded {args.episodes} episodes / {transitions} transitions "
+          f"to {args.out} ({writer.episodes_written} episodes in manifest)")
+    return 0
+
+
+def cmd_ope_report(args) -> int:
+    """Run the full estimator suite over an on-disk trace."""
+    import os
+
+    import repro
+    from repro.dbn import DBNTables
+    from repro.nn import load_state
+    from repro.rl import AttentionQNetwork
+    from repro.validation import StochasticQPolicy, TraceDataset, run_ope_suite
+
+    dataset = TraceDataset(args.trace)
+    meta = dataset.meta
+    if not meta.get("config"):
+        raise SystemExit(
+            f"trace {args.trace!r} carries no config in its manifest meta; "
+            "re-record it with `repro ope record`"
+        )
+    config = config_from_dict(meta["config"])
+    env = repro.make_env(config, seed=0)  # topology host for binding
+
+    dbn_path = args.dbn or os.path.join(args.trace, "dbn.npz")
+    if not os.path.exists(dbn_path):
+        raise SystemExit(f"no DBN tables at {dbn_path!r} (pass --dbn)")
+    tables = DBNTables.load(dbn_path)
+
+    qnet_config = _ope_qnet_config(args, meta)
+    qnet = AttentionQNetwork(qnet_config, seed=int(meta.get("qnet_seed", 0)))
+    qnet.bind_topology(env.topology)
+    qnet_path = args.qnet or os.path.join(args.trace, "qnet.npz")
+    if os.path.exists(qnet_path):
+        load_state(qnet, qnet_path)
+    target = StochasticQPolicy(qnet, tables,
+                               temperature=args.target_temperature,
+                               epsilon=args.target_epsilon,
+                               seed=args.seed)
+    eval_qnet = AttentionQNetwork(qnet_config, seed=args.fqe_seed)
+    eval_qnet.bind_topology(env.topology)
+
+    report = run_ope_suite(
+        dataset, target, eval_qnet, clip=args.clip, alpha=args.alpha,
+        n_boot=args.n_boot, bootstrap_seed=args.bootstrap_seed,
+        fqe_options={"iterations": args.fqe_iterations,
+                     "epochs_per_iteration": args.fqe_epochs,
+                     "chunk_episodes": args.fqe_chunk,
+                     "seed": args.fqe_seed},
+    )
+    print(f"{dataset.num_transitions} transitions / {len(dataset)} episodes "
+          f"from {args.trace} (clip={args.clip}, alpha={args.alpha})")
+    for estimate in report.estimates.values():
+        ess = "" if estimate.ess != estimate.ess \
+            else f"  ESS {estimate.ess:.1f}"
+        print(f"  {estimate.method:<4} {estimate.estimate:>12.3f}  "
+              f"[{estimate.lower:.3f}, {estimate.upper:.3f}]{ess}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"wrote report JSON to {args.json}")
+    if args.store:
+        from repro.serve.store import RunStore
+
+        with RunStore(args.store) as store:
+            run_id = store.create_run(
+                "ope-report", run_id=args.run_id,
+                scenario_id=meta.get("scenario"),
+                policy="stochastic-q", seed=args.seed,
+                episodes=report.episodes,
+                detail={"trace": str(args.trace), "clip": args.clip,
+                        "alpha": args.alpha,
+                        "target_temperature": args.target_temperature,
+                        "target_epsilon": args.target_epsilon},
+                status="queued",
+            )
+            store.mark_running(run_id)
+            store.finish_run(run_id, metrics=report.to_dict())
+        print(f"run_id={run_id}")
+    return 0
+
+
+def cmd_ope_promote(args) -> int:
+    """Judge a candidate ope-report run against a baseline. Exit 0 only
+    on a ``promote`` verdict, 1 on ``hold`` (the CI gate contract);
+    unusable inputs (unknown run, wrong run kind, missing estimate)
+    exit 2 so a gating job cannot mistake an operator error for a
+    hold."""
+    from repro.serve.promotion import PromotionError, promote_checkpoint
+
+    try:
+        baseline: str | float = float(args.baseline)
+    except ValueError:
+        baseline = args.baseline
+    args.db = args.store
+    with _open_store(args) as store:
+        try:
+            decision = promote_checkpoint(
+                store, args.run_id, baseline, estimator=args.estimator,
+                min_margin=args.min_margin,
+            )
+        except PromotionError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.json:
+        print(json.dumps(decision, indent=1, sort_keys=True))
+    else:
+        against = (decision["baseline_run_id"]
+                   or f"value {decision['baseline_lower']:.3f}")
+        print(f"{decision['verdict']}: candidate {args.run_id} "
+              f"{decision['estimator']} lower bound "
+              f"{decision['candidate_lower']:.3f} vs baseline {against} "
+              f"(margin {decision['min_margin']:.3f}) "
+              f"[{decision['promotion_id']}]")
+    return 0 if decision["verdict"] == "promote" else 1
+
+
 def cmd_check(args) -> int:
     """Static-analysis gates: AST enforcement of the determinism,
     transport-schema, and resource-lifecycle contracts (see README
@@ -878,6 +1060,73 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the rule catalog and exit")
     p.set_defaults(func=cmd_check)
 
+    p = sub.add_parser(
+        "ope", help="offline policy evaluation over recorded traces"
+    )
+    ope_sub = p.add_subparsers(dest="ope_command", required=True)
+
+    q = ope_sub.add_parser(
+        "record", help="record logged episodes into a columnar trace dir"
+    )
+    _add_common(q, episodes_default=4)
+    q.add_argument("--out", required=True,
+                   help="trace directory to create (must not exist)")
+    q.add_argument("--num-envs", type=int, default=4)
+    q.add_argument("--backend", default="sync",
+                   choices=("sync", "batched", "process", "shm", "auto"))
+    q.add_argument("--num-workers", type=int, default=None)
+    q.add_argument("--shard-rows", type=int, default=65536,
+                   help="rotate shards at this many records (default 65536)")
+    q.add_argument("--temperature", type=float, default=1.0,
+                   help="behaviour softmax temperature (default 1.0)")
+    q.add_argument("--epsilon", type=float, default=0.3,
+                   help="behaviour uniform-mixture weight (default 0.3)")
+    q.set_defaults(func=cmd_ope_record)
+
+    q = ope_sub.add_parser(
+        "report", help="run the DM/DR/IS/WIS/PDIS + FQE suite over a trace"
+    )
+    q.add_argument("trace", help="trace directory from `repro ope record`")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--dbn", default=None,
+                   help="DBN tables .npz (default: the trace's dbn.npz)")
+    q.add_argument("--qnet", default=None,
+                   help="target Q-network .npz (default: the trace's "
+                        "qnet.npz)")
+    q.add_argument("--target-temperature", type=float, default=0.25)
+    q.add_argument("--target-epsilon", type=float, default=0.05)
+    q.add_argument("--clip", type=float, default=None,
+                   help="importance-ratio clip (default: none)")
+    q.add_argument("--alpha", type=float, default=0.05)
+    q.add_argument("--n-boot", type=int, default=2000)
+    q.add_argument("--bootstrap-seed", type=int, default=0)
+    q.add_argument("--fqe-iterations", type=int, default=3)
+    q.add_argument("--fqe-epochs", type=int, default=1)
+    q.add_argument("--fqe-chunk", type=int, default=64)
+    q.add_argument("--fqe-seed", type=int, default=0)
+    q.add_argument("--json", default=None,
+                   help="write the report JSON to this file")
+    q.add_argument("--store", default=None,
+                   help="record an ope-report run in this run store")
+    q.add_argument("--run-id", default=None,
+                   help="run id for --store (default: random)")
+    q.set_defaults(func=cmd_ope_report)
+
+    q = ope_sub.add_parser(
+        "promote", help="compare CI lower bounds; exit 0 only on 'promote'"
+    )
+    q.add_argument("run_id", help="candidate ope-report run id")
+    q.add_argument("baseline",
+                   help="baseline ope-report run id, or a number (fixed "
+                        "value floor)")
+    q.add_argument("--store", default="repro_runs.sqlite")
+    q.add_argument("--estimator", default="DR",
+                   choices=("DM", "FQE", "DR", "OIS", "WIS", "PDIS"))
+    q.add_argument("--min-margin", type=float, default=0.0)
+    q.add_argument("--json", action="store_true",
+                   help="print the decision as JSON")
+    q.set_defaults(func=cmd_ope_promote)
+
     p = sub.add_parser("runs", help="query the run store")
     runs_sub = p.add_subparsers(dest="runs_command", required=True)
 
@@ -887,7 +1136,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--status", default=None,
                    choices=("queued", "running", "done", "error", "cancelled"))
     q.add_argument("--kind", default=None,
-                   choices=("evaluate", "simulate", "selfplay"))
+                   choices=("evaluate", "simulate", "selfplay", "ope-report"))
     q.add_argument("--tag", default=None)
     q.add_argument("--limit", type=int, default=50)
     q.set_defaults(func=cmd_runs_list)

@@ -25,6 +25,7 @@ __all__ = [
     "evaluate_policy",
     "evaluate_policy_vec",
     "evaluate_policy_per_lane",
+    "drive_vec_episodes",
 ]
 
 
@@ -203,6 +204,74 @@ def evaluate_policy_per_lane(venv, policy, episodes: int, seed: int = 0,
     return [(aggregate(row), row) for row in results]
 
 
+def drive_vec_episodes(venv, episodes: int, seed: int = 0, *,
+                       horizon: int,
+                       on_episode_start, act, on_step=None,
+                       on_episode_end) -> None:
+    """Lockstep episode scheduler shared by evaluation and trace recording.
+
+    Fans ``episodes`` seeded episodes over the lanes of ``venv``:
+    episode ``ep`` always runs with seed ``seed + ep``, lanes pick up
+    the next pending episode as they finish (so results are independent
+    of lane count for per-episode-deterministic agents), and auto-reset
+    is suspended because episode boundaries are scheduled here. The
+    agent side is supplied via callbacks:
+
+    * ``on_episode_start(slot, ep, obs)`` — fired after
+      ``reset_env(slot, seed + ep)``; bind/reset per-episode agent
+      state here (``venv.policy_env(slot)`` gives the lane view);
+    * ``act(slot, ep, obs) -> action`` — one action for ``venv.step``;
+    * ``on_step(slot, ep, obs, reward, done, info)`` — every
+      transition, with the post-step observation (optional);
+    * ``on_episode_end(slot, ep, obs)`` — when the lane reports done
+      or ``info["t"]`` reaches ``horizon``; ``obs`` is the final
+      observation of the episode.
+    """
+    n = venv.num_envs
+    current: list[int | None] = [None] * n
+    latest_obs: list = [None] * n
+    next_ep = 0
+
+    def start(slot: int) -> None:
+        nonlocal next_ep
+        if next_ep >= episodes:
+            current[slot] = None
+            return
+        ep = next_ep
+        next_ep += 1
+        obs = venv.reset_env(slot, seed=seed + ep)
+        current[slot] = ep
+        latest_obs[slot] = obs
+        on_episode_start(slot, ep, obs)
+
+    was_auto_reset = venv.auto_reset
+    venv.auto_reset = False  # episode boundaries are scheduled here
+    try:
+        for slot in range(n):
+            start(slot)
+        while any(ep is not None for ep in current):
+            active = [ep is not None for ep in current]
+            actions = [
+                act(i, ep, latest_obs[i]) if (ep := current[i]) is not None
+                else None
+                for i in range(n)
+            ]
+            step = venv.step(actions, mask=active)
+            for i, ep in enumerate(current):
+                if ep is None:
+                    continue
+                latest_obs[i] = step.observations[i]
+                info = step.infos[i]
+                if on_step is not None:
+                    on_step(i, ep, step.observations[i], step.rewards[i],
+                            step.dones[i], info)
+                if step.dones[i] or info["t"] >= horizon:
+                    on_episode_end(i, ep, latest_obs[i])
+                    start(i)
+    finally:
+        venv.auto_reset = was_auto_reset
+
+
 def evaluate_policy_vec(venv, policy, episodes: int, seed: int = 0,
                         max_steps: int | None = None, on_episode=None):
     """Batched :func:`evaluate_policy`: fan episodes over a VectorEnv.
@@ -211,9 +280,9 @@ def evaluate_policy_vec(venv, policy, episodes: int, seed: int = 0,
     ``policy`` (or a fresh instance, when ``policy`` is a zero-argument
     factory), so for deterministic policies the (aggregate, per-episode)
     result matches the single-env path exactly. Lanes are stepped in
-    lockstep; each picks up the next pending episode as it finishes.
-    ``on_episode(index, metrics)`` fires as episodes complete (in
-    completion order, not index order).
+    lockstep via :func:`drive_vec_episodes`; each picks up the next
+    pending episode as it finishes. ``on_episode(index, metrics)``
+    fires as episodes complete (in completion order, not index order).
     """
     make_policy = _policy_factory(policy)
     n = venv.num_envs
@@ -224,49 +293,32 @@ def evaluate_policy_vec(venv, policy, episodes: int, seed: int = 0,
     results: list[EpisodeMetrics | None] = [None] * episodes
     policies = [make_policy() for _ in range(n)]
     lanes: list[_Lane | None] = [None] * n
-    next_ep = 0
 
-    def start(slot: int) -> None:
-        nonlocal next_ep
-        if next_ep >= episodes:
-            lanes[slot] = None
-            return
-        ep = next_ep
-        next_ep += 1
-        obs = venv.reset_env(slot, seed=seed + ep)
+    def on_episode_start(slot: int, ep: int, obs) -> None:
         policies[slot].reset(venv.policy_env(slot))
         lanes[slot] = _Lane(ep, obs)
 
-    was_auto_reset = venv.auto_reset
-    venv.auto_reset = False  # episode boundaries are scheduled here
-    try:
-        for slot in range(n):
-            start(slot)
-        while any(lane is not None for lane in lanes):
-            active = [lane is not None for lane in lanes]
-            actions = [
-                policies[i].act(lane.obs) if (lane := lanes[i]) else None
-                for i in range(n)
-            ]
-            step = venv.step(actions, mask=active)
-            for i, lane in enumerate(lanes):
-                if lane is None:
-                    continue
-                lane.obs = step.observations[i]
-                info = step.infos[i]
-                lane.t = info["t"]
-                lane.discounted += lane.discount * step.rewards[i]
-                lane.discount *= gamma
-                lane.cost += info["it_cost"]
-                lane.compromised += info["n_compromised"]
-                lane.info = info
-                if step.dones[i] or lane.t >= horizon:
-                    results[lane.ep] = lane.metrics(seed + lane.ep)
-                    if on_episode is not None:
-                        on_episode(lane.ep, results[lane.ep])
-                    start(i)
-    finally:
-        venv.auto_reset = was_auto_reset
+    def act(slot: int, ep: int, obs):
+        return policies[slot].act(obs)
+
+    def on_step(slot: int, ep: int, obs, reward, done, info) -> None:
+        lane = lanes[slot]
+        lane.obs = obs
+        lane.t = info["t"]
+        lane.discounted += lane.discount * reward
+        lane.discount *= gamma
+        lane.cost += info["it_cost"]
+        lane.compromised += info["n_compromised"]
+        lane.info = info
+
+    def on_episode_end(slot: int, ep: int, obs) -> None:
+        results[ep] = lanes[slot].metrics(seed + ep)
+        if on_episode is not None:
+            on_episode(ep, results[ep])
+
+    drive_vec_episodes(venv, episodes, seed=seed, horizon=horizon,
+                       on_episode_start=on_episode_start, act=act,
+                       on_step=on_step, on_episode_end=on_episode_end)
 
     assert all(r is not None for r in results)
     return aggregate(results), results

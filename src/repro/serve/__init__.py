@@ -33,11 +33,19 @@ from repro.serve.client import (
 )
 from repro.serve.http import ServeServer
 from repro.serve.jobs import JobCancelled, JobError, JobRequest, parse_job
+from repro.serve.promotion import (
+    PROMOTION_VERDICTS,
+    PromotionError,
+    promote_checkpoint,
+)
 from repro.serve.service import EvalService, Job, QueueFullError, ServiceClosedError
 from repro.serve.store import RunStore, SCHEMA_VERSION, new_run_id
 
 __all__ = [
     "EvalService",
+    "PROMOTION_VERDICTS",
+    "PromotionError",
+    "promote_checkpoint",
     "Job",
     "JobCancelled",
     "JobError",

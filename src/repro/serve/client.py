@@ -168,6 +168,23 @@ class ServeClient:
         """One run row, with its episode records attached."""
         return self._request("GET", f"/runs/{run_id}")
 
+    def promote(self, run_id: str, baseline, *, estimator: str = "DR",
+                min_margin: float = 0.0) -> dict:
+        """Judge a checkpoint promotion; returns the verdict record."""
+        return self._request("POST", "/promote", {
+            "run_id": run_id, "baseline": baseline,
+            "estimator": estimator, "min_margin": min_margin,
+        })
+
+    def promotions(self, *, candidate: str | None = None,
+                   limit: int = 50) -> list[dict]:
+        query = "&".join(
+            f"{key}={value}"
+            for key, value in (("candidate", candidate), ("limit", limit))
+            if value is not None
+        )
+        return self._request("GET", f"/promotions?{query}")["promotions"]
+
     def shutdown(self) -> dict:
         return self._request("POST", "/shutdown")
 

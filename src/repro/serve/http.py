@@ -15,6 +15,8 @@ GET    /jobs/<id>                 one job's status + progress
 POST   /jobs/<id>/cancel          request cancellation
 GET    /runs                      run store query (scenario/status/kind/tag)
 GET    /runs/<id>                 one run row + its episode records
+POST   /promote                   judge a checkpoint promotion (OPE gate)
+GET    /promotions                promotion verdict history
 POST   /shutdown                  graceful shutdown (drain, then exit)
 ====== ========================== ===========================================
 
@@ -193,11 +195,18 @@ class ServeServer:
                 return 404, {"error": f"unknown run {parts[1]!r}"}
             run["episode_records"] = service.store.episodes_of(parts[1])
             return 200, run
+        if parts == ["promote"] and method == "POST":
+            return 200, service.promote(self._json_body(body))
+        if parts == ["promotions"] and method == "GET":
+            limit = int(query.get("limit", 50))
+            return 200, {"promotions": service.store.promotions(
+                candidate_run_id=query.get("candidate"), limit=limit,
+            )}
         if parts == ["shutdown"] and method == "POST":
             self.request_shutdown()
             return 202, {"status": "shutting down"}
         if parts and parts[0] in ("health", "healthz", "jobs", "runs",
-                                  "shutdown"):
+                                  "shutdown", "promote", "promotions"):
             return 405, {"error": f"{method} not allowed on /{'/'.join(parts)}"}
         return 404, {"error": f"no such endpoint: /{'/'.join(parts)}"}
 

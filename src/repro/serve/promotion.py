@@ -1,0 +1,89 @@
+"""CI-enforceable checkpoint promotion from offline OPE reports.
+
+A candidate defender checkpoint is promoted only when the *lower*
+bootstrap confidence bound of its off-policy value estimate clears the
+baseline's lower bound by ``min_margin`` — comparing pessimistic
+bounds, not point estimates, so a high-variance log cannot promote on
+noise. The inputs are ``ope-report`` runs in the
+:class:`~repro.serve.store.RunStore` (their ``metrics`` column holds a
+:class:`~repro.validation.suite.OPESuiteReport` dict, written by
+``repro ope report``), and every decision is appended to the store's
+``promotions`` table so the gate's history is queryable alongside the
+runs it judged.
+"""
+
+from __future__ import annotations
+
+from repro.serve.store import RunStore
+
+__all__ = ["PROMOTION_VERDICTS", "PromotionError", "promote_checkpoint",
+           "report_lower_bound"]
+
+PROMOTION_VERDICTS = ("promote", "hold")
+
+
+class PromotionError(ValueError):
+    """A promotion request that cannot be judged (not a vague 'hold')."""
+
+
+def report_lower_bound(store: RunStore, run_id: str, estimator: str) -> float:
+    """The CI lower bound one ``ope-report`` run assigns ``estimator``."""
+    run = store.get_run(run_id)
+    if run is None:
+        raise PromotionError(f"unknown run {run_id!r}")
+    if run["kind"] != "ope-report":
+        raise PromotionError(
+            f"run {run_id!r} is a {run['kind']!r} run, not an ope-report"
+        )
+    if run["status"] != "done" or not run.get("metrics"):
+        raise PromotionError(
+            f"run {run_id!r} has status {run['status']!r} and no usable "
+            "report; only completed ope-report runs can be judged"
+        )
+    estimates = run["metrics"].get("estimates", {})
+    if estimator not in estimates:
+        known = ", ".join(sorted(estimates)) or "none"
+        raise PromotionError(
+            f"run {run_id!r} has no {estimator!r} estimate (has: {known})"
+        )
+    return float(estimates[estimator]["lower"])
+
+
+def promote_checkpoint(store: RunStore, run_id: str,
+                       baseline: str | float, *, estimator: str = "DR",
+                       min_margin: float = 0.0) -> dict:
+    """Judge candidate run ``run_id`` against ``baseline``; record it.
+
+    ``baseline`` is either another ``ope-report`` run id (its lower
+    bound is looked up with the same ``estimator``) or a number — a
+    fixed value floor, which is how CI pins an absolute bar without a
+    baseline run in the store. Returns the decision as a dict:
+    verdict (``promote``/``hold``), both lower bounds, the margin, and
+    the stored ``promotion_id``.
+    """
+    candidate_lower = report_lower_bound(store, run_id, estimator)
+    if isinstance(baseline, str):
+        baseline_run_id = baseline
+        baseline_lower = report_lower_bound(store, baseline, estimator)
+    else:
+        baseline_run_id = None
+        baseline_lower = float(baseline)
+    verdict = ("promote" if candidate_lower >= baseline_lower + min_margin
+               else "hold")
+    decision = {
+        "candidate_run_id": run_id,
+        "baseline_run_id": baseline_run_id,
+        "estimator": estimator,
+        "candidate_lower": candidate_lower,
+        "baseline_lower": baseline_lower,
+        "min_margin": float(min_margin),
+        "verdict": verdict,
+    }
+    decision["promotion_id"] = store.record_promotion(
+        candidate_run_id=run_id, baseline_run_id=baseline_run_id,
+        estimator=estimator, candidate_lower=candidate_lower,
+        baseline_lower=baseline_lower, min_margin=min_margin,
+        verdict=verdict,
+        detail={"baseline_kind": "run" if baseline_run_id else "value"},
+    )
+    return decision

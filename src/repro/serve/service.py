@@ -48,7 +48,13 @@ import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.serve.jobs import JobCancelled, JobRequest, build_policy, parse_job
+from repro.serve.jobs import (
+    JobCancelled,
+    JobError,
+    JobRequest,
+    build_policy,
+    parse_job,
+)
 from repro.serve.store import RunStore, new_run_id
 
 __all__ = ["EvalService", "Job", "QueueFullError", "ServiceClosedError"]
@@ -306,6 +312,41 @@ class EvalService:
         if job is not None and job.status in ("queued", "running"):
             job.cancel_event.set()
         return job
+
+    def promote(self, payload: dict) -> dict:
+        """Judge a checkpoint promotion and append the verdict row.
+
+        Synchronous — two store reads and one insert, no rollouts — so
+        it bypasses the job queue. The payload mirrors
+        :func:`~repro.serve.promotion.promote_checkpoint`: ``run_id``,
+        ``baseline`` (an ope-report run id or a number), optional
+        ``estimator`` and ``min_margin``.
+        """
+        from repro.serve.promotion import PromotionError, promote_checkpoint
+
+        try:
+            run_id = payload["run_id"]
+            baseline = payload["baseline"]
+        except (KeyError, TypeError):
+            raise JobError(
+                "promotion payload needs 'run_id' and 'baseline'"
+            ) from None
+        if not isinstance(baseline, (str, int, float)) \
+                or isinstance(baseline, bool):
+            raise JobError("'baseline' must be a run id or a number")
+        estimator = payload.get("estimator", "DR")
+        min_margin = payload.get("min_margin", 0.0)
+        if not isinstance(min_margin, (int, float)) \
+                or isinstance(min_margin, bool):
+            raise JobError("'min_margin' must be a number")
+        try:
+            return promote_checkpoint(
+                self.store, run_id,
+                baseline if isinstance(baseline, str) else float(baseline),
+                estimator=str(estimator), min_margin=float(min_margin),
+            )
+        except PromotionError as exc:
+            raise JobError(str(exc)) from None
 
     # -- worker loop ---------------------------------------------------
     async def _worker(self) -> None:

@@ -42,7 +42,7 @@ import uuid
 
 __all__ = ["RunStore", "SCHEMA_VERSION", "RUN_STATUSES", "new_run_id"]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: the run status lifecycle; terminal states are never left
 #: (``interrupted`` marks runs stranded ``running`` by a server crash)
@@ -89,6 +89,23 @@ _MIGRATIONS = [
     # 1 -> 2: per-run worker-fault count (fault-tolerant execution)
     """
     ALTER TABLE runs ADD COLUMN faults INTEGER NOT NULL DEFAULT 0;
+    """,
+    # 2 -> 3: checkpoint-promotion verdicts (offline OPE gate)
+    """
+    CREATE TABLE promotions (
+        promotion_id     TEXT PRIMARY KEY,
+        candidate_run_id TEXT NOT NULL,
+        baseline_run_id  TEXT,          -- NULL for fixed-value baselines
+        estimator        TEXT NOT NULL,
+        candidate_lower  REAL NOT NULL,
+        baseline_lower   REAL NOT NULL,
+        min_margin       REAL NOT NULL,
+        verdict          TEXT NOT NULL,
+        created_at       REAL NOT NULL,
+        detail           TEXT NOT NULL DEFAULT '{}'  -- JSON context
+    );
+    CREATE INDEX idx_promotions_candidate ON promotions (candidate_run_id);
+    CREATE INDEX idx_promotions_created ON promotions (created_at);
     """,
 ]
 
@@ -239,6 +256,48 @@ class RunStore:
         for run in stranded:
             run["status"] = "interrupted"
         return stranded
+
+    def record_promotion(self, *, candidate_run_id: str,
+                         baseline_run_id: str | None, estimator: str,
+                         candidate_lower: float, baseline_lower: float,
+                         min_margin: float, verdict: str,
+                         detail: dict | None = None) -> str:
+        """Append one checkpoint-promotion verdict; returns its id.
+
+        Promotion rows are append-only history, like runs: re-judging
+        the same candidate writes a new row rather than mutating the
+        old verdict."""
+        promotion_id = new_run_id()
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO promotions (promotion_id, candidate_run_id,"
+                " baseline_run_id, estimator, candidate_lower,"
+                " baseline_lower, min_margin, verdict, created_at, detail)"
+                " VALUES (?,?,?,?,?,?,?,?,?,?)",
+                (promotion_id, candidate_run_id, baseline_run_id, estimator,
+                 float(candidate_lower), float(baseline_lower),
+                 float(min_margin), verdict, time.time(),
+                 json.dumps(detail or {}, sort_keys=True)),
+            )
+        return promotion_id
+
+    def promotions(self, *, candidate_run_id: str | None = None,
+                   limit: int = 50) -> list[dict]:
+        """Newest-first promotion verdicts, optionally per candidate."""
+        query = "SELECT * FROM promotions"
+        params: list = []
+        if candidate_run_id is not None:
+            query += " WHERE candidate_run_id=?"
+            params.append(candidate_run_id)
+        query += " ORDER BY created_at DESC, promotion_id DESC"
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        decoded = []
+        for row in rows:
+            promotion = dict(row)
+            promotion["detail"] = json.loads(promotion["detail"])
+            decoded.append(promotion)
+        return decoded[: max(0, limit)] if limit is not None else decoded
 
     # -- reads ---------------------------------------------------------
     @staticmethod

@@ -64,6 +64,8 @@ __all__ = [
     "RESTORE_VIRGIN",
     "RESTORE_RESET",
     "RESTORE_REBUILT",
+    "INFO_SCALAR_FIELDS",
+    "BREAKDOWN_FIELDS",
     "dims_of",
     "seal_frame",
     "open_frame",
@@ -121,6 +123,26 @@ _ALERT = struct.Struct("<qqqBB")  # t, node_id, device_id, severity, source
 _SCAN = struct.Struct("<qqBb")  # t, node_id, detected, action_type
 _ACTION = struct.Struct("<bq")  # atype index, target (-1 = None)
 _INFO_FIXED = struct.Struct("<qd6q5d")  # t, it_cost, tallies, breakdown
+
+#: the scalar step-info fields of ``_INFO_FIXED``, in pack order
+#: (``t`` is ``<q``, ``it_cost`` ``<d``, the six tallies ``<q``). The
+#: trace store (:mod:`repro.validation.tracestore`) builds its columnar
+#: record schema from these names, so the wire format and the on-disk
+#: log cannot drift apart independently of this module.
+INFO_SCALAR_FIELDS = (
+    "t",
+    "it_cost",
+    "n_compromised",
+    "n_ws_compromised",
+    "n_srv_compromised",
+    "n_plcs_offline",
+    "n_plcs_disrupted",
+    "n_plcs_destroyed",
+)
+
+#: :class:`~repro.sim.reward.RewardBreakdown` fields in ``_INFO_FIXED``
+#: pack order (five ``<d`` doubles); same dual use as above
+BREAKDOWN_FIELDS = ("r_plc", "r_it", "r_term", "total", "it_cost")
 _RESET_INFO = struct.Struct("<4q")  # t, n_compromised, n_ws, n_srv
 _DIMS = struct.Struct("<4I")
 

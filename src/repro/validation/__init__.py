@@ -15,7 +15,14 @@ INASIM episodes:
   value regression) and the doubly-robust combination;
 * :mod:`repro.validation.confidence` -- bootstrap confidence intervals
   and an empirical-Bernstein high-confidence lower bound (the
-  "certify before deployment" number).
+  "certify before deployment" number);
+* :mod:`repro.validation.tracestore` /
+  :mod:`repro.validation.datasets` -- the columnar on-disk episode
+  log: streaming recorder over vectorized rollouts, chunked reader,
+  crash-tolerant manifest;
+* :mod:`repro.validation.suite` -- :func:`run_ope_suite`, every
+  estimator with bootstrap CIs in one report (the promotion gate's
+  input).
 """
 
 from repro.validation.logging import (
@@ -26,8 +33,11 @@ from repro.validation.logging import (
     collect_logged_episodes,
 )
 from repro.validation.ope import (
+    BehaviorSupportError,
+    EpisodeOPEStats,
     OPEResult,
     effective_sample_size,
+    episode_ope_stats,
     ordinary_importance_sampling,
     per_decision_importance_sampling,
     weighted_importance_sampling,
@@ -35,8 +45,21 @@ from repro.validation.ope import (
 from repro.validation.fqe import FQEResult, doubly_robust, fitted_q_evaluation
 from repro.validation.confidence import (
     bootstrap_ci,
+    bootstrap_ratio_ci,
     empirical_bernstein_lower_bound,
 )
+from repro.validation.tracestore import (
+    TraceDims,
+    TraceError,
+    TraceIntegrityError,
+    TraceSchemaError,
+    TraceWriter,
+    record_episodes_vec,
+    trace_record_dtype,
+    write_episodes,
+)
+from repro.validation.datasets import TraceDataset, iter_episode_chunks
+from repro.validation.suite import OPESuiteReport, SuiteEstimate, run_ope_suite
 
 __all__ = [
     "LoggedEpisode",
@@ -44,8 +67,11 @@ __all__ = [
     "StochasticQPolicy",
     "UniformRandomPolicy",
     "collect_logged_episodes",
+    "BehaviorSupportError",
+    "EpisodeOPEStats",
     "OPEResult",
     "effective_sample_size",
+    "episode_ope_stats",
     "ordinary_importance_sampling",
     "weighted_importance_sampling",
     "per_decision_importance_sampling",
@@ -53,5 +79,19 @@ __all__ = [
     "fitted_q_evaluation",
     "doubly_robust",
     "bootstrap_ci",
+    "bootstrap_ratio_ci",
     "empirical_bernstein_lower_bound",
+    "TraceDims",
+    "TraceError",
+    "TraceIntegrityError",
+    "TraceSchemaError",
+    "TraceWriter",
+    "trace_record_dtype",
+    "write_episodes",
+    "record_episodes_vec",
+    "TraceDataset",
+    "iter_episode_chunks",
+    "OPESuiteReport",
+    "SuiteEstimate",
+    "run_ope_suite",
 ]

@@ -19,7 +19,11 @@ import math
 
 import numpy as np
 
-__all__ = ["bootstrap_ci", "empirical_bernstein_lower_bound"]
+__all__ = [
+    "bootstrap_ci",
+    "bootstrap_ratio_ci",
+    "empirical_bernstein_lower_bound",
+]
 
 
 def bootstrap_ci(
@@ -40,6 +44,42 @@ def bootstrap_ci(
     lower = float(np.quantile(means, alpha / 2))
     upper = float(np.quantile(means, 1 - alpha / 2))
     return float(values.mean()), lower, upper
+
+
+def bootstrap_ratio_ci(
+    weights,
+    values,
+    alpha: float = 0.05,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float, float]:
+    """Percentile bootstrap of a self-normalized (ratio) estimator.
+
+    The WIS estimate sum_i (w_i / sum w) v_i is not a mean of
+    per-episode values, so :func:`bootstrap_ci` does not apply;
+    here each replicate resamples (weight, value) *pairs* and
+    recomputes the normalized estimate (replicates whose weights all
+    vanish contribute 0, matching the estimator's own degenerate-log
+    convention). Returns (estimate, lower, upper).
+    """
+    weights = np.asarray(list(weights), dtype=float)
+    values = np.asarray(list(values), dtype=float)
+    if weights.size == 0 or weights.shape != values.shape:
+        raise ValueError("need matching, non-empty weights and values")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    total = weights.sum()
+    estimate = 0.0 if total == 0.0 else float((weights / total) @ values)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(weights.size, size=(n_boot, weights.size))
+    w = weights[indices]
+    totals = w.sum(axis=1)
+    sums = (w * values[indices]).sum(axis=1)
+    replicates = np.where(totals == 0.0, 0.0,
+                          sums / np.where(totals == 0.0, 1.0, totals))
+    lower = float(np.quantile(replicates, alpha / 2))
+    upper = float(np.quantile(replicates, 1 - alpha / 2))
+    return estimate, lower, upper
 
 
 def empirical_bernstein_lower_bound(

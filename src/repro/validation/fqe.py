@@ -20,20 +20,37 @@ low variance with per-decision IS's unbiasedness:
 where w_t is the cumulative ratio product. With a perfect Q model the
 correction terms vanish; with broken importance weights the Q model
 anchors the estimate.
+
+Both estimators stream their episode source in fixed-size **episode
+chunks** (:func:`~repro.validation.datasets.iter_episode_chunks`):
+features for one chunk are materialized, regressed or scored, and
+dropped before the next chunk loads, so a million-transition
+:class:`~repro.validation.datasets.TraceDataset` trains in bounded
+memory. Chunk boundaries depend only on episode count — never on shard
+layout — which makes the on-disk and in-memory paths numerically
+identical on the same episodes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
 from repro.nn import Adam, huber_loss, no_grad
 from repro.rl.features import stack_features
+from repro.validation.datasets import iter_episode_chunks
 from repro.validation.logging import LoggedEpisode
-from repro.validation.ope import OPEResult, effective_sample_size, step_ratios
+from repro.validation.ope import (
+    OPEResult,
+    effective_sample_size,
+    step_ratios,
+    target_action_probs,
+)
 
-__all__ = ["FQEResult", "fitted_q_evaluation", "doubly_robust"]
+__all__ = ["FQEResult", "fitted_q_evaluation", "doubly_robust",
+           "episode_dr_value"]
 
 
 @dataclass
@@ -51,6 +68,11 @@ class FQEResult:
     qnet: object = field(default=None, repr=False)
     #: the reward multiplier used during fitting
     reward_scale: float = 1.0
+    #: per-episode start-state values on the return scale — the direct
+    #: method's bootstrap population (``value`` is their mean computed
+    #: before the per-element rescale, so use ``value`` as the point
+    #: estimate)
+    start_values: np.ndarray = field(default=None, repr=False)
 
 
 def _transitions(episodes: list[LoggedEpisode]):
@@ -95,15 +117,21 @@ def _policy_values(qnet, target_policy, features_list, masks) -> np.ndarray:
     """V(s) = sum_a pi(a|s) Q(s, a) for a batch of states."""
     with no_grad():
         q = qnet.forward(*stack_features(features_list)).data
+    probs_list = target_action_probs(target_policy, features_list, masks)
     values = np.empty(len(features_list))
-    for i, (features, mask) in enumerate(zip(features_list, masks)):
-        probs = target_policy.action_probs(features, mask)
+    for i, probs in enumerate(probs_list):
         values[i] = float(probs @ q[i])
     return values
 
 
+def _first_gamma(episodes) -> float:
+    for episode in episodes:
+        return episode.gamma
+    raise ValueError("need at least one logged episode")
+
+
 def fitted_q_evaluation(
-    episodes: list[LoggedEpisode],
+    episodes: Iterable[LoggedEpisode],
     target_policy,
     qnet,
     iterations: int = 5,
@@ -113,12 +141,19 @@ def fitted_q_evaluation(
     seed: int = 0,
     reward_scale: float | None = None,
     mc_epochs: int = 2,
+    chunk_episodes: int = 64,
 ) -> FQEResult:
     """Fit Q^pi on logged transitions; returns the start-state value.
 
     ``qnet`` must already be bound to the logging topology; it is
     trained in place (pass a fresh network to keep the control policy
     untouched). ``target_policy.action_probs`` supplies pi(a|s).
+
+    ``episodes`` is any re-iterable episode source — a list or a
+    :class:`~repro.validation.datasets.TraceDataset`. Each pass
+    (warm-start, every Bellman iteration, the final start-state
+    scoring) re-streams the source ``chunk_episodes`` episodes at a
+    time; peak memory is one chunk's transitions, never the log's.
 
     ``reward_scale`` multiplies rewards during the regression and the
     returned value is divided back. The default (1 - gamma) keeps the
@@ -133,23 +168,20 @@ def fitted_q_evaluation(
     Monte-Carlo anchor fixes the value scale immediately and the
     Bellman iterations then bend the estimate toward the target policy.
     """
-    if not episodes:
+    if len(episodes) == 0:
         raise ValueError("need at least one logged episode")
-    gamma = episodes[0].gamma
+    gamma = _first_gamma(episodes)
     if reward_scale is None:
         reward_scale = 1.0 - gamma
     if reward_scale <= 0:
         raise ValueError("reward_scale must be positive")
-    (feats, masks, actions, rewards, next_feats, next_masks, dones,
-     returns_to_go) = _transitions(episodes)
-    rewards = rewards * reward_scale
-    returns_to_go = returns_to_go * reward_scale
-    n = len(actions)
     optimizer = Adam(qnet.parameters(), lr=lr)
     rng = np.random.default_rng(seed)
     losses: list[float] = []
 
-    def _regress(targets_all: np.ndarray, epochs: int) -> list[float]:
+    def _regress(feats, actions, targets_all: np.ndarray,
+                 epochs: int) -> list[float]:
+        n = len(actions)
         epoch_losses = []
         for _ in range(epochs):
             order = rng.permutation(n)
@@ -166,24 +198,74 @@ def fitted_q_evaluation(
         return epoch_losses
 
     if mc_epochs > 0:
-        losses.append(float(np.mean(_regress(returns_to_go, mc_epochs))))
+        pass_losses: list[float] = []
+        for chunk in iter_episode_chunks(episodes, chunk_episodes):
+            feats, _, actions, _, _, _, _, returns_to_go = _transitions(chunk)
+            pass_losses += _regress(feats, actions,
+                                    returns_to_go * reward_scale, mc_epochs)
+        losses.append(float(np.mean(pass_losses)))
 
     for _ in range(iterations):
-        # freeze the bootstrap values for this iteration
-        next_values = _policy_values(qnet, target_policy, next_feats, next_masks)
-        targets_all = rewards + gamma * (1.0 - dones) * next_values
-        losses.append(float(np.mean(_regress(targets_all,
-                                             epochs_per_iteration))))
+        pass_losses = []
+        for chunk in iter_episode_chunks(episodes, chunk_episodes):
+            (feats, _, actions, rewards, next_feats, next_masks, dones,
+             _) = _transitions(chunk)
+            # freeze the bootstrap values for this chunk
+            next_values = _policy_values(qnet, target_policy, next_feats,
+                                         next_masks)
+            targets_all = (rewards * reward_scale
+                           + gamma * (1.0 - dones) * next_values)
+            pass_losses += _regress(feats, actions, targets_all,
+                                    epochs_per_iteration)
+        losses.append(float(np.mean(pass_losses)))
 
-    start_feats = [ep.steps[0].features for ep in episodes]
-    start_masks = [ep.steps[0].mask for ep in episodes]
-    start_values = _policy_values(qnet, target_policy, start_feats, start_masks)
+    start_chunks: list[np.ndarray] = []
+    for chunk in iter_episode_chunks(episodes, chunk_episodes):
+        start_feats = [ep.steps[0].features for ep in chunk]
+        start_masks = [ep.steps[0].mask for ep in chunk]
+        start_chunks.append(
+            _policy_values(qnet, target_policy, start_feats, start_masks)
+        )
+    start_values = np.concatenate(start_chunks)
     return FQEResult(value=float(start_values.mean()) / reward_scale,
-                     losses=losses, qnet=qnet, reward_scale=reward_scale)
+                     losses=losses, qnet=qnet, reward_scale=reward_scale,
+                     start_values=start_values / reward_scale)
+
+
+def episode_dr_value(
+    episode: LoggedEpisode,
+    target_policy,
+    qnet,
+    clip: float | None = None,
+    reward_scale: float = 1.0,
+    label: int | str | None = None,
+) -> tuple[float, float]:
+    """One episode's doubly-robust value and its trajectory weight."""
+    steps = episode.steps
+    feats = [s.features for s in steps]
+    masks = [s.mask for s in steps]
+    with no_grad():
+        q_all = qnet.forward(*stack_features(feats)).data / reward_scale
+    q_taken = q_all[np.arange(len(steps)), episode.actions]
+    probs_list = target_action_probs(target_policy, feats, masks)
+    state_values = np.empty(len(steps))
+    for t, probs in enumerate(probs_list):
+        state_values[t] = float(probs @ q_all[t])
+    next_values = np.append(state_values[1:], 0.0)  # terminal V = 0
+
+    ratios = step_ratios(episode, target_policy, clip, label=label)
+    cumulative = np.cumprod(ratios)
+    discounts = episode.gamma ** np.arange(len(steps))
+    corrections = cumulative * (
+        episode.rewards + episode.gamma * next_values - q_taken
+    )
+    value = state_values[0] + float(np.sum(discounts * corrections))
+    weight = float(cumulative[-1]) if len(cumulative) else 1.0
+    return value, weight
 
 
 def doubly_robust(
-    episodes: list[LoggedEpisode],
+    episodes: Iterable[LoggedEpisode],
     target_policy,
     qnet,
     clip: float | None = None,
@@ -194,40 +276,27 @@ def doubly_robust(
     ``qnet`` is the (already fitted) evaluation network, e.g. the
     output of :func:`fitted_q_evaluation`; pass that fit's
     ``reward_scale`` so the model's normalized values are compared with
-    raw rewards on a single scale.
+    raw rewards on a single scale. Streams the episode source one
+    episode at a time.
     """
-    if not episodes:
-        raise ValueError("need at least one logged episode")
     if reward_scale <= 0:
         raise ValueError("reward_scale must be positive")
-    values = np.empty(len(episodes))
-    final_weights = np.empty(len(episodes))
-    for i, episode in enumerate(episodes):
-        steps = episode.steps
-        feats = [s.features for s in steps]
-        masks = [s.mask for s in steps]
-        with no_grad():
-            q_all = qnet.forward(*stack_features(feats)).data / reward_scale
-        q_taken = q_all[np.arange(len(steps)), episode.actions]
-        state_values = np.empty(len(steps))
-        for t, (features, mask) in enumerate(zip(feats, masks)):
-            probs = target_policy.action_probs(features, mask)
-            state_values[t] = float(probs @ q_all[t])
-        next_values = np.append(state_values[1:], 0.0)  # terminal V = 0
-
-        ratios = step_ratios(episode, target_policy, clip)
-        cumulative = np.cumprod(ratios)
-        discounts = episode.gamma ** np.arange(len(steps))
-        corrections = cumulative * (
-            episode.rewards + episode.gamma * next_values - q_taken
-        )
-        values[i] = state_values[0] + float(np.sum(discounts * corrections))
-        final_weights[i] = cumulative[-1] if len(cumulative) else 1.0
+    values_list: list[float] = []
+    weights_list: list[float] = []
+    for index, episode in enumerate(episodes):
+        value, weight = episode_dr_value(episode, target_policy, qnet,
+                                         clip, reward_scale, label=index)
+        values_list.append(value)
+        weights_list.append(weight)
+    if not values_list:
+        raise ValueError("need at least one logged episode")
+    values = np.array(values_list)
+    final_weights = np.array(weights_list)
 
     if values.size > 1:
         stderr = float(values.std(ddof=1) / np.sqrt(values.size))
     else:
         stderr = 0.0
     return OPEResult(float(values.mean()), stderr,
-                     effective_sample_size(final_weights), len(episodes),
+                     effective_sample_size(final_weights), len(values),
                      "DR")

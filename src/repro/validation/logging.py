@@ -18,8 +18,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dbn.filter import DBNTables
+from repro.nn import no_grad
 from repro.rl.dqn import valid_action_mask
-from repro.rl.features import ACSOFeaturizer, FeatureSet
+from repro.rl.features import ACSOFeaturizer, FeatureSet, stack_features
 from repro.utils.stats import discounted_return
 
 __all__ = [
@@ -113,6 +114,21 @@ class StochasticQPolicy:
         q = self.qnet.q_values(features)
         return self._probs_from_q(q, mask)
 
+    def action_probs_batch(self, features_list, masks) -> list[np.ndarray]:
+        """Distributions for many logged states in one network forward.
+
+        The estimators' fast path (see
+        :func:`repro.validation.ope.target_action_probs`): one stacked
+        forward replaces a forward per step.
+        """
+        features_list = list(features_list)
+        if not features_list:
+            return []
+        with no_grad():
+            q = self.qnet.forward(*stack_features(features_list)).data
+        return [self._probs_from_q(q[i], mask)
+                for i, mask in enumerate(masks)]
+
     def _probs_from_q(self, q: np.ndarray, mask: np.ndarray) -> np.ndarray:
         valid = np.asarray(mask, dtype=bool)
         probs = np.zeros(len(q))
@@ -154,6 +170,9 @@ class UniformRandomPolicy:
     def action_probs(self, features: FeatureSet, mask: np.ndarray) -> np.ndarray:
         valid = np.asarray(mask, dtype=bool)
         return valid / valid.sum()
+
+    def action_probs_batch(self, features_list, masks) -> list[np.ndarray]:
+        return [self.action_probs(None, mask) for mask in masks]
 
     def decide(self, obs):
         return self._inner.decide(obs)

@@ -17,11 +17,19 @@ The effective sample size ESS = (sum w)^2 / sum w^2 diagnoses weight
 degeneracy -- the central failure mode over INASIM's 5,000-step
 horizons, and the reason the doubly-robust estimator of
 :mod:`repro.validation.fqe` exists.
+
+Every estimator takes any *iterable* of logged episodes — an in-memory
+list or a :class:`~repro.validation.datasets.TraceDataset` streaming
+shards off disk — and makes exactly one pass, keeping only three
+scalars per episode (:class:`EpisodeOPEStats`). Those per-episode
+reductions are shared with :func:`~repro.validation.suite.run_ope_suite`
+so the suite's numbers equal the standalone estimators bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -29,7 +37,13 @@ from repro.validation.logging import LoggedEpisode
 
 __all__ = [
     "OPEResult",
+    "EpisodeOPEStats",
+    "BehaviorSupportError",
     "step_ratios",
+    "episode_ope_stats",
+    "collect_ope_stats",
+    "wis_point_estimate",
+    "target_action_probs",
     "effective_sample_size",
     "ordinary_importance_sampling",
     "weighted_importance_sampling",
@@ -55,23 +69,72 @@ class OPEResult:
         )
 
 
+class BehaviorSupportError(ValueError):
+    """A logged step breaks the importance-sampling support condition.
+
+    Raised — naming the offending episode and step — instead of letting
+    a zero or denormal behaviour probability turn the trajectory weight
+    into silent NaN/inf that poisons every downstream mean.
+    """
+
+
+def target_action_probs(target_policy, features_list, masks) -> list:
+    """Target-policy distributions for a batch of logged states.
+
+    Uses the policy's vectorized ``action_probs_batch`` when it has one
+    (one stacked network forward instead of a forward per step) and
+    falls back to per-state ``action_probs``. Every estimator in this
+    package resolves propensities through here, so a given policy
+    always takes the same numerical path — which is what keeps the
+    suite, the standalone estimators, and the on-disk replay of a log
+    bit-identical to each other.
+    """
+    batch = getattr(target_policy, "action_probs_batch", None)
+    if batch is not None:
+        return list(batch(features_list, masks))
+    return [
+        target_policy.action_probs(features, mask)
+        for features, mask in zip(features_list, masks)
+    ]
+
+
 def step_ratios(episode: LoggedEpisode, target_policy,
-                clip: float | None = None) -> np.ndarray:
+                clip: float | None = None,
+                label: int | str | None = None) -> np.ndarray:
     """Per-step importance ratios pi(a_t|s_t) / b(a_t|s_t).
 
     ``target_policy`` must expose ``action_probs(features, mask)``;
     ``clip`` truncates each ratio from above (weight clipping trades a
-    small bias for bounded variance).
+    small bias for bounded variance). A zero behaviour probability or a
+    non-finite raw ratio raises :class:`BehaviorSupportError` naming
+    the episode (``label``, or the episode's seed) and step — clipping
+    happens *after* this check, so ``clip`` can never paper over a
+    broken log by truncating an infinite ratio.
     """
+    if label is None and episode.seed is not None:
+        label = f"seed={episode.seed}"
+    where = "episode" if label is None else f"episode {label}"
+    probs_list = target_action_probs(
+        target_policy,
+        [step.features for step in episode.steps],
+        [step.mask for step in episode.steps],
+    )
     ratios = np.empty(len(episode))
-    for t, step in enumerate(episode.steps):
-        target_probs = target_policy.action_probs(step.features, step.mask)
+    for t, (step, target_probs) in enumerate(zip(episode.steps, probs_list)):
         if step.behavior_prob <= 0:
-            raise ValueError(
-                f"step {t}: behaviour probability is zero; the behaviour "
-                "policy must have full support over logged actions"
+            raise BehaviorSupportError(
+                f"{where} step {t}: behaviour probability is zero; the "
+                "behaviour policy must have full support over logged "
+                "actions"
             )
-        ratios[t] = target_probs[step.action] / step.behavior_prob
+        ratio = target_probs[step.action] / step.behavior_prob
+        if not np.isfinite(ratio):
+            raise BehaviorSupportError(
+                f"{where} step {t}: importance ratio is not finite "
+                f"(target {target_probs[step.action]!r} / behaviour "
+                f"{step.behavior_prob!r})"
+            )
+        ratios[t] = ratio
     if clip is not None:
         np.clip(ratios, 0.0, clip, out=ratios)
     return ratios
@@ -80,16 +143,67 @@ def step_ratios(episode: LoggedEpisode, target_policy,
 def effective_sample_size(weights: np.ndarray) -> float:
     """Kish's ESS: (sum w)^2 / sum w^2 (0 when all weights vanish)."""
     weights = np.asarray(weights, dtype=float)
+    finite = np.isfinite(weights)
+    if not finite.all():
+        bad = int(np.flatnonzero(~finite)[0])
+        raise ValueError(
+            f"trajectory weight {bad} is {weights[bad]!r}; non-finite "
+            "weights make the effective sample size meaningless — fix "
+            "the log (see BehaviorSupportError) or clip the ratios"
+        )
     denom = float((weights ** 2).sum())
     if denom == 0.0:
         return 0.0
     return float(weights.sum() ** 2 / denom)
 
 
-def _trajectory_weights(episodes, target_policy, clip) -> np.ndarray:
-    return np.array(
-        [float(np.prod(step_ratios(ep, target_policy, clip)))
-         for ep in episodes]
+@dataclass(frozen=True)
+class EpisodeOPEStats:
+    """The three per-episode scalars every IS estimator reduces over."""
+
+    #: full-trajectory importance weight (product of step ratios)
+    weight: float
+    #: behaviour-policy discounted return
+    ret: float
+    #: per-decision IS value sum_t gamma^t w_t r_t
+    pdis: float
+
+
+def episode_ope_stats(episode: LoggedEpisode, target_policy,
+                      clip: float | None = None,
+                      label: int | str | None = None) -> EpisodeOPEStats:
+    """One streaming pass over an episode's steps → its IS scalars."""
+    ratios = step_ratios(episode, target_policy, clip, label=label)
+    cumulative = np.cumprod(ratios)
+    discounts = episode.gamma ** np.arange(len(episode))
+    pdis = float(np.sum(discounts * cumulative * episode.rewards))
+    weight = float(cumulative[-1]) if len(cumulative) else 1.0
+    return EpisodeOPEStats(weight=weight, ret=episode.discounted_return(),
+                           pdis=pdis)
+
+
+def collect_ope_stats(
+    episodes: Iterable[LoggedEpisode], target_policy,
+    clip: float | None = None,
+) -> Iterator[EpisodeOPEStats]:
+    """Stream :class:`EpisodeOPEStats` for an episode source.
+
+    Works unchanged over a list or a
+    :class:`~repro.validation.datasets.TraceDataset`; features are
+    consumed one episode at a time and only the scalars survive.
+    """
+    for index, episode in enumerate(episodes):
+        yield episode_ope_stats(episode, target_policy, clip, label=index)
+
+
+def _stats_arrays(episodes, target_policy, clip):
+    stats = list(collect_ope_stats(episodes, target_policy, clip))
+    if not stats:
+        raise ValueError("need at least one logged episode")
+    return (
+        np.array([s.weight for s in stats]),
+        np.array([s.ret for s in stats]),
+        np.array([s.pdis for s in stats]),
     )
 
 
@@ -99,27 +213,31 @@ def _mean_stderr(values: np.ndarray) -> tuple[float, float]:
     return float(values.mean()), float(values.std(ddof=1) / np.sqrt(values.size))
 
 
+def wis_point_estimate(weights: np.ndarray, returns: np.ndarray) -> float:
+    """The self-normalized estimate sum_i (w_i / sum w) G_i."""
+    total = weights.sum()
+    if total == 0.0:
+        return 0.0
+    return float((weights / total) @ returns)
+
+
 def ordinary_importance_sampling(
-    episodes: list[LoggedEpisode], target_policy, clip: float | None = None
+    episodes: Iterable[LoggedEpisode], target_policy,
+    clip: float | None = None,
 ) -> OPEResult:
     """Unbiased full-trajectory IS estimate of the target value."""
-    if not episodes:
-        raise ValueError("need at least one logged episode")
-    weights = _trajectory_weights(episodes, target_policy, clip)
-    returns = np.array([ep.discounted_return() for ep in episodes])
+    weights, returns, _ = _stats_arrays(episodes, target_policy, clip)
     estimate, stderr = _mean_stderr(weights * returns)
     return OPEResult(estimate, stderr, effective_sample_size(weights),
-                     len(episodes), "OIS")
+                     len(weights), "OIS")
 
 
 def weighted_importance_sampling(
-    episodes: list[LoggedEpisode], target_policy, clip: float | None = None
+    episodes: Iterable[LoggedEpisode], target_policy,
+    clip: float | None = None,
 ) -> OPEResult:
     """Self-normalized IS: biased, consistent, low variance."""
-    if not episodes:
-        raise ValueError("need at least one logged episode")
-    weights = _trajectory_weights(episodes, target_policy, clip)
-    returns = np.array([ep.discounted_return() for ep in episodes])
+    weights, returns, _ = _stats_arrays(episodes, target_policy, clip)
     total = weights.sum()
     if total == 0.0:
         estimate = 0.0
@@ -127,26 +245,18 @@ def weighted_importance_sampling(
     else:
         normalized = weights / total
         estimate = float(normalized @ returns)
-        residuals = normalized * (returns - estimate) * len(episodes)
+        residuals = normalized * (returns - estimate) * len(weights)
     _, stderr = _mean_stderr(residuals)
     return OPEResult(estimate, stderr, effective_sample_size(weights),
-                     len(episodes), "WIS")
+                     len(weights), "WIS")
 
 
 def per_decision_importance_sampling(
-    episodes: list[LoggedEpisode], target_policy, clip: float | None = None
+    episodes: Iterable[LoggedEpisode], target_policy,
+    clip: float | None = None,
 ) -> OPEResult:
     """Per-decision IS: each reward weighted by ratios up to its step."""
-    if not episodes:
-        raise ValueError("need at least one logged episode")
-    values = np.empty(len(episodes))
-    final_weights = np.empty(len(episodes))
-    for i, episode in enumerate(episodes):
-        ratios = step_ratios(episode, target_policy, clip)
-        cumulative = np.cumprod(ratios)
-        discounts = episode.gamma ** np.arange(len(episode))
-        values[i] = float(np.sum(discounts * cumulative * episode.rewards))
-        final_weights[i] = cumulative[-1] if len(cumulative) else 1.0
+    weights, _, values = _stats_arrays(episodes, target_policy, clip)
     estimate, stderr = _mean_stderr(values)
-    return OPEResult(estimate, stderr, effective_sample_size(final_weights),
-                     len(episodes), "PDIS")
+    return OPEResult(estimate, stderr, effective_sample_size(weights),
+                     len(weights), "PDIS")

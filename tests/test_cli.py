@@ -22,7 +22,7 @@ class TestParser:
         assert commands == {
             "topology", "simulate", "evaluate", "fig6", "fig10",
             "fit-dbn", "trace", "config", "scenarios", "selfplay",
-            "serve", "submit", "runs", "check",
+            "serve", "submit", "runs", "check", "ope",
         }
 
     def test_version_flag(self, capsys):

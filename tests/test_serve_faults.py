@@ -27,7 +27,7 @@ pytestmark = pytest.mark.chaos
 # run store: migration, reconciliation, idempotent episode records
 # ----------------------------------------------------------------------
 class TestStoreFaults:
-    def test_v1_store_migrates_to_v2(self, tmp_path):
+    def test_v1_store_migrates_to_current(self, tmp_path):
         import sqlite3
 
         path = str(tmp_path / "old.sqlite")
@@ -41,11 +41,12 @@ class TestStoreFaults:
             )
         conn.close()
         with RunStore(path) as store:
-            assert store.schema_version == SCHEMA_VERSION == 2
+            assert store.schema_version == SCHEMA_VERSION == 3
             run = store.get_run("legacy1")
             assert run["faults"] == 0  # backfilled default
             store.finish_run("legacy1", {"ok": True}, faults=3)
             assert store.get_run("legacy1")["faults"] == 3
+            assert store.promotions() == []  # v3 table exists and is empty
 
     def test_reconcile_marks_stranded_runs_interrupted(self, tmp_path):
         path = str(tmp_path / "runs.sqlite")
